@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures: one full run of each simulated tester.
+
+The suites run once per session at the calibrated reference scales —
+CrashMonkey at 1.0 (the paper's absolute open counts) and xfstests at
+0.01 (same distribution shape at 1% volume; analyses normalize by the
+scale to recover effective paper-scale frequencies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IOCov
+from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
+
+#: Reference scales for the benchmark runs.
+CM_SCALE = 1.0
+XF_SCALE = 0.01
+
+
+@pytest.fixture(scope="session")
+def cm_run():
+    return SuiteRunner(CrashMonkeySuite(scale=CM_SCALE)).run()
+
+
+@pytest.fixture(scope="session")
+def xf_run():
+    return SuiteRunner(XfstestsSuite(scale=XF_SCALE)).run()
+
+
+@pytest.fixture(scope="session")
+def cm_report(cm_run):
+    iocov = IOCov(mount_point="/mnt/test", suite_name="CrashMonkey")
+    return iocov.consume(cm_run.events).report()
+
+
+@pytest.fixture(scope="session")
+def xf_report(xf_run):
+    iocov = IOCov(mount_point="/mnt/test", suite_name="xfstests")
+    return iocov.consume(xf_run.events).report()
+
+
+def effective(frequencies: dict, scale: float) -> dict:
+    """Normalize measured counts back to paper-scale frequencies."""
+    return {key: value / scale for key, value in frequencies.items()}
+
+
+def print_series(title: str, rows: list[tuple]) -> None:
+    """Emit one table/figure's series the way the paper reports it."""
+    print()
+    print(title)
+    print("-" * len(title))
+    for row in rows:
+        print("  " + "  ".join(str(cell) for cell in row))

@@ -1,0 +1,91 @@
+"""Ablations — the IOCov pipeline's two design choices.
+
+DESIGN.md calls out two components whose value the paper asserts but
+does not measure: the mount-point **trace filter** and the **variant
+handler**.  These benches quantify both on the xfstests trace:
+
+* without the filter, foreign traffic (the tester's own scaffolding)
+  inflates partition counts and can flip under/over-testing verdicts;
+* without variant merging, each variant's input space is counted
+  separately and per-variant coverage looks far sparser than the merged
+  truth (variants share the kernel implementation, so the merged view
+  is the right one).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core import IOCov
+from repro.core.argspec import BASE_SYSCALLS
+from repro.core.variants import VariantHandler
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_filter_ablation(benchmark, xf_run):
+    def compute():
+        scoped = IOCov(mount_point="/mnt/test", suite_name="scoped")
+        scoped.consume(xf_run.events)
+        unscoped = IOCov(suite_name="unscoped")  # accept-all
+        unscoped.consume(xf_run.events)
+        return scoped, unscoped
+
+    scoped, unscoped = benchmark(compute)
+
+    dropped = scoped.events_processed - scoped.events_admitted
+    rows = [
+        ("events in trace", scoped.events_processed),
+        ("in scope (filtered)", scoped.events_admitted),
+        ("dropped as foreign", dropped),
+        ("unscoped admits", unscoped.events_admitted),
+    ]
+    print_series("Ablation: mount-point trace filter", rows)
+
+    assert unscoped.events_admitted == unscoped.events_processed
+    assert scoped.events_admitted <= scoped.events_processed
+    # The unscoped analysis never under-counts: every partition count
+    # is >= the scoped one (foreign traffic only inflates).
+    scoped_out = scoped.report().output_frequencies("open")
+    unscoped_out = unscoped.report().output_frequencies("open")
+    for key, value in scoped_out.items():
+        assert unscoped_out.get(key, 0) >= value
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_variant_merging_ablation(benchmark, xf_run):
+    handler = VariantHandler()
+
+    def compute():
+        merged: dict[str, int] = {}
+        unmerged: dict[str, int] = {}
+        for event in xf_run.events:
+            normalized = handler.normalize(event)
+            if normalized is None:
+                continue
+            base, _ = normalized
+            merged[base] = merged.get(base, 0) + 1
+            unmerged[event.name] = unmerged.get(event.name, 0) + 1
+        return merged, unmerged
+
+    merged, unmerged = benchmark(compute)
+
+    rows = [("base syscall", "merged count", "variants seen")]
+    for base in sorted(BASE_SYSCALLS):
+        variants = [
+            f"{name}={unmerged[name]}"
+            for name in VariantHandler.variants_of(base)
+            if unmerged.get(name)
+        ]
+        rows.append((base, merged.get(base, 0), ", ".join(variants)))
+    print_series("Ablation: variant merging (open+openat+creat+openat2 → open)", rows)
+
+    # Merging is conservative: base totals equal the variant sums.
+    for base in BASE_SYSCALLS:
+        variant_sum = sum(
+            unmerged.get(name, 0) for name in VariantHandler.variants_of(base)
+        )
+        assert merged.get(base, 0) == variant_sum
+    # And it matters: the trace genuinely uses multiple open variants.
+    open_variants_used = sum(
+        1 for name in ("open", "openat", "openat2", "creat") if unmerged.get(name)
+    )
+    assert open_variants_used >= 3

@@ -1,0 +1,66 @@
+"""Extension — three-tester comparison (xfstests, CrashMonkey, LTP).
+
+The paper compares two testers; the related work also names LTP.  This
+bench adds the simulated LTP suite as a third column, demonstrating the
+per-tester setup claim (only the mount expression differs) and the kind
+of cross-suite conclusions the metrics support: the calibrated
+regression suite wins on volume, the crash tester on persistence ops,
+and the conformance suite reaches error codes per syscall with orders
+of magnitude fewer events.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core import IOCov
+from repro.testsuites import LtpSuite, SuiteRunner
+
+
+@pytest.mark.benchmark(group="ext")
+def test_three_suite_comparison(benchmark, cm_report, xf_report):
+    def run_ltp():
+        run = SuiteRunner(LtpSuite()).run()
+        iocov = IOCov(mount_point="/tmp/ltp", suite_name="LTP")
+        return iocov.consume(run.events).report()
+
+    ltp_report = benchmark(run_ltp)
+
+    def errno_count(report):
+        return len(
+            [
+                code
+                for code, count in report.output_frequencies("open").items()
+                if count and not code.startswith("OK")
+            ]
+        )
+
+    rows = [
+        ("metric", "xfstests", "CrashMonkey", "LTP"),
+        (
+            "events analyzed",
+            f"{xf_report.events_admitted:,}",
+            f"{cm_report.events_admitted:,}",
+            f"{ltp_report.events_admitted:,}",
+        ),
+        (
+            "open error codes reached",
+            errno_count(xf_report),
+            errno_count(cm_report),
+            errno_count(ltp_report),
+        ),
+        (
+            "open flag partitions tested",
+            sum(1 for v in xf_report.input_frequencies("open", "flags").values() if v),
+            sum(1 for v in cm_report.input_frequencies("open", "flags").values() if v),
+            sum(1 for v in ltp_report.input_frequencies("open", "flags").values() if v),
+        ),
+    ]
+    print_series("Extension: three testers under one metric", rows)
+
+    # LTP's conformance style: errno-dense relative to its tiny volume.
+    assert ltp_report.events_admitted < cm_report.events_admitted
+    assert errno_count(ltp_report) >= errno_count(cm_report)
+    # The calibrated regression suite still covers the most inputs.
+    xf_flags = {k for k, v in xf_report.input_frequencies("open", "flags").items() if v}
+    ltp_flags = {k for k, v in ltp_report.input_frequencies("open", "flags").items() if v}
+    assert len(xf_flags) > len(ltp_flags)

@@ -1,0 +1,59 @@
+"""Figure 2 — input coverage of open flags, CrashMonkey vs xfstests.
+
+Regenerates the figure's series (log-frequency per open flag for both
+suites) and checks the paper's shape claims:
+
+* O_RDONLY is the most-used flag for both suites, with CrashMonkey at
+  7,924 and xfstests at 4,099,770 (effective);
+* xfstests' frequency is larger than CrashMonkey's for every flag;
+* several flags are tested by neither suite (O_LARGEFILE among them —
+  the paper's "bugs exist for O_LARGEFILE" example).
+"""
+
+import pytest
+
+from benchmarks.conftest import CM_SCALE, XF_SCALE, effective, print_series
+from repro.core import IOCov
+from repro.testsuites import UNTESTED_BY_BOTH
+
+
+def _series(cm_report, xf_report):
+    cm = effective(cm_report.input_frequencies("open", "flags"), CM_SCALE)
+    xf = effective(xf_report.input_frequencies("open", "flags"), XF_SCALE)
+    return cm, xf
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_open_flag_coverage(benchmark, cm_run, cm_report, xf_report):
+    # The measured operation: IOCov analyzing the CrashMonkey trace.
+    def analyze():
+        iocov = IOCov(mount_point="/mnt/test", suite_name="CrashMonkey")
+        return iocov.consume(cm_run.events).report()
+
+    report = benchmark(analyze)
+    cm, xf = _series(report, xf_report)
+
+    rows = [("flag", "CrashMonkey", "xfstests")]
+    rows += [
+        (flag, int(cm[flag]), int(xf[flag]))
+        for flag in cm
+        if flag != "unknown_bits" and (cm[flag] or xf[flag])
+    ]
+    print_series("Figure 2: input coverage of open flags (effective freq)", rows)
+
+    # O_RDONLY values (the numbers printed in the paper's text).
+    assert cm["O_RDONLY"] == pytest.approx(7924, rel=0.01)
+    assert xf["O_RDONLY"] == pytest.approx(4_099_770, rel=0.01)
+
+    # O_RDONLY is the most-used flag for both suites.
+    assert cm["O_RDONLY"] == max(v for k, v in cm.items() if k != "unknown_bits")
+    assert xf["O_RDONLY"] == max(v for k, v in xf.items() if k != "unknown_bits")
+
+    # xfstests dominates every flag CrashMonkey uses.
+    for flag, count in cm.items():
+        if count and flag != "unknown_bits":
+            assert xf[flag] > count, flag
+
+    # Untested-by-both flags: actionable gaps for developers.
+    for flag in UNTESTED_BY_BOTH:
+        assert cm[flag] == 0 and xf[flag] == 0

@@ -1,0 +1,59 @@
+"""Figure 3 — input coverage of write size (powers-of-two buckets).
+
+Regenerates the histogram (log2-bucketed write sizes plus the
+"Equal to 0" boundary partition) for both suites and checks:
+
+* xfstests' frequency is larger in every interval CrashMonkey tests;
+* CrashMonkey exercises few intervals, xfstests nearly all up to 2^28;
+* neither suite tests any size above the 2^28 bucket (max 258 MiB);
+* the size-0 boundary is exercised only by xfstests.
+"""
+
+import pytest
+
+from benchmarks.conftest import CM_SCALE, XF_SCALE, effective, print_series
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_write_size_coverage(benchmark, cm_report, xf_report):
+    def compute():
+        cm = effective(cm_report.input_frequencies("write", "count"), CM_SCALE)
+        xf = effective(xf_report.input_frequencies("write", "count"), XF_SCALE)
+        return cm, xf
+
+    cm, xf = benchmark(compute)
+
+    def bucket_order(key: str) -> float:
+        if key == "negative":
+            return -2
+        if key == "equal_to_0":
+            return -1
+        if key.startswith("2^"):
+            return int(key[2:])
+        return 99
+
+    keys = sorted((k for k in cm if cm[k] or xf[k]), key=bucket_order)
+    rows = [("bucket", "CrashMonkey", "xfstests")]
+    rows += [(key, int(cm[key]), int(xf[key])) for key in keys]
+    print_series("Figure 3: write size input coverage (effective freq)", rows)
+
+    # xfstests dominates every interval.
+    for key in keys:
+        if cm[key]:
+            assert xf[key] > cm[key], key
+
+    # Tested-interval counts: CrashMonkey sparse, xfstests broad.
+    cm_buckets = {k for k in cm if cm[k] and k.startswith("2^")}
+    xf_buckets = {k for k in xf if xf[k] and k.startswith("2^")}
+    assert len(cm_buckets) <= 10
+    assert len(xf_buckets) >= 25
+    assert cm_buckets < xf_buckets
+
+    # Nothing above 2^28 (the 258 MiB maximum) for either suite.
+    for bucket in cm_buckets | xf_buckets:
+        assert int(bucket[2:]) <= 28
+    assert "2^28" in xf_buckets  # the max-size write happened
+
+    # Size 0 is a boundary value xfstests reaches and CrashMonkey misses.
+    assert xf["equal_to_0"] > 0
+    assert cm["equal_to_0"] == 0

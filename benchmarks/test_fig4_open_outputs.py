@@ -1,0 +1,54 @@
+"""Figure 4 — output coverage of open (success + error codes).
+
+Regenerates the per-errno frequency series over open's full manpage
+error domain (the figure's x-axis) and checks:
+
+* xfstests covers more error cases than CrashMonkey — except ENOTDIR,
+  the one code where CrashMonkey leads;
+* many documented error codes remain untested by both suites.
+"""
+
+import pytest
+
+from benchmarks.conftest import CM_SCALE, XF_SCALE, effective, print_series
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_open_output_coverage(benchmark, cm_report, xf_report):
+    def compute():
+        cm = effective(cm_report.output_frequencies("open"), CM_SCALE)
+        xf = effective(xf_report.output_frequencies("open"), XF_SCALE)
+        return cm, xf
+
+    cm, xf = benchmark(compute)
+
+    domain = list(cm_report.output_coverage.syscall("open").domain())
+    rows = [("output", "CrashMonkey", "xfstests")]
+    rows += [(key, int(cm.get(key, 0)), int(xf.get(key, 0))) for key in domain]
+    print_series("Figure 4: output coverage of open (effective freq)", rows)
+
+    # Success dominates both suites.
+    assert cm["OK"] > 0 and xf["OK"] > 0
+
+    cm_covered = {k for k in domain if cm.get(k, 0) and k != "OK"}
+    xf_covered = {k for k in domain if xf.get(k, 0) and k != "OK"}
+
+    # xfstests covers strictly more error cases.
+    assert len(xf_covered) > len(cm_covered)
+    assert cm_covered - xf_covered == set()  # CM reaches nothing xfstests misses
+
+    # Per-code frequencies: xfstests >= CrashMonkey except ENOTDIR.
+    ahead = {
+        code
+        for code in cm_covered
+        if cm.get(code, 0) > xf.get(code, 0)
+    }
+    assert ahead == {"ENOTDIR"}
+
+    # Many codes remain untested by both (the paper's conclusion).
+    untested_both = {
+        code for code in domain if code != "OK" and not cm.get(code) and not xf.get(code)
+    }
+    assert len(untested_both) >= 8
+    for expected_gap in ("ENOMEM", "ENODEV", "EXDEV", "ENFILE", "EINTR", "E2BIG"):
+        assert expected_gap in untested_both

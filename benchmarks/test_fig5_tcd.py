@@ -1,0 +1,57 @@
+"""Figure 5 — Test Coverage Deviation for open flags vs uniform target.
+
+Regenerates both suites' TCD curves over uniform targets 1..10^7 and
+locates the crossover: below it CrashMonkey's TCD is lower (its small
+frequencies sit closer to small targets); above it xfstests wins.  The
+paper reports the crossover at ~5,237; the reproduction checks the
+crossover exists in the same decade-regime and that the better-suite
+ordering flips across it.
+"""
+
+import pytest
+
+from benchmarks.conftest import CM_SCALE, XF_SCALE, effective, print_series
+from repro.core import find_crossover, tcd_curve, tcd_uniform
+from repro.testsuites import PAPER_TCD_CROSSOVER
+
+
+def _flag_vectors(cm_report, xf_report):
+    cm = effective(cm_report.input_frequencies("open", "flags"), CM_SCALE)
+    xf = effective(xf_report.input_frequencies("open", "flags"), XF_SCALE)
+    keys = [key for key in cm if key != "unknown_bits"]
+    return [cm[k] for k in keys], [xf[k] for k in keys]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_tcd_curves_and_crossover(benchmark, cm_report, xf_report):
+    cm_vector, xf_vector = _flag_vectors(cm_report, xf_report)
+    targets = [10**exp for exp in range(8)]
+
+    def compute():
+        return (
+            tcd_curve(cm_vector, targets),
+            tcd_curve(xf_vector, targets),
+            find_crossover(cm_vector, xf_vector, 1, 1e7),
+        )
+
+    cm_curve, xf_curve, crossover = benchmark(compute)
+
+    rows = [("target", "TCD CrashMonkey", "TCD xfstests")]
+    rows += [
+        (f"1e{exp}", f"{cm_val:.2f}", f"{xf_val:.2f}")
+        for exp, ((_, cm_val), (_, xf_val)) in enumerate(zip(cm_curve, xf_curve))
+    ]
+    print_series("Figure 5: TCD for open flags (uniform targets)", rows)
+    print(f"  crossover: {crossover:.0f}  (paper ~{PAPER_TCD_CROSSOVER:.0f})")
+
+    assert crossover is not None
+    # Same regime as the paper's 5,237 (within ~one decade).
+    assert 1_000 < crossover < 30_000
+
+    # Ordering flips across the crossover.
+    below, above = crossover / 10, crossover * 10
+    assert tcd_uniform(cm_vector, below) < tcd_uniform(xf_vector, below)
+    assert tcd_uniform(xf_vector, above) < tcd_uniform(cm_vector, above)
+
+    # Both curves eventually grow once the target exceeds all testing.
+    assert cm_curve[-1][1] > cm_curve[4][1]

@@ -1,0 +1,74 @@
+"""Throughput benchmarks: analyzer, codecs, and the VFS substrate.
+
+Not a paper artifact — these quantify the reproduction's own costs so
+regressions in the hot paths (event classification, trace parsing,
+syscall dispatch) are visible.
+"""
+
+import pytest
+
+from repro.core import IOCov
+from repro.trace.lttng import LttngParser, LttngWriter
+from repro.trace.strace import StraceParser
+from repro.vfs import constants as C
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.syscalls import SyscallInterface
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_analyzer_events_per_second(benchmark, xf_run):
+    events = xf_run.events[:20000]
+
+    def analyze():
+        return IOCov(mount_point="/mnt/test").consume(events).report()
+
+    report = benchmark(analyze)
+    assert report.events_processed == len(events)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_lttng_serialize(benchmark, xf_run):
+    events = xf_run.events[:5000]
+    writer = LttngWriter()
+    text = benchmark(writer.dumps, events)
+    assert text.count("syscall_entry_") == len(events)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_lttng_parse(benchmark, xf_run):
+    text = LttngWriter().dumps(xf_run.events[:5000])
+
+    def parse():
+        return LttngParser().parse_text(text)
+
+    events = benchmark(parse)
+    assert len(events) == 5000
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_strace_parse(benchmark):
+    lines = "\n".join(
+        f'openat(AT_FDCWD, "/mnt/test/f{i}", O_RDWR|O_CREAT, 0644) = {i % 100 + 3}'
+        for i in range(5000)
+    )
+
+    def parse():
+        return StraceParser().parse_text(lines)
+
+    events = benchmark(parse)
+    assert len(events) == 5000
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_vfs_syscall_rate(benchmark):
+    def open_write_close_loop():
+        fs = FileSystem()
+        sc = SyscallInterface(fs)
+        for i in range(1000):
+            fd = sc.open(f"/f{i % 50}", C.O_CREAT | C.O_WRONLY, 0o644).retval
+            sc.write(fd, count=512)
+            sc.close(fd)
+        return sc.call_count
+
+    calls = benchmark(open_write_close_loop)
+    assert calls == 3000

@@ -1,0 +1,60 @@
+"""Table 1 — % of open calls using 1-6 flags together.
+
+Regenerates all four rows (all-flags and O_RDONLY-restricted, for both
+suites) and compares each cell against the paper within 1.5 points
+(the residual calibration leaves the mechanistic workloads' organic
+combinations in the trace, as the real suites' tests would be).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+
+PAPER_TABLE1 = {
+    ("CrashMonkey", None): {1: 9.3, 2: 2.8, 3: 22.1, 4: 65.4, 5: 0.5, 6: 0.0},
+    ("CrashMonkey", "O_RDONLY"): {1: 9.3, 2: 2.8, 3: 21.9, 4: 65.6, 5: 0.5, 6: 0.0},
+    ("xfstests", None): {1: 6.1, 2: 28.2, 3: 18.2, 4: 46.8, 5: 0.5, 6: 0.4},
+    ("xfstests", "O_RDONLY"): {1: 6.0, 2: 30.8, 3: 10.5, 4: 51.9, 5: 0.5, 6: 0.3},
+}
+
+TOLERANCE_POINTS = 1.5
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_flag_combination_sizes(benchmark, cm_report, xf_report):
+    def compute():
+        out = {}
+        for label, report in (("CrashMonkey", cm_report), ("xfstests", xf_report)):
+            flags = report.input_coverage.arg("open", "flags")
+            out[(label, None)] = flags.combination_size_percentages()
+            out[(label, "O_RDONLY")] = flags.combination_size_percentages("O_RDONLY")
+        return out
+
+    measured = benchmark(compute)
+
+    rows = [("suite / % for #flags", 1, 2, 3, 4, 5, 6)]
+    for (suite, restrict), row in measured.items():
+        label = f"{suite}: {'O_RDONLY' if restrict else 'all flags'}"
+        rows.append(
+            (label, *[f"{row.get(size, 0.0):.1f}" for size in range(1, 7)])
+        )
+    print_series("Table 1: open flag combination sizes (%)", rows)
+
+    worst = 0.0
+    for key, paper_row in PAPER_TABLE1.items():
+        got = measured[key]
+        for size, expected in paper_row.items():
+            deviation = abs(got.get(size, 0.0) - expected)
+            worst = max(worst, deviation)
+            assert deviation <= TOLERANCE_POINTS, (key, size, got.get(size), expected)
+    print(f"  worst cell deviation: {worst:.2f} points (tolerance {TOLERANCE_POINTS})")
+
+    # Structural claims: at most six flags together; four is the mode.
+    for key, got in measured.items():
+        assert max(got) <= 6
+        assert max(got, key=got.get) == 4
+    # Second most frequent: 3 flags for CrashMonkey, 2 for xfstests.
+    cm_all = measured[("CrashMonkey", None)]
+    xf_all = measured[("xfstests", None)]
+    assert sorted(cm_all, key=cm_all.get, reverse=True)[1] == 3
+    assert sorted(xf_all, key=xf_all.get, reverse=True)[1] == 2

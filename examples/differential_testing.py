@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Differential file-system testing guided by IOCov (paper future work).
+
+The paper closes with: "We are currently developing a differential-
+testing-based file system tester utilizing IOCov. Our approach has
+found several new bugs."  This example runs that design:
+
+* the **reference** system is the conforming VFS;
+* the **system under test** is the same VFS with five behavioural bugs
+  injected, each modeled on a real 2022 kernel fix (the Figure 1
+  lsetxattr overflow, the O_LARGEFILE check, a NOWAIT ENOSPC, a wrong
+  exit-path errno, a MAX_RW_COUNT clamp slip);
+* the input generator reads IOCov's untested partitions after every
+  round and synthesizes boundary-value syscalls for exactly those gaps;
+* every outcome divergence between the two systems is a found bug.
+
+Run:  python examples/differential_testing.py
+"""
+
+from repro.difftest import DifferentialTester, make_faulty, make_reference
+from repro.kernelsim import BUG_CATALOGUE
+from repro.vfs.filesystem import FileSystem
+
+
+def main() -> None:
+    reference = make_reference(FileSystem(total_blocks=4096))   # 16 MiB
+    under_test = make_faulty(FileSystem(total_blocks=4096))
+
+    print("injected (latent) bugs in the system under test:")
+    for bug_id in under_test.enabled_bugs:
+        bug = BUG_CATALOGUE[bug_id]
+        print(f"  - {bug_id:<26} {bug.reference}")
+
+    tester = DifferentialTester(reference, under_test)
+    print("\nrunning coverage-guided differential rounds ...")
+    report = tester.run(rounds=8, max_ops_per_round=80)
+
+    print(f"\n{report.ops_executed} generated inputs over {report.rounds} rounds")
+    print(f"{report.partitions_opened} previously untested partitions exercised")
+    print(f"{len(report.divergences)} divergences observed\n")
+
+    # Group divergences by the coverage gap that exposed them.
+    by_family: dict[str, int] = {}
+    for divergence in report.divergences:
+        family = divergence.target.split(" -> ")[0]
+        by_family[family] = by_family.get(family, 0) + 1
+    print("divergences per coverage family:")
+    for family, count in sorted(by_family.items()):
+        print(f"  {family:<18} {count}")
+
+    exposed = sorted({bug_id for bug_id, _ in under_test.corruptions_applied})
+    print(f"\nbugs exposed ({len(exposed)}/{len(under_test.enabled_bugs)}):")
+    for bug_id in exposed:
+        print(f"  - {bug_id}: {BUG_CATALOGUE[bug_id].effect}")
+
+    print("\none concrete divergence, in full:")
+    print(" ", report.divergences[0].describe())
+
+    print("\nkey point: the generator never saw the bugs — it only chased")
+    print("IOCov's untested input partitions, and the bugs live exactly")
+    print("in those partitions. A control run of reference-vs-reference")
+    print("with the same inputs reports zero divergences.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Test Coverage Deviation in practice: scoring and tuning a test plan.
+
+Shows the Section 4 "syscall test adequacy" application:
+
+1. score both simulated suites' open-flag coverage with uniform
+   targets across six decades (the Figure 5 sweep) and find the
+   crossover where the better suite flips;
+2. classify each partition as under-/over-/on-target-tested;
+3. build the paper's future-work *non-uniform* target (persistence
+   partitions weighted up for crash-consistency work) and show how the
+   verdict changes;
+4. iterate: add tests for the worst under-tested partitions and watch
+   TCD drop — the workflow the paper proposes for developers.
+
+Run:  python examples/tcd_tuning.py
+"""
+
+from repro.core import (
+    IOCov,
+    assess_partitions,
+    find_crossover,
+    tcd,
+    tcd_uniform,
+    uniform_target,
+    weighted_target,
+)
+from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
+from repro.trace import TraceRecorder
+from repro.vfs import constants as C
+
+XF_SCALE = 0.01
+
+
+def suite_flag_vector(scale_cm=1.0, scale_xf=XF_SCALE):
+    cm_run = SuiteRunner(CrashMonkeySuite(scale=scale_cm)).run()
+    xf_run = SuiteRunner(XfstestsSuite(scale=scale_xf)).run()
+    cm = IOCov(mount_point="/mnt/test", suite_name="CrashMonkey")
+    xf = IOCov(mount_point="/mnt/test", suite_name="xfstests")
+    cm_freqs = cm.consume(cm_run.events).report().input_frequencies("open", "flags")
+    xf_freqs = xf.consume(xf_run.events).report().input_frequencies("open", "flags")
+    keys = [key for key in cm_freqs if key != "unknown_bits"]
+    cm_vector = [cm_freqs[k] / scale_cm for k in keys]
+    xf_vector = [xf_freqs[k] / scale_xf for k in keys]
+    return keys, cm_vector, xf_vector
+
+
+def main() -> None:
+    print("running both suites ...")
+    keys, cm_vector, xf_vector = suite_flag_vector()
+
+    # 1. The Figure 5 sweep.
+    print("\nTCD for open flags, uniform targets (lower is better):")
+    print(f"  {'target':>10}  {'CrashMonkey':>12}  {'xfstests':>10}")
+    for exp in range(8):
+        target = 10**exp
+        print(
+            f"  {target:>10,}  {tcd_uniform(cm_vector, target):>12.2f}"
+            f"  {tcd_uniform(xf_vector, target):>10.2f}"
+        )
+    crossover = find_crossover(cm_vector, xf_vector, 1, 1e7)
+    print(f"  crossover at target ≈ {crossover:,.0f} (paper: ≈5,237)")
+    print("  below it CrashMonkey's lighter testing sits closer to the")
+    print("  target; above it xfstests' volume wins.")
+
+    # 2. Under/over-testing per partition (xfstests, target 10^4).
+    target_value = 10_000
+    assessments = assess_partitions(
+        keys, xf_vector, uniform_target(len(keys), target_value)
+    )
+    under = [a for a in assessments if a.verdict == "under"]
+    over = [a for a in assessments if a.verdict == "over"]
+    print(f"\nxfstests vs uniform target {target_value:,}:")
+    print(f"  under-tested ({len(under)}): "
+          + ", ".join(a.key for a in under[:8]) + " …")
+    print(f"  over-tested  ({len(over)}): "
+          + ", ".join(f"{a.key}({a.frequency:,.0f})" for a in over[:5]))
+
+    # 3. Non-uniform targets (future work): crash-consistency focus.
+    weights = {"O_SYNC": 100.0, "O_DSYNC": 100.0, "O_DIRECT": 30.0}
+    persistence_target = weighted_target(keys, 100.0, weights)
+    print("\npersistence-weighted target (O_SYNC/O_DSYNC x100):")
+    print(f"  CrashMonkey TCD: {tcd(cm_vector, persistence_target):.3f}")
+    print(f"  xfstests    TCD: {tcd(xf_vector, persistence_target):.3f}")
+
+    # 4. Iterate: fill the worst gaps and re-score.
+    print("\niterating: adding tests for under-tested partitions ...")
+    from repro.vfs import FileSystem, SyscallInterface
+
+    fs = FileSystem()
+    sc = SyscallInterface(fs)
+    recorder = TraceRecorder()
+    recorder.attach(sc)
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    gap_flags = {
+        "O_NOATIME": C.O_NOATIME,
+        "O_LARGEFILE": C.O_LARGEFILE,
+        "O_ASYNC": C.O_ASYNC,
+        "O_PATH": C.O_PATH,
+    }
+    for _ in range(100):
+        for flags in gap_flags.values():
+            result = sc.open("/mnt/test/gapfile", C.O_CREAT | flags, 0o644)
+            if result.ok:
+                sc.close(result.retval)
+    extra = IOCov(mount_point="/mnt/test").consume(recorder.events).report()
+    extra_freqs = extra.input_frequencies("open", "flags")
+    improved = [xf_vector[i] + extra_freqs.get(keys[i], 0) for i in range(len(keys))]
+    before = tcd_uniform(xf_vector, 100)
+    after = tcd_uniform(improved, 100)
+    print(f"  xfstests TCD @100 before: {before:.3f}")
+    print(f"  after adding gap tests:   {after:.3f}  (improved: {after < before})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy entry point for offline environments without the `wheel`
+package (PEP 660 editable builds need it; `setup.py develop` does not)."""
+
+from setuptools import setup
+
+setup()

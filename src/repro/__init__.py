@@ -1,0 +1,19 @@
+"""IOCov reproduction: input/output coverage for file-system testing.
+
+Reproduces "Input and Output Coverage Needed in File System Testing"
+(Liu et al., HotStorage '23).  Public entry points:
+
+* :class:`repro.core.IOCov` — the analyzer: traces in, coverage out.
+* :mod:`repro.vfs` — the in-memory POSIX file system the simulated
+  testers run against.
+* :mod:`repro.trace` — trace capture and parsing (LTTng text, strace,
+  syzkaller logs).
+* :mod:`repro.testsuites` — CrashMonkey- and xfstests-style workload
+  generators.
+* :mod:`repro.bugstudy` — the Section 2 bug-study dataset and
+  analytics.
+* :mod:`repro.kernelsim` — the instrumented kernel-FS model used to
+  demonstrate the code-coverage blind spot.
+"""
+
+__version__ = "1.0.0"

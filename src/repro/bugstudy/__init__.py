@@ -1,0 +1,19 @@
+"""Section 2 bug study: reconstructed dataset and analytics."""
+
+from repro.bugstudy.analysis import BugStudy, Statistic, paper_comparison
+from repro.bugstudy.dataset import BUGS, COMMITS, build_bugs, build_commits
+from repro.bugstudy.model import Bug, Commit, CommitKind, FileSystemName
+
+__all__ = [
+    "BUGS",
+    "Bug",
+    "BugStudy",
+    "COMMITS",
+    "Commit",
+    "CommitKind",
+    "FileSystemName",
+    "Statistic",
+    "build_bugs",
+    "build_commits",
+    "paper_comparison",
+]

@@ -1,0 +1,165 @@
+"""Bug-study analytics: every aggregate Section 2 reports.
+
+:class:`BugStudy` computes the statistics over a bug list (by default
+the reconstructed dataset), and :func:`paper_comparison` lines each one
+up against the numbers printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bugstudy.dataset import BUGS, COMMITS
+from repro.bugstudy.model import Bug, Commit, CommitKind, FileSystemName
+
+
+@dataclass(frozen=True)
+class Statistic:
+    """One reported number: count, denominator, and the paper's value."""
+
+    name: str
+    count: int
+    total: int
+    paper_percent: float | None = None
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.count / self.total if self.total else 0.0
+
+    @property
+    def matches_paper(self) -> bool:
+        if self.paper_percent is None:
+            return True
+        return abs(round(self.percent) - self.paper_percent) < 1.0
+
+
+class BugStudy:
+    """Aggregates over the 70-bug dataset."""
+
+    def __init__(
+        self,
+        bugs: Sequence[Bug] | None = None,
+        commits: Sequence[Commit] | None = None,
+    ) -> None:
+        self.bugs = list(bugs) if bugs is not None else list(BUGS)
+        self.commits = list(commits) if commits is not None else list(COMMITS)
+
+    # -- commit-level -----------------------------------------------------------
+
+    def commits_studied(self, fs: FileSystemName | None = None) -> int:
+        return sum(1 for c in self.commits if fs is None or c.fs is fs)
+
+    def bug_fix_commits(self, fs: FileSystemName | None = None) -> int:
+        return sum(
+            1
+            for c in self.commits
+            if c.kind is CommitKind.BUG_FIX and (fs is None or c.fs is fs)
+        )
+
+    # -- bug-level counts -----------------------------------------------------
+
+    def bug_count(self, fs: FileSystemName | None = None) -> int:
+        return sum(1 for b in self.bugs if fs is None or b.fs is fs)
+
+    def covered_but_missed(self, granularity: str) -> list[Bug]:
+        """Bugs in covered code that xfstests nevertheless missed."""
+        attr = {
+            "line": "covered_but_missed_line",
+            "function": "covered_but_missed_function",
+            "branch": "covered_but_missed_branch",
+        }[granularity]
+        return [b for b in self.bugs if getattr(b, attr)]
+
+    def input_bugs(self) -> list[Bug]:
+        return [b for b in self.bugs if b.input_related]
+
+    def output_bugs(self) -> list[Bug]:
+        return [b for b in self.bugs if b.output_related]
+
+    def input_or_output_bugs(self) -> list[Bug]:
+        return [b for b in self.bugs if b.input_related or b.output_related]
+
+    def specific_arg_triggerable(self) -> list[Bug]:
+        """Covered-but-missed bugs triggerable by specific arguments."""
+        return [
+            b
+            for b in self.covered_but_missed("line")
+            if b.trigger_is_specific_args
+        ]
+
+    def detected(self) -> list[Bug]:
+        return [b for b in self.bugs if b.detected]
+
+    def kind_histogram(self) -> dict[str, int]:
+        histogram = {"input": 0, "output": 0, "both": 0, "neither": 0}
+        for bug in self.bugs:
+            histogram[bug.kind] += 1
+        return histogram
+
+    # -- the paper's numbers ------------------------------------------------------
+
+    def statistics(self) -> list[Statistic]:
+        """Every Section 2 aggregate with its paper value."""
+        total = self.bug_count()
+        line_missed = len(self.covered_but_missed("line"))
+        return [
+            Statistic("commits studied", self.commits_studied(), 200, None),
+            Statistic("ext4 bugs", self.bug_count(FileSystemName.EXT4), 51, None),
+            Statistic("btrfs bugs", self.bug_count(FileSystemName.BTRFS), 19, None),
+            Statistic("line-covered but missed", line_missed, total, 53.0),
+            Statistic(
+                "function-covered but missed",
+                len(self.covered_but_missed("function")),
+                total,
+                61.0,
+            ),
+            Statistic(
+                "branch-covered but missed",
+                len(self.covered_but_missed("branch")),
+                total,
+                29.0,
+            ),
+            Statistic("input bugs", len(self.input_bugs()), total, 71.0),
+            Statistic("output bugs", len(self.output_bugs()), total, 59.0),
+            Statistic(
+                "input or output bugs",
+                len(self.input_or_output_bugs()),
+                total,
+                81.0,
+            ),
+            Statistic(
+                "covered-missed triggerable by specific args",
+                len(self.specific_arg_triggerable()),
+                line_missed,
+                65.0,
+            ),
+        ]
+
+    def verify_paper_statistics(self) -> list[str]:
+        """Return the names of any statistics that deviate (empty = all
+        aggregates reproduce the paper exactly)."""
+        return [stat.name for stat in self.statistics() if not stat.matches_paper]
+
+    def render_text(self) -> str:
+        lines = ["Section 2 bug study (reconstructed dataset)"]
+        lines.append("-" * len(lines[0]))
+        for stat in self.statistics():
+            paper = (
+                f"  (paper: {stat.paper_percent:.0f}%)"
+                if stat.paper_percent is not None
+                else ""
+            )
+            lines.append(
+                f"{stat.name:<45} {stat.count:>3}/{stat.total:<3}"
+                f" = {stat.percent:5.1f}%{paper}"
+            )
+        return "\n".join(lines)
+
+
+def paper_comparison() -> dict[str, tuple[float, float | None]]:
+    """name -> (measured %, paper %) over the default dataset."""
+    return {
+        stat.name: (round(stat.percent, 1), stat.paper_percent)
+        for stat in BugStudy().statistics()
+    }

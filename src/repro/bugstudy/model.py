@@ -1,0 +1,110 @@
+"""Data model for the Section 2 real-world bug study.
+
+The study examined the latest 100 Git commits of 2022 for each of Ext4
+and BtrFS (200 commits), identified the bug fixes among them with Lu et
+al.'s technique (51 Ext4 + 19 BtrFS = 70 bugs), ran xfstests under
+Gcov, and recorded per bug: whether xfstests covered the buggy
+lines/functions/branches, whether it detected the bug, which syscalls
+trigger it, and its input/output classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FileSystemName(enum.Enum):
+    EXT4 = "ext4"
+    BTRFS = "btrfs"
+
+
+class CommitKind(enum.Enum):
+    """Classification of a studied commit."""
+
+    BUG_FIX = "bug-fix"
+    FEATURE = "feature"
+    REFACTOR = "refactor"
+    CLEANUP = "cleanup"
+    DOCUMENTATION = "documentation"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One studied kernel commit."""
+
+    commit_id: str
+    fs: FileSystemName
+    title: str
+    kind: CommitKind
+    year: int = 2022
+
+
+@dataclass(frozen=True)
+class Bug:
+    """One bug-fix commit with the study's full annotation.
+
+    Attributes:
+        bug_id: stable identifier within the dataset.
+        fs: which file system the fix landed in.
+        title: commit-style one-liner.
+        trigger_syscalls: syscalls involved in reaching the bug.
+        input_related: needs specific syscall inputs to trigger.
+        output_related: occurs on the exit path / affects the syscall
+            return.
+        line_covered: xfstests executed the buggy lines (Gcov).
+        function_covered: xfstests entered the buggy function.
+        branch_covered: xfstests covered the buggy branch outcomes.
+        detected: xfstests actually exposed the bug.
+        trigger_is_specific_args: among covered-but-missed bugs,
+            whether specific argument values (boundaries, corner
+            cases) would trigger it — the 65% statistic.
+        boundary_note: which boundary/corner case matters.
+        reference: citation when modeled on a real, named fix.
+    """
+
+    bug_id: str
+    fs: FileSystemName
+    title: str
+    trigger_syscalls: tuple[str, ...]
+    input_related: bool
+    output_related: bool
+    line_covered: bool
+    function_covered: bool
+    branch_covered: bool
+    detected: bool
+    trigger_is_specific_args: bool = False
+    boundary_note: str = ""
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        # Coverage granularity is ordered: branch ⊆ line ⊆ function.
+        if self.branch_covered and not self.line_covered:
+            raise ValueError(f"{self.bug_id}: branch covered implies line covered")
+        if self.line_covered and not self.function_covered:
+            raise ValueError(f"{self.bug_id}: line covered implies function covered")
+        if self.detected and not self.line_covered:
+            raise ValueError(f"{self.bug_id}: detection implies the code ran")
+
+    @property
+    def kind(self) -> str:
+        """input / output / both / neither (the paper's classes)."""
+        if self.input_related and self.output_related:
+            return "both"
+        if self.input_related:
+            return "input"
+        if self.output_related:
+            return "output"
+        return "neither"
+
+    @property
+    def covered_but_missed_line(self) -> bool:
+        return self.line_covered and not self.detected
+
+    @property
+    def covered_but_missed_function(self) -> bool:
+        return self.function_covered and not self.detected
+
+    @property
+    def covered_but_missed_branch(self) -> bool:
+        return self.branch_covered and not self.detected

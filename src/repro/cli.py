@@ -1,0 +1,238 @@
+"""Command-line interface: IOCov as a tool, not just a library.
+
+Subcommands:
+
+* ``analyze`` — compute input/output coverage of a trace file
+  (LTTng text, strace, or syzkaller format) and print or dump it.
+* ``compare`` — side-by-side coverage of two trace files.
+* ``suites`` — run the simulated CrashMonkey/xfstests and report
+  coverage (the paper's evaluation in one command).
+* ``bugstudy`` — print the Section 2 bug-study table.
+* ``difftest`` — run the coverage-guided differential tester against
+  the built-in faulty kernel model.
+
+Examples::
+
+    python -m repro analyze --format strace capture.log --mount /mnt/test
+    python -m repro analyze trace.lttng.txt --json > coverage.json
+    python -m repro compare a.lttng.txt b.lttng.txt --syscall open --arg flags
+    python -m repro suites --suite crashmonkey --scale 1.0
+    python -m repro bugstudy
+    python -m repro difftest --rounds 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import IOCov, SuiteComparison
+from repro.core.report import CoverageReport
+
+_FORMAT_READERS = {
+    "lttng": "consume_lttng_file",
+    "strace": "consume_strace_file",
+    "syzkaller": "consume_syzkaller_file",
+}
+
+
+def _guess_format(path: str) -> str:
+    lowered = path.lower()
+    if lowered.endswith((".syz", ".syzkaller")):
+        return "syzkaller"
+    if "strace" in lowered:
+        return "strace"
+    return "lttng"
+
+
+def _load_report(path: str, fmt: str | None, mount: str | None, name: str) -> CoverageReport:
+    fmt = fmt or _guess_format(path)
+    iocov = IOCov(mount_point=mount, suite_name=name)
+    getattr(iocov, _FORMAT_READERS[fmt])(path)
+    return iocov.report()
+
+
+# -- subcommand handlers --------------------------------------------------------
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    report = _load_report(args.trace, args.format, args.mount, args.name or args.trace)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(report.render_text())
+    if args.syscall:
+        print()
+        if args.arg:
+            print(report.render_frequency_table("input", args.syscall, args.arg))
+        print()
+        print(report.render_frequency_table("output", args.syscall))
+    if args.suggest:
+        from repro.core.suggestions import render_suggestions
+
+        print()
+        print(render_suggestions(report, limit=args.suggest))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    report_a = _load_report(args.trace_a, args.format, args.mount, args.trace_a)
+    report_b = _load_report(args.trace_b, args.format, args.mount, args.trace_b)
+    comparison = SuiteComparison(report_a, report_b)
+    syscall = args.syscall or "open"
+    if args.arg:
+        print(comparison.render_text(syscall, args.arg))
+    print()
+    print(comparison.render_text(syscall))
+    only_a, only_b = comparison.only_covered_by(syscall, args.arg or "flags")
+    print(f"\nonly {report_a.suite_name}: {only_a or 'none'}")
+    print(f"only {report_b.suite_name}: {only_b or 'none'}")
+    return 0
+
+
+def cmd_suites(args: argparse.Namespace) -> int:
+    from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
+
+    if args.suite in ("crashmonkey", "both"):
+        scale = args.scale if args.scale is not None else 1.0
+        run = SuiteRunner(CrashMonkeySuite(scale=scale)).run()
+        report = (
+            IOCov(mount_point=run.mount_point, suite_name="CrashMonkey")
+            .consume(run.events)
+            .report()
+        )
+        print(f"CrashMonkey: {run.event_count():,} events, scale {scale}")
+        print(report.render_text())
+        print()
+    if args.suite in ("xfstests", "both"):
+        scale = args.scale if args.scale is not None else 0.01
+        run = SuiteRunner(XfstestsSuite(scale=scale)).run()
+        report = (
+            IOCov(mount_point=run.mount_point, suite_name="xfstests")
+            .consume(run.events)
+            .report()
+        )
+        print(f"xfstests: {run.event_count():,} events, scale {scale}")
+        print(report.render_text())
+    return 0
+
+
+def cmd_bugstudy(args: argparse.Namespace) -> int:
+    from repro.bugstudy import BugStudy
+
+    study = BugStudy()
+    print(study.render_text())
+    deviations = study.verify_paper_statistics()
+    if deviations:
+        print(f"DEVIATIONS from the paper: {deviations}")
+        return 1
+    print("\nall aggregates match the paper.")
+    return 0
+
+
+def cmd_difftest(args: argparse.Namespace) -> int:
+    from repro.difftest import DifferentialTester, make_faulty, make_reference
+    from repro.vfs.filesystem import FileSystem
+
+    reference = make_reference(FileSystem(total_blocks=4096))
+    under_test = make_faulty(FileSystem(total_blocks=4096))
+    tester = DifferentialTester(reference, under_test)
+    report = tester.run(rounds=args.rounds, max_ops_per_round=args.ops)
+    print(report.render_text())
+    exposed = sorted({bug_id for bug_id, _ in under_test.corruptions_applied})
+    print(f"\ninjected bugs exposed: {exposed}")
+    return 0 if report.found_bugs else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace.lttng import LttngParser
+    from repro.trace.replay import TraceReplayer
+    from repro.trace.strace import StraceParser
+    from repro.trace.syzkaller import SyzkallerParser
+    from repro.vfs.filesystem import FileSystem
+    from repro.vfs.syscalls import SyscallInterface
+
+    fmt = args.format or _guess_format(args.trace)
+    parser = {
+        "lttng": LttngParser(),
+        "strace": StraceParser(),
+        "syzkaller": SyzkallerParser(),
+    }[fmt]
+    events = parser.parse_file(args.trace)
+    target = SyscallInterface(FileSystem(total_blocks=args.blocks))
+    report = TraceReplayer(target).replay(events)
+    print(report.render_text())
+    return 0 if report.faithful else 1
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IOCov: input/output coverage for file-system testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="coverage of one trace file")
+    analyze.add_argument("trace", help="trace file path")
+    analyze.add_argument("--format", choices=sorted(_FORMAT_READERS))
+    analyze.add_argument("--mount", help="tester mount point (scoping filter)")
+    analyze.add_argument("--name", help="suite label for the report")
+    analyze.add_argument("--json", action="store_true", help="dump JSON")
+    analyze.add_argument("--syscall", help="print one syscall's tables")
+    analyze.add_argument("--arg", help="input argument for --syscall")
+    analyze.add_argument(
+        "--suggest",
+        type=int,
+        nargs="?",
+        const=15,
+        default=0,
+        help="print up to N concrete test suggestions for the gaps",
+    )
+    analyze.set_defaults(handler=cmd_analyze)
+
+    compare = sub.add_parser("compare", help="coverage of two trace files")
+    compare.add_argument("trace_a")
+    compare.add_argument("trace_b")
+    compare.add_argument("--format", choices=sorted(_FORMAT_READERS))
+    compare.add_argument("--mount")
+    compare.add_argument("--syscall", default="open")
+    compare.add_argument("--arg", default="flags")
+    compare.set_defaults(handler=cmd_compare)
+
+    suites = sub.add_parser("suites", help="run the simulated testers")
+    suites.add_argument(
+        "--suite", choices=("crashmonkey", "xfstests", "both"), default="both"
+    )
+    suites.add_argument("--scale", type=float, default=None)
+    suites.set_defaults(handler=cmd_suites)
+
+    bugstudy = sub.add_parser("bugstudy", help="the Section 2 table")
+    bugstudy.set_defaults(handler=cmd_bugstudy)
+
+    difftest = sub.add_parser("difftest", help="coverage-guided differential run")
+    difftest.add_argument("--rounds", type=int, default=8)
+    difftest.add_argument("--ops", type=int, default=80)
+    difftest.set_defaults(handler=cmd_difftest)
+
+    replay = sub.add_parser("replay", help="replay a trace against a fresh VFS")
+    replay.add_argument("trace")
+    replay.add_argument("--format", choices=sorted(_FORMAT_READERS))
+    replay.add_argument(
+        "--blocks", type=int, default=262144, help="target device size in 4K blocks"
+    )
+    replay.set_defaults(handler=cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""IOCov core: the paper's contribution.
+
+Public surface:
+
+* :class:`IOCov` — the analyzer (filter → variant merge → partitioning).
+* :class:`TraceFilter` — mount-point scoping.
+* :class:`VariantHandler` — syscall-variant merging.
+* Partitioners for the four argument classes and output spaces.
+* :func:`tcd` and friends — the Test Coverage Deviation metric.
+* :class:`CoverageReport` / :class:`SuiteComparison` — results.
+"""
+
+from repro.core.analyzer import IOCov, analyze_events
+from repro.core.combinations import CombinationCoverage, pairwise_coverage_from
+from repro.core.argspec import (
+    ArgClass,
+    ArgSpec,
+    BASE_SYSCALLS,
+    OutputKind,
+    SyscallSpec,
+    TRACKED_ARG_COUNT,
+    TRACKED_SYSCALLS,
+    VARIANT_TO_BASE,
+    base_name,
+    spec_for,
+)
+from repro.core.filter import AcceptAllFilter, TraceFilter
+from repro.core.input_coverage import ArgCoverage, InputCoverage
+from repro.core.output_coverage import OutputCoverage, SyscallOutputCoverage
+from repro.core.partition import (
+    BitmapPartitioner,
+    CategoricalPartitioner,
+    IdentifierPartitioner,
+    NumericPartitioner,
+    OutputPartitioner,
+    OK_KEY,
+    ZERO_KEY,
+    make_input_partitioner,
+)
+from repro.core.report import CoverageReport, SuiteComparison
+from repro.core.suggestions import Suggestion, render_suggestions, suggest_tests
+from repro.core.tcd import (
+    PartitionAssessment,
+    assess_partitions,
+    find_crossover,
+    tcd,
+    tcd_curve,
+    tcd_uniform,
+    uniform_target,
+    weighted_target,
+)
+from repro.core.variants import VariantHandler
+
+__all__ = [
+    "ArgClass",
+    "ArgCoverage",
+    "ArgSpec",
+    "AcceptAllFilter",
+    "BASE_SYSCALLS",
+    "BitmapPartitioner",
+    "CategoricalPartitioner",
+    "CombinationCoverage",
+    "CoverageReport",
+    "IOCov",
+    "IdentifierPartitioner",
+    "InputCoverage",
+    "NumericPartitioner",
+    "OK_KEY",
+    "OutputCoverage",
+    "OutputKind",
+    "OutputPartitioner",
+    "PartitionAssessment",
+    "SuiteComparison",
+    "SyscallOutputCoverage",
+    "SyscallSpec",
+    "TRACKED_ARG_COUNT",
+    "TRACKED_SYSCALLS",
+    "TraceFilter",
+    "VARIANT_TO_BASE",
+    "VariantHandler",
+    "ZERO_KEY",
+    "analyze_events",
+    "assess_partitions",
+    "base_name",
+    "find_crossover",
+    "make_input_partitioner",
+    "Suggestion",
+    "pairwise_coverage_from",
+    "render_suggestions",
+    "spec_for",
+    "suggest_tests",
+    "tcd",
+    "tcd_curve",
+    "tcd_uniform",
+    "uniform_target",
+    "weighted_target",
+]

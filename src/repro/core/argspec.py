@@ -1,0 +1,277 @@
+"""The IOCov syscall registry: which syscalls and arguments are tracked.
+
+The paper selects 27 file-system syscalls (11 base calls plus their
+variants), classifies each tracked argument into one of four classes —
+**identifier**, **bitmap**, **numeric**, **categorical** — and tracks
+input coverage for 14 distinct arguments plus output coverage for all
+27 syscalls.  This module is the declarative heart of that selection:
+everything else (partitioners, variant merging, coverage counting) is
+driven by the :data:`REGISTRY` built here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.vfs import constants
+from repro.vfs.errors import ERRNO_BY_NAME
+
+
+class ArgClass(enum.Enum):
+    """The four argument classes of Section 3."""
+
+    IDENTIFIER = "identifier"
+    BITMAP = "bitmap"
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+class OutputKind(enum.Enum):
+    """How a syscall's successful return value is partitioned."""
+
+    #: Success is one partition (e.g. open returns an fd: "OK (>= 0)").
+    FLAG = "flag"
+    #: Success returns a byte count, partitioned by powers of two
+    #: (read, write, getxattr, lseek offsets).
+    SIZE = "size"
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One tracked input argument.
+
+    Attributes:
+        name: argument name as it appears in trace events.
+        arg_class: which of the four classes it belongs to.
+        bitmap: for BITMAP args, the flag-name -> bit-value decode table.
+        categories: for CATEGORICAL args, the value-name -> value table.
+        zero_name: for BITMAP args whose "zero" value is meaningful
+            (O_RDONLY == 0): the flag name credited when no access-mode
+            bit is set.
+        access_mask: for BITMAP args with an enumerated (non-bit) field:
+            the mask of that field (O_ACCMODE for open flags).
+        access_names: value-within-mask -> flag name for the enumerated
+            field.
+    """
+
+    name: str
+    arg_class: ArgClass
+    bitmap: dict[str, int] | None = None
+    categories: dict[str, int] | None = None
+    zero_name: str | None = None
+    access_mask: int = 0
+    access_names: dict[int, str] | None = None
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """One *base* syscall: tracked args and output space.
+
+    Attributes:
+        name: base syscall name (variants are merged into this).
+        tracked_args: the input arguments IOCov partitions.
+        output_kind: how successes partition (single OK vs size buckets).
+        errnos: the errno names this call can return per its manpage —
+            the domain of its output space (Figure 4's x-axis).
+    """
+
+    name: str
+    tracked_args: tuple[ArgSpec, ...]
+    output_kind: OutputKind
+    errnos: tuple[str, ...]
+
+
+def _spec(name: str, args: tuple[ArgSpec, ...], kind: OutputKind, errnos: tuple[str, ...]) -> SyscallSpec:
+    unknown = [e for e in errnos if e not in ERRNO_BY_NAME]
+    if unknown:
+        raise ValueError(f"unknown errnos for {name}: {unknown}")
+    return SyscallSpec(name=name, tracked_args=args, output_kind=kind, errnos=errnos)
+
+
+# ---------------------------------------------------------------------------
+# Tracked argument definitions (the paper's 14 distinct arguments)
+# ---------------------------------------------------------------------------
+
+OPEN_FLAGS_ARG = ArgSpec(
+    name="flags",
+    arg_class=ArgClass.BITMAP,
+    bitmap=dict(constants.OPEN_MODIFIER_FLAGS),
+    zero_name="O_RDONLY",
+    access_mask=constants.O_ACCMODE,
+    access_names={
+        constants.O_RDONLY: "O_RDONLY",
+        constants.O_WRONLY: "O_WRONLY",
+        constants.O_RDWR: "O_RDWR",
+    },
+)
+
+OPEN_MODE_ARG = ArgSpec(
+    name="mode",
+    arg_class=ArgClass.BITMAP,
+    bitmap=dict(constants.MODE_BIT_NAMES),
+    zero_name="0",
+)
+
+CHMOD_MODE_ARG = ArgSpec(
+    name="mode",
+    arg_class=ArgClass.BITMAP,
+    bitmap=dict(constants.MODE_BIT_NAMES),
+    zero_name="0",
+)
+
+MKDIR_MODE_ARG = ArgSpec(
+    name="mode",
+    arg_class=ArgClass.BITMAP,
+    bitmap=dict(constants.MODE_BIT_NAMES),
+    zero_name="0",
+)
+
+READ_COUNT_ARG = ArgSpec(name="count", arg_class=ArgClass.NUMERIC)
+WRITE_COUNT_ARG = ArgSpec(name="count", arg_class=ArgClass.NUMERIC)
+LSEEK_OFFSET_ARG = ArgSpec(name="offset", arg_class=ArgClass.NUMERIC)
+LSEEK_WHENCE_ARG = ArgSpec(
+    name="whence",
+    arg_class=ArgClass.CATEGORICAL,
+    categories=dict(constants.SEEK_WHENCE_NAMES),
+)
+TRUNCATE_LENGTH_ARG = ArgSpec(name="length", arg_class=ArgClass.NUMERIC)
+CLOSE_FD_ARG = ArgSpec(name="fd", arg_class=ArgClass.IDENTIFIER)
+CHDIR_PATH_ARG = ArgSpec(name="filename", arg_class=ArgClass.IDENTIFIER)
+XATTR_SIZE_ARG = ArgSpec(name="size", arg_class=ArgClass.NUMERIC)
+XATTR_FLAGS_ARG = ArgSpec(
+    name="flags",
+    arg_class=ArgClass.CATEGORICAL,
+    categories={
+        "0": 0,
+        "XATTR_CREATE": constants.XATTR_CREATE,
+        "XATTR_REPLACE": constants.XATTR_REPLACE,
+    },
+)
+GETXATTR_SIZE_ARG = ArgSpec(name="size", arg_class=ArgClass.NUMERIC)
+
+# ---------------------------------------------------------------------------
+# Per-syscall manpage errno lists (output-space domains)
+# ---------------------------------------------------------------------------
+
+#: open(2) manpage errors — exactly the Figure 4 x-axis.
+OPEN_ERRNOS = (
+    "EXDEV", "ETXTBSY", "EROFS", "EPERM", "EOVERFLOW", "ENXIO", "ENOTDIR",
+    "ENOSPC", "ENOMEM", "ENOENT", "ENODEV", "ENFILE", "ENAMETOOLONG",
+    "EMFILE", "ELOOP", "EISDIR", "EINVAL", "EINTR", "EFBIG", "EFAULT",
+    "EEXIST", "EDQUOT", "EBUSY", "EBADF", "EAGAIN", "EACCES", "E2BIG",
+)
+
+READ_ERRNOS = ("EAGAIN", "EBADF", "EFAULT", "EINTR", "EINVAL", "EIO", "EISDIR")
+WRITE_ERRNOS = (
+    "EAGAIN", "EBADF", "EDQUOT", "EFAULT", "EFBIG", "EINTR", "EINVAL",
+    "EIO", "ENOSPC", "EPERM", "EPIPE",
+)
+LSEEK_ERRNOS = ("EBADF", "EINVAL", "ENXIO", "EOVERFLOW", "ESPIPE")
+TRUNCATE_ERRNOS = (
+    "EACCES", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO", "EISDIR",
+    "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR", "EPERM", "EROFS",
+    "ETXTBSY", "EBADF", "EDQUOT", "ENOSPC",
+)
+MKDIR_ERRNOS = (
+    "EACCES", "EDQUOT", "EEXIST", "EFAULT", "EINVAL", "ELOOP", "EMLINK",
+    "ENAMETOOLONG", "ENOENT", "ENOMEM", "ENOSPC", "ENOTDIR", "EPERM",
+    "EROFS", "EBADF",
+)
+CHMOD_ERRNOS = (
+    "EACCES", "EFAULT", "EIO", "ELOOP", "ENAMETOOLONG", "ENOENT",
+    "ENOMEM", "ENOTDIR", "EPERM", "EROFS", "EBADF", "EINVAL",
+    "EOPNOTSUPP",
+)
+CLOSE_ERRNOS = ("EBADF", "EINTR", "EIO", "ENOSPC", "EDQUOT")
+CHDIR_ERRNOS = (
+    "EACCES", "EFAULT", "EIO", "ELOOP", "ENAMETOOLONG", "ENOENT",
+    "ENOMEM", "ENOTDIR", "EBADF",
+)
+SETXATTR_ERRNOS = (
+    "EDQUOT", "EEXIST", "ENODATA", "ENOSPC", "ENOTSUP", "EPERM", "ERANGE",
+    "EACCES", "EFAULT", "EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT",
+    "ENOTDIR", "E2BIG", "EROFS", "EBADF",
+)
+GETXATTR_ERRNOS = (
+    "E2BIG", "ENODATA", "ENOTSUP", "ERANGE", "EACCES", "EFAULT", "EINVAL",
+    "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR", "EBADF",
+)
+
+# "EOPNOTSUPP" aliases ENOTSUP on Linux; normalize to Python's
+# canonical spelling (errno.errorcode[95] == "ENOTSUP") so the domain
+# keys match what :func:`repro.vfs.errors.errno_name` emits at
+# classification time.
+CHMOD_ERRNOS = tuple(
+    "ENOTSUP" if name == "EOPNOTSUPP" else name for name in CHMOD_ERRNOS
+)
+SETXATTR_ERRNOS = tuple(
+    "ENOTSUP" if name == "EOPNOTSUPP" else name for name in SETXATTR_ERRNOS
+)
+GETXATTR_ERRNOS = tuple(
+    "ENOTSUP" if name == "EOPNOTSUPP" else name for name in GETXATTR_ERRNOS
+)
+
+# ---------------------------------------------------------------------------
+# The 11 base syscall specs
+# ---------------------------------------------------------------------------
+
+BASE_SYSCALLS: dict[str, SyscallSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("open", (OPEN_FLAGS_ARG, OPEN_MODE_ARG), OutputKind.FLAG, OPEN_ERRNOS),
+        _spec("read", (READ_COUNT_ARG,), OutputKind.SIZE, READ_ERRNOS),
+        _spec("write", (WRITE_COUNT_ARG,), OutputKind.SIZE, WRITE_ERRNOS),
+        _spec("lseek", (LSEEK_OFFSET_ARG, LSEEK_WHENCE_ARG), OutputKind.SIZE, LSEEK_ERRNOS),
+        _spec("truncate", (TRUNCATE_LENGTH_ARG,), OutputKind.FLAG, TRUNCATE_ERRNOS),
+        _spec("mkdir", (MKDIR_MODE_ARG,), OutputKind.FLAG, MKDIR_ERRNOS),
+        _spec("chmod", (CHMOD_MODE_ARG,), OutputKind.FLAG, CHMOD_ERRNOS),
+        _spec("close", (CLOSE_FD_ARG,), OutputKind.FLAG, CLOSE_ERRNOS),
+        _spec("chdir", (CHDIR_PATH_ARG,), OutputKind.FLAG, CHDIR_ERRNOS),
+        _spec("setxattr", (XATTR_SIZE_ARG, XATTR_FLAGS_ARG), OutputKind.FLAG, SETXATTR_ERRNOS),
+        _spec("getxattr", (GETXATTR_SIZE_ARG,), OutputKind.SIZE, GETXATTR_ERRNOS),
+    )
+}
+
+#: Variant name -> base name.  Together with the 11 base calls these are
+#: the paper's 27 traced syscalls.
+VARIANT_TO_BASE: dict[str, str] = {
+    "openat": "open",
+    "creat": "open",
+    "openat2": "open",
+    "pread64": "read",
+    "readv": "read",
+    "pwrite64": "write",
+    "writev": "write",
+    "ftruncate": "truncate",
+    "mkdirat": "mkdir",
+    "fchmod": "chmod",
+    "fchmodat": "chmod",
+    "fchdir": "chdir",
+    "lsetxattr": "setxattr",
+    "fsetxattr": "setxattr",
+    "lgetxattr": "getxattr",
+    "fgetxattr": "getxattr",
+}
+
+#: All 27 traced syscall names (11 base + 16 variants).
+TRACKED_SYSCALLS: frozenset[str] = frozenset(BASE_SYSCALLS) | frozenset(VARIANT_TO_BASE)
+
+#: Number of distinct tracked input arguments, summed over base calls.
+TRACKED_ARG_COUNT: int = sum(len(spec.tracked_args) for spec in BASE_SYSCALLS.values())
+
+assert len(TRACKED_SYSCALLS) == 27, len(TRACKED_SYSCALLS)
+assert TRACKED_ARG_COUNT == 14, TRACKED_ARG_COUNT
+
+
+def base_name(syscall: str) -> str | None:
+    """Map a traced syscall name to its base, or None if untracked."""
+    if syscall in BASE_SYSCALLS:
+        return syscall
+    return VARIANT_TO_BASE.get(syscall)
+
+
+def spec_for(syscall: str) -> SyscallSpec | None:
+    """Return the base spec for a (possibly variant) syscall name."""
+    base = base_name(syscall)
+    return BASE_SYSCALLS.get(base) if base else None

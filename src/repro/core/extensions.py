@@ -1,0 +1,88 @@
+"""Extended syscall registry: fd and path argument tracking.
+
+The paper's future work includes "support[ing] file descriptors and
+pointer arguments" as tracked inputs.  The base registry follows the
+prototype exactly (14 arguments); this module builds an *extended*
+registry that additionally tracks, for every syscall that has them:
+
+* the ``fd`` argument (identifier class: std-fd / small / large /
+  negative / AT_FDCWD partitions);
+* the path argument (identifier class: absolute vs relative, depth,
+  NAME_MAX / PATH_MAX boundary partitions).
+
+Pass the result to the analyzer::
+
+    from repro.core.extensions import extended_registry
+    iocov = IOCov(mount_point="/mnt/test", registry=extended_registry())
+
+Everything downstream (untested-partition reports, TCD, comparison)
+works unchanged, because the registry is the single source of truth.
+"""
+
+from __future__ import annotations
+
+from repro.core.argspec import (
+    ArgClass,
+    ArgSpec,
+    BASE_SYSCALLS,
+    SyscallSpec,
+)
+
+#: fd-argument spec shared by all fd-taking calls.
+FD_ARG = ArgSpec(name="fd", arg_class=ArgClass.IDENTIFIER)
+
+#: path-argument specs, one per naming convention in trace events.
+PATHNAME_ARG = ArgSpec(name="pathname", arg_class=ArgClass.IDENTIFIER)
+PATH_ARG = ArgSpec(name="path", arg_class=ArgClass.IDENTIFIER)
+FILENAME_ARG = ArgSpec(name="filename", arg_class=ArgClass.IDENTIFIER)
+
+#: base syscall -> extra argument specs the extended registry adds.
+_EXTRA_ARGS: dict[str, tuple[ArgSpec, ...]] = {
+    "open": (PATHNAME_ARG,),
+    "read": (FD_ARG,),
+    "write": (FD_ARG,),
+    "lseek": (FD_ARG,),
+    "truncate": (PATH_ARG,),
+    "mkdir": (PATHNAME_ARG,),
+    "chmod": (PATHNAME_ARG,),
+    # close.fd and chdir.filename are already tracked in the base set.
+    "setxattr": (PATHNAME_ARG,),
+    "getxattr": (PATHNAME_ARG,),
+}
+
+
+def extended_registry(
+    base: dict[str, SyscallSpec] | None = None,
+) -> dict[str, SyscallSpec]:
+    """The base registry plus fd/path identifier arguments.
+
+    Args:
+        base: registry to extend (defaults to the paper's 27-call set).
+
+    Returns:
+        a new registry; the input is not mutated.
+    """
+    source = base if base is not None else BASE_SYSCALLS
+    extended: dict[str, SyscallSpec] = {}
+    for name, spec in source.items():
+        extras = tuple(
+            extra
+            for extra in _EXTRA_ARGS.get(name, ())
+            if all(extra.name != existing.name for existing in spec.tracked_args)
+        )
+        if extras:
+            extended[name] = SyscallSpec(
+                name=spec.name,
+                tracked_args=spec.tracked_args + extras,
+                output_kind=spec.output_kind,
+                errnos=spec.errnos,
+            )
+        else:
+            extended[name] = spec
+    return extended
+
+
+def extended_arg_count(registry: dict[str, SyscallSpec] | None = None) -> int:
+    """Total tracked arguments in the (extended) registry."""
+    registry = registry or extended_registry()
+    return sum(len(spec.tracked_args) for spec in registry.values())

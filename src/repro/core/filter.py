@@ -1,0 +1,156 @@
+"""Trace filtering: scoping analysis to the tester's mount point.
+
+LTTng records *every* syscall the traced processes issue; a file-system
+tester also touches its own binaries, logs, /proc, and temp files.  The
+paper's IOCov uses a set of regular expressions (based on the tester's
+mount-point pathname, e.g. ``/mnt/test`` for xfstests) to drop those
+irrelevant records before analysis, and notes this regex is the only
+per-tester setting.
+
+Path-carrying syscalls are matched directly.  Fd-carrying syscalls
+(read, write, close, …) have no path in their record, so the filter
+tracks the fd table: an ``open``-family success whose path matched
+registers its returned fd; subsequent fd-based events pass the filter
+while that fd is live; ``close`` retires it.  This mirrors how any real
+trace consumer must resolve fds to decide relevance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Pattern
+
+from repro.trace.events import SyscallEvent
+
+#: Events that install an fd on success, keyed by the arg holding the path.
+_OPEN_LIKE = {"open": "pathname", "openat": "pathname", "openat2": "pathname", "creat": "pathname"}
+
+#: Events that carry an fd and inherit relevance from the fd's origin.
+_FD_ARGS = ("fd", "dfd")
+
+#: Events with neither path nor fd (sync covers the whole system).
+_GLOBAL_EVENTS = frozenset({"sync"})
+
+
+class TraceFilter:
+    """Keeps events that touch the tester's mount point.
+
+    Args:
+        include: regex (string or compiled) a path must match to be in
+            scope — typically ``r"^/mnt/test(/|$)"``.
+        exclude: optional regex that overrides include (e.g. the
+            tester's own scratch logs below the mount point).
+        keep_global: whether path-less, fd-less events (sync) pass.
+        keep_failed_opens: a failed open *with a matching path* is still
+            a relevant input/output record; default True.
+    """
+
+    def __init__(
+        self,
+        include: str | Pattern[str],
+        exclude: str | Pattern[str] | None = None,
+        *,
+        keep_global: bool = True,
+        keep_failed_opens: bool = True,
+    ) -> None:
+        self.include = re.compile(include) if isinstance(include, str) else include
+        self.exclude = re.compile(exclude) if isinstance(exclude, str) else exclude
+        self.keep_global = keep_global
+        self.keep_failed_opens = keep_failed_opens
+        self._live_fds: dict[int, set[int]] = {}
+        self.dropped = 0
+
+    @classmethod
+    def for_mount_point(cls, mount_point: str, **kwargs) -> "TraceFilter":
+        """Build the standard filter for a tester's mount point."""
+        escaped = re.escape(mount_point.rstrip("/"))
+        return cls(include=rf"^{escaped}(/|$)", **kwargs)
+
+    # -- path matching -----------------------------------------------------
+
+    def path_in_scope(self, path: str) -> bool:
+        if self.exclude is not None and self.exclude.search(path):
+            return False
+        return bool(self.include.search(path))
+
+    # -- event filtering ----------------------------------------------------
+
+    def _fds_for(self, pid: int) -> set[int]:
+        return self._live_fds.setdefault(pid, set())
+
+    def admit(self, event: SyscallEvent) -> bool:
+        """Decide one event, updating fd-tracking state."""
+        fds = self._fds_for(event.pid)
+
+        if event.name in _OPEN_LIKE:
+            path = event.arg(_OPEN_LIKE[event.name])
+            if path is None and not event.ok:
+                # NULL-pointer path (EFAULT): the record carries no path
+                # to scope by, so it cannot be attributed away from the
+                # tester; keep it like any other failed open.
+                return self.keep_failed_opens
+            relevant = isinstance(path, str) and self.path_in_scope(path)
+            if relevant and event.ok:
+                fds.add(event.retval)
+            if relevant and not event.ok:
+                return self.keep_failed_opens
+            return relevant
+
+        if event.name == "close":
+            fd = event.arg("fd")
+            if isinstance(fd, int) and fd in fds:
+                fds.discard(fd)
+                return True
+            return False
+
+        if event.name in ("dup", "dup2"):
+            # A duplicate of a tracked fd is itself tracked.
+            source = event.arg("fildes" if event.name == "dup" else "oldfd")
+            if isinstance(source, int) and source in fds:
+                if event.ok:
+                    fds.add(event.retval)
+                return True
+            return False
+
+        # chdir-style: path argument under other names.
+        for key in ("pathname", "path", "filename", "oldpath", "linkpath"):
+            value = event.arg(key)
+            if isinstance(value, str):
+                return self.path_in_scope(value)
+
+        for key in _FD_ARGS:
+            fd = event.arg(key)
+            if isinstance(fd, int):
+                return fd in fds
+
+        if event.name in _GLOBAL_EVENTS:
+            return self.keep_global
+        return False
+
+    def filter(self, events: Iterable[SyscallEvent]) -> Iterator[SyscallEvent]:
+        """Yield in-scope events; resets fd state first."""
+        self.reset()
+        for event in events:
+            if self.admit(event):
+                yield event
+            else:
+                self.dropped += 1
+
+    def reset(self) -> None:
+        self._live_fds.clear()
+        self.dropped = 0
+
+
+class AcceptAllFilter:
+    """No-op filter for traces already scoped at capture time."""
+
+    dropped = 0
+
+    def filter(self, events: Iterable[SyscallEvent]) -> Iterator[SyscallEvent]:
+        return iter(events)
+
+    def admit(self, event: SyscallEvent) -> bool:
+        return True
+
+    def reset(self) -> None:
+        return None

@@ -1,0 +1,158 @@
+"""Input-coverage accounting: partition counts per tracked argument.
+
+Input coverage is defined as how much a tester exercises an argument's
+input partitions.  For each of the 14 tracked arguments this module
+counts how many traced calls fell into each partition, exposes the
+untested partitions, and — for bitmap arguments — keeps the full
+multiset of flag *combinations* so Table 1's combination-size analysis
+(and the future-work bit-combination metric) can be computed exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.argspec import ArgClass, ArgSpec, BASE_SYSCALLS, SyscallSpec
+from repro.core.partition import BitmapPartitioner, make_input_partitioner
+
+
+@dataclass
+class ArgCoverage:
+    """Coverage state for one (base syscall, argument) pair."""
+
+    syscall: str
+    spec: ArgSpec
+    partitioner: Any
+    counts: Counter = field(default_factory=Counter)
+    #: full decoded flag combinations (bitmap args only)
+    combinations: Counter = field(default_factory=Counter)
+    #: values that failed to classify (wrong type in a malformed trace)
+    unclassified: int = 0
+
+    def record(self, value: Any) -> None:
+        """Credit *value*'s partitions with one occurrence."""
+        keys = self.partitioner.classify(value)
+        if not keys:
+            self.unclassified += 1
+            return
+        for key in keys:
+            self.counts[key] += 1
+        if isinstance(self.partitioner, BitmapPartitioner):
+            self.combinations[frozenset(keys)] += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def domain(self) -> list[str]:
+        return self.partitioner.domain()
+
+    def frequencies(self) -> dict[str, int]:
+        """Count per domain partition (0 for untested), domain order."""
+        return {key: self.counts.get(key, 0) for key in self.domain()}
+
+    def tested_partitions(self) -> list[str]:
+        return [key for key, count in self.frequencies().items() if count > 0]
+
+    def untested_partitions(self) -> list[str]:
+        return [key for key, count in self.frequencies().items() if count == 0]
+
+    def coverage_ratio(self) -> float:
+        """Fraction of domain partitions exercised at least once."""
+        domain = self.domain()
+        if not domain:
+            return 1.0
+        return len(self.tested_partitions()) / len(domain)
+
+    @property
+    def total_observations(self) -> int:
+        return sum(self.counts.values())
+
+    # -- bitmap combination analysis (Table 1) --------------------------------
+
+    def combination_size_histogram(
+        self, required_flag: str | None = None
+    ) -> Counter:
+        """How many calls used 1, 2, 3… flags together.
+
+        Args:
+            required_flag: restrict to combinations including this flag
+                (Table 1's "O_RDONLY" rows).
+        """
+        histogram: Counter = Counter()
+        for combo, count in self.combinations.items():
+            if required_flag is not None and required_flag not in combo:
+                continue
+            histogram[len(combo)] += count
+        return histogram
+
+    def combination_size_percentages(
+        self, required_flag: str | None = None
+    ) -> dict[int, float]:
+        """Table 1's row: % of calls per combination size."""
+        histogram = self.combination_size_histogram(required_flag)
+        total = sum(histogram.values())
+        if total == 0:
+            return {}
+        return {size: 100.0 * count / total for size, count in sorted(histogram.items())}
+
+    def top_combinations(self, n: int = 10) -> list[tuple[tuple[str, ...], int]]:
+        """The most common exact flag combinations."""
+        ranked = self.combinations.most_common(n)
+        return [(tuple(sorted(combo)), count) for combo, count in ranked]
+
+
+class InputCoverage:
+    """Input-coverage state across all tracked syscalls.
+
+    Instantiates one :class:`ArgCoverage` per (base syscall, tracked
+    argument) — 14 in total — and routes normalized events to them.
+    """
+
+    def __init__(self, registry: Mapping[str, SyscallSpec] | None = None) -> None:
+        self.registry = dict(registry) if registry is not None else dict(BASE_SYSCALLS)
+        self._args: dict[tuple[str, str], ArgCoverage] = {}
+        for name, spec in self.registry.items():
+            for arg_spec in spec.tracked_args:
+                self._args[(name, arg_spec.name)] = ArgCoverage(
+                    syscall=name,
+                    spec=arg_spec,
+                    partitioner=make_input_partitioner(arg_spec),
+                )
+
+    def record(self, base: str, args: Mapping[str, Any]) -> None:
+        """Credit all tracked arguments present in one normalized event."""
+        spec = self.registry.get(base)
+        if spec is None:
+            return
+        for arg_spec in spec.tracked_args:
+            if arg_spec.name in args:
+                self._args[(base, arg_spec.name)].record(args[arg_spec.name])
+
+    # -- queries ------------------------------------------------------------
+
+    def arg(self, syscall: str, arg_name: str) -> ArgCoverage:
+        """Coverage for one tracked argument.
+
+        Raises:
+            KeyError: the pair is not tracked.
+        """
+        return self._args[(syscall, arg_name)]
+
+    def tracked_pairs(self) -> list[tuple[str, str]]:
+        return sorted(self._args)
+
+    def all_untested(self) -> dict[tuple[str, str], list[str]]:
+        """Untested input partitions for every tracked argument."""
+        return {
+            pair: coverage.untested_partitions()
+            for pair, coverage in sorted(self._args.items())
+            if coverage.untested_partitions()
+        }
+
+    def summary(self) -> dict[tuple[str, str], float]:
+        """Coverage ratio per tracked argument."""
+        return {
+            pair: coverage.coverage_ratio()
+            for pair, coverage in sorted(self._args.items())
+        }

@@ -1,0 +1,253 @@
+"""Coverage reports: rendering, serialization, and suite comparison.
+
+The evaluation artifacts the paper derives from coverage state all live
+here:
+
+* per-partition frequency tables (Figures 2–4);
+* untested-partition inventories ("many possible error codes remain
+  untested");
+* suite-vs-suite comparison (xfstests vs CrashMonkey: who covers each
+  partition more, who uniquely covers what);
+* under-/over-testing assessment against a target array (Section 4's
+  "Application: syscall test adequacy").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.input_coverage import InputCoverage
+from repro.core.output_coverage import OutputCoverage
+from repro.core.tcd import (
+    PartitionAssessment,
+    assess_partitions,
+    tcd_uniform,
+    uniform_target,
+)
+
+
+@dataclass
+class CoverageReport:
+    """Frozen result of one IOCov analysis run."""
+
+    suite_name: str
+    input_coverage: InputCoverage
+    output_coverage: OutputCoverage
+    events_processed: int = 0
+    events_admitted: int = 0
+    untracked: dict[str, int] = field(default_factory=dict)
+
+    # -- structured access -----------------------------------------------------
+
+    def input_frequencies(self, syscall: str, arg: str) -> dict[str, int]:
+        return self.input_coverage.arg(syscall, arg).frequencies()
+
+    def output_frequencies(self, syscall: str) -> dict[str, int]:
+        return self.output_coverage.syscall(syscall).frequencies()
+
+    def untested_inputs(self) -> dict[tuple[str, str], list[str]]:
+        return self.input_coverage.all_untested()
+
+    def untested_outputs(self) -> dict[str, list[str]]:
+        return self.output_coverage.all_untested_errnos()
+
+    # -- TCD ------------------------------------------------------------
+
+    def input_tcd(self, syscall: str, arg: str, target_value: float) -> float:
+        """TCD of one input argument against a uniform target."""
+        frequencies = list(self.input_frequencies(syscall, arg).values())
+        return tcd_uniform(frequencies, target_value)
+
+    def output_tcd(self, syscall: str, target_value: float) -> float:
+        """TCD of one syscall's output space against a uniform target."""
+        frequencies = list(self.output_frequencies(syscall).values())
+        return tcd_uniform(frequencies, target_value)
+
+    def assess_input(
+        self, syscall: str, arg: str, target_value: float, tolerance: float = 1.0
+    ) -> list[PartitionAssessment]:
+        """Under/over/on-target verdict per input partition."""
+        coverage = self.input_coverage.arg(syscall, arg)
+        frequencies = coverage.frequencies()
+        keys = list(frequencies)
+        values = [frequencies[key] for key in keys]
+        return assess_partitions(
+            keys, values, uniform_target(len(keys), target_value), tolerance
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready structure with all frequency tables."""
+        inputs: dict[str, dict[str, dict[str, int]]] = {}
+        for syscall, arg in self.input_coverage.tracked_pairs():
+            inputs.setdefault(syscall, {})[arg] = self.input_frequencies(syscall, arg)
+        outputs = {
+            syscall: self.output_frequencies(syscall)
+            for syscall in self.output_coverage.tracked_syscalls()
+        }
+        return {
+            "suite": self.suite_name,
+            "events_processed": self.events_processed,
+            "events_admitted": self.events_admitted,
+            "untracked_syscalls": dict(sorted(self.untracked.items())),
+            "input_coverage": inputs,
+            "output_coverage": outputs,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # -- text rendering ------------------------------------------------------
+
+    def render_text(self, max_rows: int = 12) -> str:
+        """Human-readable summary of the whole report."""
+        lines = [
+            f"IOCov report for suite: {self.suite_name}",
+            f"  events processed: {self.events_processed:,}"
+            f" (in scope: {self.events_admitted:,})",
+        ]
+        untested_in = self.untested_inputs()
+        untested_out = self.untested_outputs()
+        lines.append(f"  tracked args with untested partitions: {len(untested_in)}")
+        lines.append(f"  syscalls with untested errnos: {len(untested_out)}")
+        lines.append("")
+        for (syscall, arg), missing in list(untested_in.items())[:max_rows]:
+            shown = ", ".join(missing[:8]) + ("…" if len(missing) > 8 else "")
+            lines.append(f"  input  {syscall}.{arg}: untested = {shown}")
+        for syscall, missing in list(untested_out.items())[:max_rows]:
+            shown = ", ".join(missing[:8]) + ("…" if len(missing) > 8 else "")
+            lines.append(f"  output {syscall}: untested errnos = {shown}")
+        return "\n".join(lines)
+
+    def render_chart(
+        self,
+        kind: str,
+        syscall: str,
+        arg: str | None = None,
+        width: int = 50,
+        nonzero_only: bool = False,
+    ) -> str:
+        """ASCII log-scale bar chart of one figure's series.
+
+        Renders the same view the paper's log-frequency figures use:
+        bar length proportional to log10 of the count, zeros shown as
+        explicit gaps — which makes untested partitions visually loud.
+        """
+        import math
+
+        if kind == "input":
+            if arg is None:
+                raise ValueError("input charts need an arg name")
+            frequencies = self.input_frequencies(syscall, arg)
+            title = f"{syscall}.{arg} input coverage ({self.suite_name}, log scale)"
+        elif kind == "output":
+            frequencies = self.output_frequencies(syscall)
+            title = f"{syscall} output coverage ({self.suite_name}, log scale)"
+        else:
+            raise ValueError(f"unknown chart kind {kind!r}")
+        rows = [
+            (key, count)
+            for key, count in frequencies.items()
+            if count or not nonzero_only
+        ]
+        if not rows:
+            return title + "\n(no data)"
+        peak = max((count for _, count in rows), default=1)
+        scale = width / max(math.log10(peak + 1), 1e-9)
+        label_width = max(len(key) for key, _ in rows)
+        lines = [title, "-" * len(title)]
+        for key, count in rows:
+            bar = "#" * int(math.log10(count + 1) * scale) if count else ""
+            marker = bar if count else "· untested"
+            lines.append(f"{key:<{label_width}} |{marker}  {count:,}" if count else f"{key:<{label_width}} |{marker}")
+        return "\n".join(lines)
+
+    def render_frequency_table(
+        self, kind: str, syscall: str, arg: str | None = None, nonzero_only: bool = False
+    ) -> str:
+        """One figure's worth of data as an aligned text table."""
+        if kind == "input":
+            if arg is None:
+                raise ValueError("input tables need an arg name")
+            frequencies = self.input_frequencies(syscall, arg)
+            title = f"input coverage: {syscall}.{arg} ({self.suite_name})"
+        elif kind == "output":
+            frequencies = self.output_frequencies(syscall)
+            title = f"output coverage: {syscall} ({self.suite_name})"
+        else:
+            raise ValueError(f"unknown table kind {kind!r}")
+        rows = [
+            (key, count)
+            for key, count in frequencies.items()
+            if count or not nonzero_only
+        ]
+        width = max((len(key) for key, _ in rows), default=8)
+        lines = [title, "-" * len(title)]
+        lines.extend(f"{key:<{width}}  {count:>12,}" for key, count in rows)
+        return "\n".join(lines)
+
+
+@dataclass
+class SuiteComparison:
+    """Figure 2/3/4-style side-by-side view of two suites."""
+
+    report_a: CoverageReport
+    report_b: CoverageReport
+
+    def input_table(self, syscall: str, arg: str) -> dict[str, tuple[int, int]]:
+        """partition -> (count_a, count_b), over the union of keys."""
+        freq_a = self.report_a.input_frequencies(syscall, arg)
+        freq_b = self.report_b.input_frequencies(syscall, arg)
+        keys = list(freq_a)
+        keys.extend(key for key in freq_b if key not in freq_a)
+        return {key: (freq_a.get(key, 0), freq_b.get(key, 0)) for key in keys}
+
+    def output_table(self, syscall: str) -> dict[str, tuple[int, int]]:
+        freq_a = self.report_a.output_frequencies(syscall)
+        freq_b = self.report_b.output_frequencies(syscall)
+        keys = list(freq_a)
+        keys.extend(key for key in freq_b if key not in freq_a)
+        return {key: (freq_a.get(key, 0), freq_b.get(key, 0)) for key in keys}
+
+    def only_covered_by(self, syscall: str, arg: str) -> tuple[list[str], list[str]]:
+        """Partitions covered by exactly one suite: (only_a, only_b)."""
+        table = self.input_table(syscall, arg)
+        only_a = [key for key, (count_a, count_b) in table.items() if count_a and not count_b]
+        only_b = [key for key, (count_a, count_b) in table.items() if count_b and not count_a]
+        return only_a, only_b
+
+    def dominance(self, syscall: str, arg: str) -> dict[str, str]:
+        """Per partition, which suite exercised it more."""
+        verdicts: dict[str, str] = {}
+        for key, (count_a, count_b) in self.input_table(syscall, arg).items():
+            if count_a == count_b:
+                verdicts[key] = "tie"
+            elif count_a > count_b:
+                verdicts[key] = self.report_a.suite_name
+            else:
+                verdicts[key] = self.report_b.suite_name
+        return verdicts
+
+    def render_text(self, syscall: str, arg: str | None = None) -> str:
+        """Aligned two-column table (input if arg given, else output)."""
+        if arg is not None:
+            table = self.input_table(syscall, arg)
+            title = f"{syscall}.{arg}"
+        else:
+            table = self.output_table(syscall)
+            title = f"{syscall} outputs"
+        name_a = self.report_a.suite_name
+        name_b = self.report_b.suite_name
+        width = max((len(key) for key in table), default=8)
+        lines = [
+            f"{title}: {name_a} vs {name_b}",
+            f"{'partition':<{width}}  {name_a:>14}  {name_b:>14}",
+        ]
+        lines.extend(
+            f"{key:<{width}}  {count_a:>14,}  {count_b:>14,}"
+            for key, (count_a, count_b) in table.items()
+        )
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Turning coverage gaps into concrete test suggestions.
+
+The paper's pitch to developers is that IOCov's output is directly
+actionable: "this information can be readily used to improve these
+testing tools."  This module makes that literal — it maps untested
+input/output partitions to short recipes a test-suite author can
+implement, ordered by how likely the gap is to hide bugs (boundary
+partitions first, per the bug study's finding that boundary values and
+corner cases dominate the missed-bug triggers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.vfs import constants
+
+if TYPE_CHECKING:
+    from repro.core.report import CoverageReport
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One proposed test: where the gap is and how to hit it."""
+
+    syscall: str
+    partition: str
+    priority: int  # lower = likelier to hide bugs
+    recipe: str
+
+    def render(self) -> str:
+        return f"[{self.syscall}] {self.partition}: {self.recipe}"
+
+
+#: Boundary partitions get top priority (the 65% statistic's territory).
+_BOUNDARY_PRIORITY = 0
+_ERROR_PRIORITY = 1
+_ORDINARY_PRIORITY = 2
+
+#: Recipes for untested errno partitions that need environment setup.
+_ERRNO_RECIPES: dict[str, str] = {
+    "ENOSPC": "fill (or reserve) the device, then retry the operation",
+    "EDQUOT": "set a block quota below current usage for the test uid",
+    "EROFS": "remount the volume read-only and attempt a write path",
+    "EBUSY": "freeze the volume (or keep the target busy) during the call",
+    "ETXTBSY": "execute a binary from the volume, then open it for write",
+    "EMFILE": "lower RLIMIT_NOFILE to the current fd count first",
+    "ENFILE": "exhaust the system file table (privileged environment)",
+    "ENOMEM": "needs memory pressure; consider fault injection",
+    "EIO": "needs device error injection (dm-error / fault injection)",
+    "EINTR": "deliver a signal during a slow call; hard without injection",
+    "EACCES": "drop privileges and touch a 0700 root-owned path",
+    "ELOOP": "create a symlink cycle and resolve through it",
+    "ENAMETOOLONG": f"use a {constants.NAME_MAX + 1}-byte name component",
+    "EEXIST": "create the target, then O_CREAT|O_EXCL (or mkdir) it again",
+    "ENOENT": "address a missing final component",
+    "ENOTDIR": "route the path through a regular file",
+    "EISDIR": "apply the file-only operation to a directory",
+    "EFAULT": "pass an unmapped buffer/path pointer (harness support)",
+    "EOVERFLOW": "open a >2 GiB file without O_LARGEFILE (32-bit API)",
+    "EFBIG": "write at the file-size limit (ulimit -f or small max size)",
+    "E2BIG": f"pass an xattr value over {constants.XATTR_SIZE_MAX} bytes",
+    "ERANGE": "read an xattr into a buffer smaller than its value",
+    "ENODATA": "get a nonexistent xattr name",
+    "EBADF": "use a closed or never-opened descriptor",
+    "EINVAL": "pass an out-of-domain argument (bad whence, bad flags)",
+    "ENXIO": "SEEK_DATA/SEEK_HOLE at or past EOF",
+    "ESPIPE": "lseek on a pipe (needs pipe support in the tester)",
+}
+
+
+def _numeric_recipe(syscall: str, arg: str, partition: str) -> tuple[int, str] | None:
+    if partition == "equal_to_0":
+        return _BOUNDARY_PRIORITY, f"issue {syscall} with {arg}=0 (POSIX-legal boundary)"
+    if partition == "negative":
+        return _BOUNDARY_PRIORITY, f"issue {syscall} with a negative {arg} (expect EINVAL)"
+    if partition.startswith("2^"):
+        exponent = int(partition[2:])
+        value = 1 << exponent
+        if exponent >= 31:
+            return (
+                _BOUNDARY_PRIORITY,
+                f"issue {syscall} with {arg} around {value:,} "
+                f"(2^{exponent}; large-value boundary territory)",
+            )
+        return (
+            _ORDINARY_PRIORITY,
+            f"issue {syscall} with {arg} in [{value:,}, {2 * value - 1:,}]",
+        )
+    if partition.startswith(">=2^"):
+        return _BOUNDARY_PRIORITY, f"issue {syscall} with an extreme {arg} (≥{partition[2:]})"
+    return None
+
+
+def _flag_recipe(syscall: str, partition: str) -> tuple[int, str] | None:
+    if partition in constants.OPEN_FLAG_NAMES:
+        return (
+            _ORDINARY_PRIORITY,
+            f"add a test opening with {partition} "
+            f"(real bugs have hidden behind rarely-set flags)",
+        )
+    if partition in constants.MODE_BIT_NAMES or partition == "0":
+        return _ORDINARY_PRIORITY, f"exercise mode bit {partition}"
+    return None
+
+
+def suggest_tests(report: "CoverageReport", limit: int = 20) -> list[Suggestion]:
+    """Ranked test suggestions from a report's untested partitions."""
+    suggestions: list[Suggestion] = []
+
+    for (syscall, arg), partitions in report.untested_inputs().items():
+        for partition in partitions:
+            made = _numeric_recipe(syscall, arg, partition)
+            if made is None:
+                made = _flag_recipe(syscall, partition)
+            if made is None and partition in ("SEEK_DATA", "SEEK_HOLE", "invalid"):
+                made = (
+                    _ORDINARY_PRIORITY,
+                    f"call {syscall} with whence={partition}",
+                )
+            if made is None:
+                continue
+            priority, recipe = made
+            suggestions.append(
+                Suggestion(
+                    syscall=syscall, partition=f"{arg}:{partition}",
+                    priority=priority, recipe=recipe,
+                )
+            )
+
+    for syscall, errnos in report.untested_outputs().items():
+        for errno_name in errnos:
+            recipe = _ERRNO_RECIPES.get(errno_name)
+            if recipe is None:
+                continue
+            suggestions.append(
+                Suggestion(
+                    syscall=syscall,
+                    partition=f"output:{errno_name}",
+                    priority=_ERROR_PRIORITY,
+                    recipe=recipe,
+                )
+            )
+
+    suggestions.sort(key=lambda s: (s.priority, s.syscall, s.partition))
+    return suggestions[:limit]
+
+
+def render_suggestions(report: "CoverageReport", limit: int = 20) -> str:
+    """Human-readable suggestion list."""
+    items = suggest_tests(report, limit)
+    if not items:
+        return "no gaps with known recipes — coverage looks saturated"
+    lines = [f"suggested new tests (top {len(items)}, boundary-first):"]
+    lines.extend("  " + item.render() for item in items)
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Test Coverage Deviation (TCD): the paper's scalar adequacy metric.
+
+Given an input or output coverage for a syscall with N partitions,
+where partition i was exercised F_i times and the developer's target
+for it is T_i, the paper defines
+
+    TCD_T = sqrt( (1/N) * sum_i (log10 F_i - log10 T_i)^2 )
+
+— the root-mean-square deviation of log frequencies from the log
+target.  Logarithms downplay over-testing relative to under-testing; a
+lower TCD is better (closer to the target).  The target array T encodes
+developer preference: uniform in the paper's study, but non-uniform
+(e.g. persistence-weighted for crash-consistency work) in its future
+work, which :func:`weighted_target` supports.
+
+Zero frequencies need a convention for ``log 0``; we use
+``log10(max(x, zero_floor))`` with ``zero_floor = 1`` so an untested
+partition contributes ``(log10 T)^2`` — maximal penalty against any
+target above 1 — and the metric stays finite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+#: Values below this are floored before taking log10.
+DEFAULT_ZERO_FLOOR = 1.0
+
+
+def safe_log10(value: float, zero_floor: float = DEFAULT_ZERO_FLOOR) -> float:
+    """log10 with a floor so zero frequencies stay finite."""
+    return math.log10(max(value, zero_floor))
+
+
+def tcd(
+    frequencies: Sequence[float],
+    target: Sequence[float],
+    zero_floor: float = DEFAULT_ZERO_FLOOR,
+) -> float:
+    """Test Coverage Deviation of *frequencies* against *target*.
+
+    Args:
+        frequencies: observed count per partition (F).
+        target: desired count per partition (T); same length as F.
+        zero_floor: floor applied before log10.
+
+    Raises:
+        ValueError: length mismatch or empty partition list.
+    """
+    if len(frequencies) != len(target):
+        raise ValueError(
+            f"frequency/target length mismatch: {len(frequencies)} vs {len(target)}"
+        )
+    if not frequencies:
+        raise ValueError("TCD of zero partitions is undefined")
+    total = 0.0
+    for freq, tgt in zip(frequencies, target):
+        deviation = safe_log10(freq, zero_floor) - safe_log10(tgt, zero_floor)
+        total += deviation * deviation
+    return math.sqrt(total / len(frequencies))
+
+
+def uniform_target(n_partitions: int, value: float) -> list[float]:
+    """A target array with the same value everywhere (the paper's study)."""
+    if n_partitions <= 0:
+        raise ValueError("n_partitions must be positive")
+    return [value] * n_partitions
+
+
+def weighted_target(
+    domain: Sequence[str],
+    base_value: float,
+    weights: Mapping[str, float],
+) -> list[float]:
+    """Non-uniform target: ``base_value`` scaled per partition.
+
+    The paper's future work suggests larger targets for
+    persistence-related partitions (O_SYNC, O_DSYNC); express that as
+    ``weighted_target(domain, 1000, {"O_SYNC": 10, "O_DSYNC": 10})``.
+    """
+    return [base_value * weights.get(key, 1.0) for key in domain]
+
+
+def tcd_uniform(
+    frequencies: Sequence[float],
+    target_value: float,
+    zero_floor: float = DEFAULT_ZERO_FLOOR,
+) -> float:
+    """TCD against a uniform target of *target_value*."""
+    return tcd(frequencies, uniform_target(len(frequencies), target_value), zero_floor)
+
+
+def tcd_curve(
+    frequencies: Sequence[float],
+    target_values: Iterable[float],
+    zero_floor: float = DEFAULT_ZERO_FLOOR,
+) -> list[tuple[float, float]]:
+    """TCD swept over uniform targets (Figure 5's per-suite series)."""
+    return [
+        (value, tcd_uniform(frequencies, value, zero_floor))
+        for value in target_values
+    ]
+
+
+def find_crossover(
+    frequencies_a: Sequence[float],
+    frequencies_b: Sequence[float],
+    low: float = 1.0,
+    high: float = 1e7,
+    tolerance: float = 0.5,
+    zero_floor: float = DEFAULT_ZERO_FLOOR,
+) -> float | None:
+    """Uniform target value where the two suites' TCD curves cross.
+
+    Finds T* such that ``TCD_a(T) < TCD_b(T)`` on one side and
+    ``>`` on the other (Figure 5's ≈5,237 point).  Returns None when no
+    sign change exists in [low, high].  Bisection runs in log space.
+    """
+
+    def diff(value: float) -> float:
+        return tcd_uniform(frequencies_a, value, zero_floor) - tcd_uniform(
+            frequencies_b, value, zero_floor
+        )
+
+    lo, hi = low, high
+    d_lo, d_hi = diff(lo), diff(hi)
+    if d_lo == 0:
+        return lo
+    if d_hi == 0:
+        return hi
+    if d_lo * d_hi > 0:
+        return None
+    while hi - lo > tolerance:
+        mid = math.sqrt(lo * hi)  # geometric midpoint (log-space bisection)
+        d_mid = diff(mid)
+        if d_mid == 0:
+            return mid
+        if d_lo * d_mid < 0:
+            hi = mid
+        else:
+            lo, d_lo = mid, d_mid
+    return math.sqrt(lo * hi)
+
+
+# ---------------------------------------------------------------------------
+# under-/over-testing classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionAssessment:
+    """How one partition's testing compares to its target."""
+
+    key: str
+    frequency: float
+    target: float
+    log_deviation: float
+    verdict: str  # "under", "over", or "on-target"
+
+
+def assess_partitions(
+    domain: Sequence[str],
+    frequencies: Sequence[float],
+    target: Sequence[float],
+    tolerance_decades: float = 1.0,
+    zero_floor: float = DEFAULT_ZERO_FLOOR,
+) -> list[PartitionAssessment]:
+    """Classify each partition as under-, over-, or on-target-tested.
+
+    A partition is on-target when its log10 frequency is within
+    *tolerance_decades* of the log10 target (default: within one order
+    of magnitude).  Under-testing can miss bugs; over-testing wastes
+    resources better diverted to under-tested partitions.
+    """
+    if not len(domain) == len(frequencies) == len(target):
+        raise ValueError("domain/frequencies/target length mismatch")
+    assessments: list[PartitionAssessment] = []
+    for key, freq, tgt in zip(domain, frequencies, target):
+        deviation = safe_log10(freq, zero_floor) - safe_log10(tgt, zero_floor)
+        if deviation < -tolerance_decades:
+            verdict = "under"
+        elif deviation > tolerance_decades:
+            verdict = "over"
+        else:
+            verdict = "on-target"
+        assessments.append(
+            PartitionAssessment(
+                key=key,
+                frequency=freq,
+                target=tgt,
+                log_deviation=deviation,
+                verdict=verdict,
+            )
+        )
+    return assessments

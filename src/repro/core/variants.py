@@ -1,0 +1,66 @@
+"""Syscall variant handling: merging variants into base input/output spaces.
+
+Many syscalls have variants with different prototypes (open, openat,
+creat, openat2) that share almost the same kernel implementation, so
+IOCov merges their input and output spaces when computing coverage.
+This module normalizes a variant event into ``(base_name, args)`` where
+the args dict uses the *base* syscall's argument names:
+
+* ``creat(path, mode)`` becomes ``open`` with the flags creat implies
+  (O_CREAT|O_WRONLY|O_TRUNC);
+* ``openat``/``openat2`` drop their ``dfd`` and pass flags/mode through;
+* ``pread64``/``pwrite64`` drop ``pos``; ``readv``/``writev`` already
+  carry a summed ``count``;
+* ``ftruncate`` renames nothing (``length`` is shared) but maps to
+  ``truncate``; ``fchmod``/``fchmodat`` map to ``chmod``; ``fchdir``'s
+  fd is normalized into the ``filename`` slot as an identifier;
+  xattr l*/f* variants map onto their base names unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.argspec import VARIANT_TO_BASE, base_name
+from repro.trace.events import SyscallEvent
+from repro.vfs import constants
+
+#: Flags creat(2) implies; synthesized when merging into open's space.
+CREAT_IMPLIED_FLAGS = constants.O_CREAT | constants.O_WRONLY | constants.O_TRUNC
+
+
+class VariantHandler:
+    """Normalizes traced (possibly variant) syscalls to base-call shape."""
+
+    def normalize(self, event: SyscallEvent) -> tuple[str, dict[str, Any]] | None:
+        """Return ``(base_name, normalized_args)``; None if untracked."""
+        base = base_name(event.name)
+        if base is None:
+            return None
+        args = dict(event.args)
+        if event.name == "creat":
+            args.setdefault("flags", CREAT_IMPLIED_FLAGS)
+        if event.name == "fchdir":
+            # The fd stands in for the path identifier.
+            if "fd" in args and "filename" not in args:
+                args["filename"] = args.pop("fd")
+        # Drop variant-only plumbing that has no base-space meaning.
+        for plumbing in ("dfd", "pos", "resolve", "how", "vlen"):
+            args.pop(plumbing, None)
+        return base, args
+
+    def merge_counts(self, events: list[SyscallEvent]) -> dict[str, int]:
+        """Count events per *base* syscall (diagnostic helper)."""
+        counts: dict[str, int] = {}
+        for event in events:
+            base = base_name(event.name)
+            if base is not None:
+                counts[base] = counts.get(base, 0) + 1
+        return counts
+
+    @staticmethod
+    def variants_of(base: str) -> list[str]:
+        """All traced names merging into *base* (including itself)."""
+        return [base] + sorted(
+            name for name, target in VARIANT_TO_BASE.items() if target == base
+        )

@@ -1,0 +1,33 @@
+"""Differential file-system testing built on IOCov (paper future work).
+
+The paper's authors report "currently developing a differential-
+testing-based file system tester utilizing IOCov" that found real
+kernel bugs.  This package implements that design against the
+simulated substrate:
+
+* :class:`FaultySyscallInterface` — the VFS with behaviour-changing
+  injected bugs (modeled on the paper's cited real fixes);
+* :class:`CoverageGuidedGenerator` — turns IOCov's untested input
+  partitions into concrete syscalls;
+* :class:`DifferentialTester` — runs reference and SUT in lockstep and
+  reports outcome divergences.
+"""
+
+from repro.difftest.faulty import (
+    FaultySyscallInterface,
+    make_faulty,
+    make_reference,
+)
+from repro.difftest.generator import CoverageGuidedGenerator, GeneratedOp
+from repro.difftest.harness import DifferentialTester, DiffTestReport, Divergence
+
+__all__ = [
+    "CoverageGuidedGenerator",
+    "DiffTestReport",
+    "DifferentialTester",
+    "Divergence",
+    "FaultySyscallInterface",
+    "GeneratedOp",
+    "make_faulty",
+    "make_reference",
+]

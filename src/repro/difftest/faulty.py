@@ -1,0 +1,215 @@
+"""A faulty system-under-test: the VFS with real result corruptions.
+
+The injected bugs in :mod:`repro.kernelsim.bugs` *report* when their
+trigger fires; for differential testing the bug must actually change
+observable behaviour.  :class:`FaultySyscallInterface` wraps the VFS
+syscall layer and, when an enabled bug's trigger matches a call,
+corrupts the result the way the modeled real-world bug did:
+
+* ``xattr-ibody-overflow`` — a maximum-size setxattr that must fail
+  (E2BIG/ENOSPC) is accepted (returns 0): the Figure 1 overflow made
+  the ENOSPC condition wrong;
+* ``get-branch-errcode`` — a read past the last mapped block returns
+  -EIO instead of the correct 0-at-EOF: wrong error code to user space;
+* ``nowait-write-enospc`` — a buffered write on an O_NONBLOCK fd under
+  low free space returns -ENOSPC although the write would fit;
+* ``write-max-count-short`` — a MAX_RW_COUNT-clamped write silently
+  drops the final 4096 bytes of the clamp;
+* ``open-largefile-overflow`` — opening a >2 GiB file without
+  O_LARGEFILE succeeds where EOVERFLOW is required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernelsim.bugs import BUG_CATALOGUE
+from repro.vfs import constants
+from repro.vfs.errors import EIO, ENOSPC, EOVERFLOW
+from repro.vfs.fd import Process
+from repro.vfs.faults import FaultInjector
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.inode import FileInode
+from repro.vfs.syscalls import SyscallInterface, SyscallResult
+
+#: Syscall families each corruption listens on.
+_SETX = ("setxattr", "lsetxattr", "fsetxattr")
+_READS = ("read", "pread64", "readv")
+_WRITES = ("write", "pwrite64", "writev")
+_OPENS = ("open", "openat", "openat2", "creat")
+
+
+class FaultySyscallInterface(SyscallInterface):
+    """The VFS syscall layer with behaviour-changing injected bugs.
+
+    Args:
+        fs / process / faults: as for :class:`SyscallInterface`.
+        enabled_bugs: bug ids from the kernelsim catalogue to make
+            *behavioural* (default: all five corruptions).
+    """
+
+    CORRUPTIBLE = (
+        "xattr-ibody-overflow",
+        "get-branch-errcode",
+        "nowait-write-enospc",
+        "write-max-count-short",
+        "open-largefile-overflow",
+    )
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        process: Process | None = None,
+        faults: FaultInjector | None = None,
+        enabled_bugs: list[str] | None = None,
+    ) -> None:
+        super().__init__(fs, process, faults)
+        ids = list(self.CORRUPTIBLE) if enabled_bugs is None else enabled_bugs
+        unknown = [bug_id for bug_id in ids if bug_id not in BUG_CATALOGUE]
+        if unknown:
+            raise ValueError(f"unknown bug ids: {unknown}")
+        self.enabled_bugs = frozenset(ids)
+        #: (bug_id, syscall) for every corruption actually applied
+        self.corruptions_applied: list[tuple[str, str]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fd_flags(self, fd: Any) -> int:
+        if isinstance(fd, int) and fd in self.process.fd_table:
+            return self.process.fd_table.get(fd).flags
+        return 0
+
+    def _fd_size(self, fd: Any) -> int:
+        if isinstance(fd, int) and fd in self.process.fd_table:
+            inode = self.process.fd_table.get(fd).inode
+            if isinstance(inode, FileInode):
+                return inode.size
+        return 0
+
+    def _free_ratio(self) -> float:
+        device = self.fs.device
+        return device.free_blocks / device.total_blocks if device.total_blocks else 0.0
+
+    # -- the corrupted boundary ------------------------------------------------
+
+    def _run(
+        self,
+        name: str,
+        args: dict[str, Any],
+        body: Callable[[], int | tuple[int, bytes | None]],
+    ) -> SyscallResult:
+        # Pre-call state the corruptions need.
+        pre_flags = self._fd_flags(args.get("fd"))
+        pre_size = self._fd_size(args.get("fd"))
+        free_ratio = self._free_ratio()
+
+        result = super()._run(name, args, body)
+
+        bug = self._match(name, args, result, pre_flags, pre_size, free_ratio)
+        if bug is None:
+            return result
+        corrupted = self._corrupt(bug, name, args, result)
+        if corrupted is not result:
+            self.corruptions_applied.append((bug, name))
+        return corrupted
+
+    def _match(
+        self,
+        name: str,
+        args: dict[str, Any],
+        result: SyscallResult,
+        pre_flags: int,
+        pre_size: int,
+        free_ratio: float,
+    ) -> str | None:
+        size = args.get("size")
+        count = args.get("count")
+        pos = args.get("pos")
+        if (
+            "xattr-ibody-overflow" in self.enabled_bugs
+            and name in _SETX
+            and isinstance(size, int)
+            and size >= constants.XATTR_SIZE_MAX - 16
+            and not result.ok
+        ):
+            return "xattr-ibody-overflow"
+        if (
+            "get-branch-errcode" in self.enabled_bugs
+            and name == "pread64"
+            and isinstance(pos, int)
+            and pre_size > 0
+            and pos > pre_size
+            and result.ok
+        ):
+            return "get-branch-errcode"
+        if (
+            "nowait-write-enospc" in self.enabled_bugs
+            and name in _WRITES
+            and pre_flags & constants.O_NONBLOCK
+            and free_ratio < 0.10
+            and result.ok
+        ):
+            return "nowait-write-enospc"
+        if (
+            "write-max-count-short" in self.enabled_bugs
+            and name in _WRITES
+            and isinstance(count, int)
+            and count >= constants.MAX_RW_COUNT
+            and result.ok
+            and result.retval > 4096
+        ):
+            return "write-max-count-short"
+        if (
+            "open-largefile-overflow" in self.enabled_bugs
+            and name in _OPENS
+            and result.errno == EOVERFLOW
+        ):
+            # The conforming kernel rejected a >2GiB open without
+            # O_LARGEFILE; the buggy kernel forgot the check.
+            return "open-largefile-overflow"
+        return None
+
+    def _corrupt(
+        self, bug: str, name: str, args: dict[str, Any], result: SyscallResult
+    ) -> SyscallResult:
+        if bug == "xattr-ibody-overflow":
+            # Accept the xattr that must have been rejected.
+            inode = None
+            path = args.get("pathname")
+            if isinstance(path, str):
+                try:
+                    inode = self.fs.lookup(path)
+                except Exception:
+                    inode = None
+            if inode is not None:
+                inode.xattrs[args.get("name", "user.corrupt")] = b"\0" * 8
+            return SyscallResult(retval=0)
+        if bug == "get-branch-errcode":
+            return SyscallResult(retval=-EIO, errno=EIO)
+        if bug == "nowait-write-enospc":
+            return SyscallResult(retval=-ENOSPC, errno=ENOSPC)
+        if bug == "write-max-count-short":
+            return SyscallResult(retval=result.retval - 4096)
+        if bug == "open-largefile-overflow":
+            # The buggy kernel skips the check: redo the open with the
+            # flag forced so it succeeds where the reference refused.
+            path = args.get("pathname")
+            flags = (args.get("flags", 0) or 0) | constants.O_LARGEFILE
+            try:
+                fd = self._do_open(path, flags, args.get("mode", 0o644))
+            except Exception:
+                return result
+            return SyscallResult(retval=fd)
+        return result
+
+
+def make_reference(fs: FileSystem | None = None) -> SyscallInterface:
+    """The conforming system: the plain VFS."""
+    return SyscallInterface(fs or FileSystem())
+
+
+def make_faulty(
+    fs: FileSystem | None = None, enabled_bugs: list[str] | None = None
+) -> FaultySyscallInterface:
+    """The buggy system-under-test."""
+    return FaultySyscallInterface(fs or FileSystem(), enabled_bugs=enabled_bugs)

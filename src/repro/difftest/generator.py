@@ -1,0 +1,322 @@
+"""Coverage-guided input generation for differential testing.
+
+The differential tester's input source is IOCov itself: after each
+round, the generator reads the reference system's input-coverage state
+and synthesizes concrete syscalls aimed at the partitions nothing has
+exercised yet — boundary sizes (0, powers of two, the maxima), rare
+flags, unusual whence values, invalid descriptors.  This is the
+"utilizing IOCov" part of the paper's future-work differential tester:
+instead of random fuzzing, every generated input buys a new partition.
+
+Each generated op is self-contained (it opens what it needs and closes
+what it opened) so the two systems' fd tables stay aligned even when a
+bug makes one system's call fail where the other's succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.input_coverage import InputCoverage
+from repro.vfs import constants
+from repro.vfs.syscalls import SyscallInterface
+
+#: Outcome record for one inner syscall: (name, retval, errno).
+Outcome = tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class GeneratedOp:
+    """One self-contained test input aimed at a coverage gap.
+
+    Attributes:
+        target: "(syscall, arg) -> partition" label for reporting.
+        run: executes the input on an interface and returns the
+            comparable outcome list.
+    """
+
+    target: str
+    run: Callable[[SyscallInterface], list[Outcome]]
+
+
+def _res(result) -> Outcome:
+    return ("", result.retval, result.errno)
+
+
+class CoverageGuidedGenerator:
+    """Synthesizes GeneratedOps from untested input partitions."""
+
+    #: numeric values too large to be worth materializing in a run
+    MAX_NUMERIC = 2**40
+
+    def __init__(self, mount_point: str = "/mnt/test") -> None:
+        self.mount = mount_point.rstrip("/")
+        self._counter = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{self.mount}/{prefix}_{self._counter:05d}"
+
+    @staticmethod
+    def _numeric_value(partition: str) -> int | None:
+        if partition == "equal_to_0":
+            return 0
+        if partition == "negative":
+            return -1
+        if partition.startswith("2^"):
+            return 1 << int(partition[2:])
+        if partition.startswith(">=2^"):
+            return 1 << int(partition[4:])
+        return None
+
+    # -- op builders per (syscall, arg) ----------------------------------------
+
+    def _op_open_flag(self, flag_name: str) -> GeneratedOp | None:
+        flags = constants.OPEN_FLAG_NAMES.get(flag_name)
+        if flags is None:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/flag_target"
+            outcomes: list[Outcome] = []
+            result = sc.open(path, flags | constants.O_CREAT, 0o644)
+            outcomes.append(("open", result.retval >= 0, result.errno))  # type: ignore[arg-type]
+            if result.ok:
+                sc.close(result.retval)
+            return outcomes
+
+        return GeneratedOp(target=f"open.flags -> {flag_name}", run=run)
+
+    def _op_write_count(self, partition: str) -> GeneratedOp | None:
+        value = self._numeric_value(partition)
+        if value is None or value > self.MAX_NUMERIC:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/write_target"
+            outcomes: list[Outcome] = []
+            result = sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+            if not result.ok:
+                return [("open", result.retval, result.errno)]
+            fd = result.retval
+            wrote = sc.write(fd, count=value)
+            outcomes.append(("write", wrote.retval, wrote.errno))
+            sc.ftruncate(fd, 0)
+            sc.close(fd)
+            return outcomes
+
+        return GeneratedOp(target=f"write.count -> {partition}", run=run)
+
+    def _op_read_count(self, partition: str) -> GeneratedOp | None:
+        value = self._numeric_value(partition)
+        if value is None or value > self.MAX_NUMERIC:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/read_target"
+            seeded = sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+            if seeded.ok:
+                sc.write(seeded.retval, count=4096)  # data so EOF is real
+                sc.close(seeded.retval)
+            result = sc.open(path, constants.O_RDONLY)
+            if not result.ok:
+                return [("open", result.retval, result.errno)]
+            fd = result.retval
+            # Past-EOF positional read: the exit-path classic.
+            got = sc.pread64(fd, max(value, 0), offset=10**6)
+            out = [("pread64", got.retval, got.errno)]
+            plain = sc.read(fd, value)
+            out.append(("read", plain.retval, plain.errno))
+            sc.close(fd)
+            return out
+
+        return GeneratedOp(target=f"read.count -> {partition}", run=run)
+
+    def _op_truncate_length(self, partition: str) -> GeneratedOp | None:
+        value = self._numeric_value(partition)
+        if value is None:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/trunc_target"
+            sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+            result = sc.truncate(path, value)
+            outcomes = [("truncate", result.retval, result.errno)]
+            # Opening the resized file probes size-dependent open paths
+            # (the >2GiB O_LARGEFILE boundary in particular).
+            opened = sc.open(path, constants.O_RDONLY)
+            outcomes.append(("open-after", opened.retval >= 0, opened.errno))  # type: ignore[arg-type]
+            if opened.ok:
+                sc.close(opened.retval)
+            sc.truncate(path, 0)
+            return outcomes
+
+        return GeneratedOp(target=f"truncate.length -> {partition}", run=run)
+
+    def _op_setxattr_size(self, partition: str) -> GeneratedOp | None:
+        value = self._numeric_value(partition)
+        if value is None or value > 2 * constants.XATTR_SIZE_MAX:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/xattr_target_{partition.replace('^', '')}"
+            sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+            result = sc.setxattr(path, "user.probe", b"", size=value)
+            outcomes = [("setxattr", result.retval, result.errno)]
+            got = sc.getxattr(path, "user.probe", 0)
+            outcomes.append(("getxattr", got.retval, got.errno))
+            return outcomes
+
+        return GeneratedOp(target=f"setxattr.size -> {partition}", run=run)
+
+    def _op_getxattr_size(self, partition: str) -> GeneratedOp | None:
+        value = self._numeric_value(partition)
+        if value is None or value > 2 * constants.XATTR_SIZE_MAX:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/getxattr_target"
+            sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+            sc.setxattr(path, "user.fixed", b"x" * 24)
+            got = sc.getxattr(path, "user.fixed", max(value, -1))
+            return [("getxattr", got.retval, got.errno)]
+
+        return GeneratedOp(target=f"getxattr.size -> {partition}", run=run)
+
+    def _op_lseek(self, partition: str, arg: str) -> GeneratedOp | None:
+        if arg == "whence":
+            whence = constants.SEEK_WHENCE_NAMES.get(partition)
+            if whence is None:
+                whence = 99 if partition == "invalid" else None
+            if whence is None:
+                return None
+            offset = 0
+        else:
+            value = self._numeric_value(partition)
+            if value is None:
+                return None
+            offset, whence = value, constants.SEEK_SET
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/seek_target"
+            sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+            result = sc.open(path, constants.O_RDONLY)
+            if not result.ok:
+                return [("open", result.retval, result.errno)]
+            fd = result.retval
+            sought = sc.lseek(fd, offset, whence)
+            sc.close(fd)
+            return [("lseek", sought.retval, sought.errno)]
+
+        return GeneratedOp(target=f"lseek.{arg} -> {partition}", run=run)
+
+    def _op_close_fd(self, partition: str) -> GeneratedOp | None:
+        values = {
+            "fd_negative": -5,
+            "fd_at_fdcwd": constants.AT_FDCWD,
+            "fd_ge_1024": 5000,
+            "fd_64_to_1023": 500,
+        }
+        fd = values.get(partition)
+        if fd is None:
+            return None
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            result = sc.close(fd)
+            return [("close", result.retval, result.errno)]
+
+        return GeneratedOp(target=f"close.fd -> {partition}", run=run)
+
+    # -- output-gap scenarios ----------------------------------------------------
+
+    def _op_write_under_pressure(self) -> GeneratedOp:
+        """Probe write behaviour near device-full (the ENOSPC output
+        partitions, and the NOWAIT class of bugs)."""
+
+        def run(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount}/pressure_target"
+            result = sc.open(
+                path,
+                constants.O_CREAT | constants.O_WRONLY | constants.O_NONBLOCK,
+                0o644,
+            )
+            if not result.ok:
+                return [("open", result.retval, result.errno)]
+            fd = result.retval
+            device = sc.fs.device
+            # Hold back blocks until under 5% remain free.
+            keep_free = max(1, device.total_blocks // 20)
+            device.reserved_blocks = max(
+                0, device.total_blocks - device.allocated_blocks - keep_free
+            )
+            try:
+                low = sc.write(fd, count=device.block_size)
+                outcomes = [("write-low-space", low.retval, low.errno)]
+                device.reserve_all_free()
+                full = sc.write(fd, count=device.block_size)
+                outcomes.append(("write-full", full.retval > 0, full.errno))  # type: ignore[arg-type]
+            finally:
+                device.release_reserved()
+            sc.ftruncate(fd, 0)
+            sc.close(fd)
+            return outcomes
+
+        return GeneratedOp(target="write.outputs -> ENOSPC/NOWAIT", run=run)
+
+    def propose_output_scenarios(self, output_coverage) -> list[GeneratedOp]:
+        """Scenarios for untested *output* partitions (error paths)."""
+        ops: list[GeneratedOp] = []
+        write_gaps = output_coverage.syscall("write").untested_errnos()
+        if "ENOSPC" in write_gaps:
+            ops.append(self._op_write_under_pressure())
+        return ops
+
+    # -- entry point ------------------------------------------------------------
+
+    def propose(
+        self, coverage: InputCoverage, max_ops: int = 64
+    ) -> list[GeneratedOp]:
+        """Ops targeting currently untested partitions, most useful first."""
+        builders: dict[tuple[str, str], Callable[[str], GeneratedOp | None]] = {
+            ("open", "flags"): self._op_open_flag,
+            ("write", "count"): self._op_write_count,
+            ("read", "count"): self._op_read_count,
+            ("truncate", "length"): self._op_truncate_length,
+            ("setxattr", "size"): self._op_setxattr_size,
+            ("getxattr", "size"): self._op_getxattr_size,
+            ("lseek", "whence"): lambda p: self._op_lseek(p, "whence"),
+            ("lseek", "offset"): lambda p: self._op_lseek(p, "offset"),
+            ("close", "fd"): self._op_close_fd,
+        }
+        # Build per-pair op lists, then interleave round-robin so a
+        # small budget still touches every argument family instead of
+        # exhausting itself on the first one's many buckets.
+        per_pair: list[list[GeneratedOp]] = []
+        for pair, untested in coverage.all_untested().items():
+            builder = builders.get(pair)
+            if builder is None:
+                continue
+            pair_ops = [
+                op
+                for op in (builder(partition) for partition in untested)
+                if op is not None
+            ]
+            if pair_ops:
+                per_pair.append(pair_ops)
+        ops: list[GeneratedOp] = []
+        index = 0
+        while len(ops) < max_ops and any(per_pair):
+            progressed = False
+            for pair_ops in per_pair:
+                if index < len(pair_ops):
+                    ops.append(pair_ops[index])
+                    progressed = True
+                    if len(ops) >= max_ops:
+                        break
+            if not progressed:
+                break
+            index += 1
+        return ops

@@ -1,0 +1,172 @@
+"""The differential tester: reference vs system-under-test, IOCov-guided.
+
+The loop the paper's future work sketches:
+
+1. run a seed workload on both systems and compare every outcome;
+2. ask IOCov which input partitions remain untested;
+3. generate inputs for those partitions, run them on both systems;
+4. record any outcome divergence as a bug candidate;
+5. repeat until no new partitions open up or the round budget ends.
+
+A *divergence* is a generated op whose (syscall, success, errno)
+outcome sequence differs between the systems.  Against the conforming
+reference, every divergence is a real misbehaviour of the SUT — and
+the harness reports which coverage gap's input exposed it, which is
+the actionable half the paper argues code coverage cannot provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.analyzer import IOCov
+from repro.difftest.generator import CoverageGuidedGenerator, GeneratedOp, Outcome
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants
+from repro.vfs.syscalls import SyscallInterface
+
+
+@dataclass
+class Divergence:
+    """One behavioural difference between the systems."""
+
+    target: str
+    reference: list[Outcome]
+    under_test: list[Outcome]
+
+    def describe(self) -> str:
+        return (
+            f"{self.target}: reference={self.reference} "
+            f"vs under-test={self.under_test}"
+        )
+
+
+@dataclass
+class DiffTestReport:
+    """Outcome of a differential run."""
+
+    rounds: int
+    ops_executed: int
+    divergences: list[Divergence] = field(default_factory=list)
+    partitions_opened: int = 0
+
+    @property
+    def found_bugs(self) -> bool:
+        return bool(self.divergences)
+
+    def render_text(self) -> str:
+        lines = [
+            f"differential test: {self.ops_executed} generated ops over "
+            f"{self.rounds} rounds, {self.partitions_opened} new partitions",
+            f"divergences found: {len(self.divergences)}",
+        ]
+        lines.extend("  " + d.describe() for d in self.divergences)
+        return "\n".join(lines)
+
+
+class DifferentialTester:
+    """Runs coverage-guided inputs against two systems in lockstep.
+
+    Args:
+        reference: the conforming system (oracle).
+        under_test: the system being checked.
+        mount_point: directory both systems test under (created here).
+    """
+
+    def __init__(
+        self,
+        reference: SyscallInterface,
+        under_test: SyscallInterface,
+        mount_point: str = "/mnt/test",
+    ) -> None:
+        self.reference = reference
+        self.under_test = under_test
+        self.mount_point = mount_point.rstrip("/")
+        self.generator = CoverageGuidedGenerator(mount_point)
+        #: targets already attempted — a gap that stays open (e.g. a
+        #: getxattr probe whose size never lands in its bucket) is not
+        #: regenerated every round.
+        self._attempted: set[str] = set()
+        self._recorder = TraceRecorder()
+        self._recorder.attach(reference)
+        self._setup_both()
+
+    def _setup_both(self) -> None:
+        for sc in (self.reference, self.under_test):
+            current = ""
+            for part in (p for p in self.mount_point.split("/") if p):
+                current = f"{current}/{part}"
+                sc.mkdir(current, 0o755)
+
+    # -- seed workload -----------------------------------------------------------
+
+    def run_seed(self) -> list[Divergence]:
+        """Ordinary operations first: both systems must agree on them."""
+        divergences: list[Divergence] = []
+
+        def both(label: str, call: Callable[[SyscallInterface], list[Outcome]]):
+            ref = call(self.reference)
+            sut = call(self.under_test)
+            if ref != sut:
+                divergences.append(Divergence(label, ref, sut))
+
+        def ordinary(sc: SyscallInterface) -> list[Outcome]:
+            path = f"{self.mount_point}/seed"
+            out: list[Outcome] = []
+            result = sc.open(path, constants.O_CREAT | constants.O_RDWR, 0o644)
+            out.append(("open", result.retval >= 0, result.errno))  # type: ignore[arg-type]
+            if result.ok:
+                fd = result.retval
+                wrote = sc.write(fd, count=4096)
+                out.append(("write", wrote.retval, wrote.errno))
+                sc.lseek(fd, 0, constants.SEEK_SET)
+                got = sc.read(fd, 4096)
+                out.append(("read", got.retval, got.errno))
+                sc.close(fd)
+            set_result = sc.setxattr(path, "user.seed", b"value")
+            out.append(("setxattr", set_result.retval, set_result.errno))
+            return out
+
+        both("seed-workload", ordinary)
+        return divergences
+
+    # -- the guided loop ------------------------------------------------------
+
+    def run(self, rounds: int = 3, max_ops_per_round: int = 64) -> DiffTestReport:
+        report = DiffTestReport(rounds=0, ops_executed=0)
+        report.divergences.extend(self.run_seed())
+
+        for _ in range(rounds):
+            report.rounds += 1
+            # What has the reference system's trace covered so far?
+            iocov = IOCov(mount_point=self.mount_point, suite_name="difftest")
+            iocov.consume(self._recorder.events)
+            coverage = iocov.input
+            before = sum(
+                len(gaps) for gaps in coverage.all_untested().values()
+            )
+            # Output-gap scenarios first: there are few and they must
+            # not be crowded out by the per-round cap.
+            proposed = self.generator.propose_output_scenarios(iocov.output)
+            proposed += self.generator.propose(coverage, max_ops=4 * max_ops_per_round)
+            ops = [op for op in proposed if op.target not in self._attempted]
+            ops = ops[:max_ops_per_round]
+            if not ops:
+                break
+            self._attempted.update(op.target for op in ops)
+            for op in ops:
+                report.ops_executed += 1
+                ref_outcome = op.run(self.reference)
+                sut_outcome = op.run(self.under_test)
+                if ref_outcome != sut_outcome:
+                    report.divergences.append(
+                        Divergence(op.target, ref_outcome, sut_outcome)
+                    )
+            iocov = IOCov(mount_point=self.mount_point, suite_name="difftest")
+            coverage = iocov.consume(self._recorder.events).input
+            after = sum(len(gaps) for gaps in coverage.all_untested().values())
+            report.partitions_opened += max(0, before - after)
+            if after == before:
+                break
+        return report

@@ -1,0 +1,32 @@
+"""Instrumented kernel-FS model: code coverage vs bug triggering.
+
+The Section 2 comparator: a Gcov-like collector
+(:class:`CodeCoverage`), a catalogue of injected bugs modeled on the
+paper's cited real kernel fixes (:data:`BUG_CATALOGUE`), and the
+instrumented kernel model (:class:`InstrumentedKernel`) that marks
+lines/branches covered on every syscall while bugs trigger only on
+their boundary inputs.
+"""
+
+from repro.kernelsim.bugs import (
+    BUG_CATALOGUE,
+    BugKind,
+    BugReport,
+    InjectedBug,
+    bugs_for_function,
+)
+from repro.kernelsim.coverage import CodeCoverage, CoverageSnapshot, FunctionSpec
+from repro.kernelsim.instrumented import KERNEL_FUNCTIONS, InstrumentedKernel
+
+__all__ = [
+    "BUG_CATALOGUE",
+    "BugKind",
+    "BugReport",
+    "CodeCoverage",
+    "CoverageSnapshot",
+    "FunctionSpec",
+    "InjectedBug",
+    "InstrumentedKernel",
+    "KERNEL_FUNCTIONS",
+    "bugs_for_function",
+]

@@ -1,0 +1,210 @@
+"""Injectable kernel-FS bugs modeled on the paper's cited real bugs.
+
+Each :class:`InjectedBug` lives inside one modeled kernel function
+(:mod:`repro.kernelsim.instrumented`): the function's lines execute —
+and count as covered — on *every* call, but the bug only **triggers**
+when its specific argument/state predicate holds.  That is exactly the
+phenomenon the bug study quantifies: 53% of studied bugs sat in code
+xfstests covered yet never tripped, because tripping needed a boundary
+or corner-case input.
+
+The catalogue mirrors the real bugs the paper cites:
+
+* ``xattr-ibody-overflow`` — Figure 1 (Ts'o 2022): lsetxattr with the
+  maximum allowed ``size`` overflowed ``min_offs``; the guard tested
+  ``i_extra_isize == 0`` instead of "does the inode have xattr room",
+  so the error case (ENOSPC) was decided wrongly.  Input + output bug.
+* ``open-largefile-overflow`` — (Wilcox & Chinner 2022): opening a
+  >2 GiB file without O_LARGEFILE must fail EOVERFLOW; the check was
+  missing.  Input + output bug.
+* ``fc-replay-oob`` — (Ye Bin 2022): out-of-bound read in
+  ``ext4_fc_replay_scan`` for a region length at the block boundary.
+  Input bug.
+* ``get-branch-errcode`` — (Henriques 2022): wrong error code returned
+  to user space from ``ext4_get_branch`` on a read past the last
+  mapped block.  Output bug.
+* ``nowait-write-enospc`` — (Manana 2022, BtrFS): NOWAIT buffered
+  write spuriously returning -ENOSPC under low-but-sufficient free
+  space.  Output bug.
+* ``write-max-count-short`` — a MAX_RW_COUNT boundary truncation bug
+  (composite of several size-boundary fixes in the study).  Input bug.
+* ``refcount-leak-any`` — a "neither" control: triggers on every call,
+  so plain code coverage suffices to expose it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+
+class BugKind(enum.Enum):
+    """The Section 2 classification."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    BOTH = "both"
+    NEITHER = "neither"
+
+
+@dataclass
+class BugReport:
+    """One observed trigger of an injected bug."""
+
+    bug_id: str
+    syscall: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    """A latent defect inside one modeled kernel function.
+
+    Attributes:
+        bug_id: stable identifier.
+        kind: input/output/both/neither classification.
+        function: the modeled kernel function hosting the bug.
+        trigger: predicate over (args, state) deciding whether this
+            call trips the bug.  ``state`` is the instrumented FS's
+            view (free-space ratio, file sizes, …).
+        effect: short description of the misbehaviour when tripped
+            (wrong retval, corruption, oob read).
+        reference: the real-world bug it is modeled on.
+    """
+
+    bug_id: str
+    kind: BugKind
+    function: str
+    trigger: Callable[[Mapping[str, Any], Mapping[str, Any]], bool]
+    effect: str
+    reference: str
+
+
+def _xattr_ibody_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    # Maximum allowed xattr size: min_offs arithmetic overflows.
+    from repro.vfs import constants
+
+    size = args.get("size", 0)
+    return isinstance(size, int) and size >= constants.XATTR_SIZE_MAX - 16
+
+
+def _largefile_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    from repro.vfs import constants
+
+    flags = args.get("flags", 0)
+    file_size = state.get("file_size", 0)
+    return (
+        isinstance(flags, int)
+        and not flags & constants.O_LARGEFILE
+        and file_size > 2**31 - 1
+    )
+
+
+def _fc_replay_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    from repro.vfs import constants
+
+    length = args.get("length", state.get("length", -1))
+    # A replay region ending exactly one tail short of a block boundary
+    # walks one entry past the buffer.
+    return (
+        isinstance(length, int)
+        and length > 0
+        and length % constants.DEFAULT_BLOCK_SIZE
+        == constants.DEFAULT_BLOCK_SIZE - 8
+    )
+
+
+def _get_branch_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    # Positional read starting beyond the last mapped block: error code
+    # computed from uninitialized branch depth.
+    pos = args.get("pos")
+    file_size = state.get("file_size", 0)
+    return isinstance(pos, int) and file_size > 0 and pos > file_size
+
+def _nowait_enospc_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    from repro.vfs import constants
+
+    flags = state.get("open_flags", 0)
+    free_ratio = state.get("free_ratio", 1.0)
+    return bool(flags & constants.O_NONBLOCK) and free_ratio < 0.10
+
+
+def _max_count_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    from repro.vfs import constants
+
+    count = args.get("count", 0)
+    return isinstance(count, int) and count >= constants.MAX_RW_COUNT
+
+
+def _always_trigger(args: Mapping[str, Any], state: Mapping[str, Any]) -> bool:
+    return True
+
+
+#: The injectable catalogue, keyed by bug id.
+BUG_CATALOGUE: dict[str, InjectedBug] = {
+    bug.bug_id: bug
+    for bug in (
+        InjectedBug(
+            bug_id="xattr-ibody-overflow",
+            kind=BugKind.BOTH,
+            function="ext4_xattr_ibody_set",
+            trigger=_xattr_ibody_trigger,
+            effect="min_offs overflow: accepts xattr that must fail ENOSPC",
+            reference="Ts'o 2022, ext4: fix use-after-free in ext4_xattr_set_entry",
+        ),
+        InjectedBug(
+            bug_id="open-largefile-overflow",
+            kind=BugKind.BOTH,
+            function="ext4_file_open",
+            trigger=_largefile_trigger,
+            effect="missing EOVERFLOW check for >2GiB file without O_LARGEFILE",
+            reference="Wilcox & Chinner 2022, xfs: use generic_file_open()",
+        ),
+        InjectedBug(
+            bug_id="fc-replay-oob",
+            kind=BugKind.INPUT,
+            function="ext4_fc_replay_scan",
+            trigger=_fc_replay_trigger,
+            effect="out-of-bound read scanning the fast-commit region",
+            reference="Ye Bin 2022, ext4: fix potential out of bound read",
+        ),
+        InjectedBug(
+            bug_id="get-branch-errcode",
+            kind=BugKind.OUTPUT,
+            function="ext4_get_branch",
+            trigger=_get_branch_trigger,
+            effect="wrong errno propagated to user space on exit path",
+            reference="Henriques 2022, ext4: fix error code return to user-space",
+        ),
+        InjectedBug(
+            bug_id="nowait-write-enospc",
+            kind=BugKind.OUTPUT,
+            function="btrfs_buffered_write",
+            trigger=_nowait_enospc_trigger,
+            effect="NOWAIT write returns -ENOSPC though space exists",
+            reference="Manana 2022, btrfs: fix NOWAIT buffered write returning -ENOSPC",
+        ),
+        InjectedBug(
+            bug_id="write-max-count-short",
+            kind=BugKind.INPUT,
+            function="ext4_file_write_iter",
+            trigger=_max_count_trigger,
+            effect="MAX_RW_COUNT clamp drops the final partial page",
+            reference="composite of size-boundary fixes in the 2022 study window",
+        ),
+        InjectedBug(
+            bug_id="refcount-leak-any",
+            kind=BugKind.NEITHER,
+            function="ext4_file_open",
+            trigger=_always_trigger,
+            effect="module refcount leak on every open (any test exposes it)",
+            reference="control case: detectable by any covering test",
+        ),
+    )
+}
+
+
+def bugs_for_function(function: str) -> list[InjectedBug]:
+    """All catalogue bugs hosted in *function*."""
+    return [bug for bug in BUG_CATALOGUE.values() if bug.function == function]

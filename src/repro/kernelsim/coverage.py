@@ -1,0 +1,169 @@
+"""Gcov-like code-coverage collection over the modeled kernel FS.
+
+The bug study in Section 2 runs xfstests under Gcov and asks, per
+bug-fix commit, whether the buggy lines/functions/branches were
+*covered* and whether the bug was *detected*.  This module provides the
+Gcov side: a registry of modeled source functions (each with a line
+count and named branches) and a collector that the modeled kernel code
+calls as it executes.
+
+Coverage here has the same semantics as Gcov's:
+
+* a **line** is covered when executed at least once;
+* a **function** is covered when any of its lines is;
+* a **branch** is covered when both of its outcomes were taken at
+  least once (Gcov's branch coverage counts outcomes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One modeled kernel function: file, line span, branch names."""
+
+    name: str
+    file: str
+    n_lines: int
+    branches: tuple[str, ...] = ()
+
+
+@dataclass
+class CoverageSnapshot:
+    """Aggregated coverage figures (the Gcov report)."""
+
+    line_total: int
+    line_covered: int
+    function_total: int
+    function_covered: int
+    branch_outcomes_total: int
+    branch_outcomes_covered: int
+
+    @property
+    def line_percent(self) -> float:
+        return 100.0 * self.line_covered / self.line_total if self.line_total else 0.0
+
+    @property
+    def function_percent(self) -> float:
+        return (
+            100.0 * self.function_covered / self.function_total
+            if self.function_total
+            else 0.0
+        )
+
+    @property
+    def branch_percent(self) -> float:
+        return (
+            100.0 * self.branch_outcomes_covered / self.branch_outcomes_total
+            if self.branch_outcomes_total
+            else 0.0
+        )
+
+
+class CodeCoverage:
+    """The collector the modeled kernel calls at every line/branch."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, FunctionSpec] = {}
+        self._line_hits: Counter = Counter()
+        self._branch_hits: Counter = Counter()
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, spec: FunctionSpec) -> None:
+        """Declare a modeled function (its lines start uncovered)."""
+        if spec.name in self._functions:
+            raise ValueError(f"function {spec.name} already registered")
+        self._functions[spec.name] = spec
+
+    def register_all(self, specs: list[FunctionSpec]) -> None:
+        for spec in specs:
+            self.register(spec)
+
+    @property
+    def functions(self) -> dict[str, FunctionSpec]:
+        return dict(self._functions)
+
+    # -- collection (called by modeled kernel code) ---------------------------
+
+    def line(self, function: str, line_no: int) -> None:
+        """Record execution of one line (1-based within the function)."""
+        spec = self._functions[function]
+        if not 1 <= line_no <= spec.n_lines:
+            raise ValueError(f"{function} has no line {line_no}")
+        self._line_hits[(function, line_no)] += 1
+
+    def lines(self, function: str, first: int, last: int) -> None:
+        """Record a straight-line run of lines [first, last]."""
+        for line_no in range(first, last + 1):
+            self.line(function, line_no)
+
+    def branch(self, function: str, branch: str, taken: bool) -> None:
+        """Record one outcome of a named branch."""
+        spec = self._functions[function]
+        if branch not in spec.branches:
+            raise ValueError(f"{function} has no branch {branch!r}")
+        self._branch_hits[(function, branch, taken)] += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def line_covered(self, function: str, line_no: int) -> bool:
+        return self._line_hits[(function, line_no)] > 0
+
+    def line_hit_count(self, function: str, line_no: int) -> int:
+        return self._line_hits[(function, line_no)]
+
+    def function_covered(self, function: str) -> bool:
+        spec = self._functions[function]
+        return any(
+            self._line_hits[(function, line)] for line in range(1, spec.n_lines + 1)
+        )
+
+    def branch_fully_covered(self, function: str, branch: str) -> bool:
+        """Both outcomes taken (Gcov branch coverage)."""
+        return (
+            self._branch_hits[(function, branch, True)] > 0
+            and self._branch_hits[(function, branch, False)] > 0
+        )
+
+    def function_lines_covered(self, function: str) -> int:
+        spec = self._functions[function]
+        return sum(
+            1
+            for line in range(1, spec.n_lines + 1)
+            if self._line_hits[(function, line)]
+        )
+
+    def snapshot(self) -> CoverageSnapshot:
+        line_total = sum(spec.n_lines for spec in self._functions.values())
+        line_covered = sum(
+            self.function_lines_covered(name) for name in self._functions
+        )
+        function_covered = sum(
+            1 for name in self._functions if self.function_covered(name)
+        )
+        branch_total = sum(
+            2 * len(spec.branches) for spec in self._functions.values()
+        )
+        branch_covered = sum(
+            1
+            for name, spec in self._functions.items()
+            for branch in spec.branches
+            for taken in (True, False)
+            if self._branch_hits[(name, branch, taken)] > 0
+        )
+        return CoverageSnapshot(
+            line_total=line_total,
+            line_covered=line_covered,
+            function_total=len(self._functions),
+            function_covered=function_covered,
+            branch_outcomes_total=branch_total,
+            branch_outcomes_covered=branch_covered,
+        )
+
+    def reset(self) -> None:
+        self._line_hits.clear()
+        self._branch_hits.clear()

@@ -1,0 +1,66 @@
+"""Simulated file-system testers: CrashMonkey and xfstests.
+
+Both suites run real workloads against the in-memory VFS and are then
+statistically calibrated to the distributions the paper measured from
+the real tools (see :mod:`repro.testsuites.profiles`).  Run one with::
+
+    from repro.testsuites import XfstestsSuite, SuiteRunner
+
+    result = SuiteRunner(XfstestsSuite(scale=0.01)).run()
+    # result.events is the LTTng-equivalent trace
+"""
+
+from repro.testsuites.base import (
+    RunResult,
+    SuiteContext,
+    SuiteRunner,
+    TestSuite,
+    Workload,
+    WorkloadResult,
+)
+from repro.testsuites.calibration import CalibrationDriver
+from repro.testsuites.crashmonkey import (
+    CrashConsistencyViolation,
+    CrashMonkeySuite,
+    Seq1Generator,
+    Seq1Spec,
+)
+from repro.testsuites.ltp import LtpSuite
+from repro.testsuites.fuzzer import (
+    CoverageGuidedFuzzer,
+    FuzzOp,
+    FuzzProgram,
+    FuzzReport,
+)
+from repro.testsuites.profiles import (
+    CRASHMONKEY_PROFILE,
+    PAPER_TCD_CROSSOVER,
+    SuiteProfile,
+    UNTESTED_BY_BOTH,
+    XFSTESTS_PROFILE,
+)
+from repro.testsuites.xfstests import XfstestsSuite
+
+__all__ = [
+    "CRASHMONKEY_PROFILE",
+    "CalibrationDriver",
+    "CoverageGuidedFuzzer",
+    "FuzzOp",
+    "FuzzProgram",
+    "FuzzReport",
+    "LtpSuite",
+    "CrashConsistencyViolation",
+    "CrashMonkeySuite",
+    "PAPER_TCD_CROSSOVER",
+    "RunResult",
+    "Seq1Generator",
+    "Seq1Spec",
+    "SuiteContext",
+    "SuiteProfile",
+    "SuiteRunner",
+    "TestSuite",
+    "UNTESTED_BY_BOTH",
+    "Workload",
+    "WorkloadResult",
+    "XfstestsSuite",
+]

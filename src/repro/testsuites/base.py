@@ -1,0 +1,280 @@
+"""Test-suite framework: workloads, run context, and the suite runner.
+
+A simulated test suite is a named collection of :class:`Workload`
+objects (each a function over a :class:`SuiteContext`) plus an optional
+calibration pass that tops the emitted syscall stream up to the suite's
+statistical profile (see :mod:`repro.testsuites.profiles`).  The
+:class:`SuiteRunner` mounts a fresh file system, attaches a trace
+recorder, runs everything, and hands back the trace — the same life
+cycle the paper uses: "we tested Ext4 with all CrashMonkey's tests …
+as well as all of the 706 generic tests and 308 Ext4-specific tests
+from xfstests", traced with LTTng.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.trace.events import SyscallEvent
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants
+from repro.vfs.crash import CrashSimulator
+from repro.vfs.fd import FdTable, Process, SystemFileTable
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.path import Credentials
+from repro.vfs.syscalls import SyscallInterface
+
+#: The uid the simulated suites run under (xfstests' fsqa user model:
+#: not root, so permission checks are live).
+TESTER_UID = 1000
+TESTER_GID = 1000
+
+
+@dataclass
+class Workload:
+    """One test: a name, a group label, and a body."""
+
+    name: str
+    group: str
+    body: Callable[["SuiteContext"], None]
+
+    def run(self, ctx: "SuiteContext") -> None:
+        self.body(ctx)
+
+
+class SuiteContext:
+    """Everything a workload body needs: syscalls, helpers, RNG.
+
+    The context exposes the raw :class:`SyscallInterface` as ``sc`` —
+    workloads issue real syscalls, never shortcuts — plus helpers for
+    scenario scaffolding that a real test suite would do with shell
+    setup (creating fixture trees, dropping privileges, remounting
+    read-only, exhausting quota).
+    """
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        sc: SyscallInterface,
+        mount_point: str,
+        rng: random.Random,
+    ) -> None:
+        self.fs = fs
+        self.sc = sc
+        self.mount_point = mount_point.rstrip("/")
+        self.rng = rng
+        self.crash_sim: CrashSimulator | None = None
+        self._unique = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path(self, *parts: str) -> str:
+        """Absolute path under the mount point."""
+        tail = "/".join(parts)
+        return f"{self.mount_point}/{tail}" if tail else self.mount_point
+
+    def unique_name(self, prefix: str = "f") -> str:
+        """A fresh name for O_CREAT|O_EXCL-style scenarios."""
+        self._unique += 1
+        return f"{prefix}{self._unique:07d}"
+
+    # -- fixtures -------------------------------------------------------------
+
+    def ensure_dir(self, path: str) -> None:
+        """mkdir -p one component level at a time."""
+        parts = [part for part in path.split("/") if part]
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}"
+            self.sc.mkdir(current, 0o755)
+
+    def ensure_file(self, path: str, size: int = 0, mode: int = 0o644) -> None:
+        """Create (or recreate) a file with *size* bytes of content."""
+        result = self.sc.open(
+            path, constants.O_WRONLY | constants.O_CREAT | constants.O_TRUNC, mode
+        )
+        if not result.ok:
+            return
+        if size:
+            self.sc.write(result.retval, count=size)
+        self.sc.close(result.retval)
+
+    # -- privilege / state scaffolding ------------------------------------------
+
+    @contextmanager
+    def as_root(self) -> Iterator[None]:
+        """Temporarily run as root (test setup that needs privilege)."""
+        saved = self.sc.process.creds
+        self.sc.process.creds = Credentials(uid=0, gid=0)
+        try:
+            yield
+        finally:
+            self.sc.process.creds = saved
+
+    @contextmanager
+    def read_only_fs(self) -> Iterator[None]:
+        """Remount the volume read-only for the duration."""
+        saved = self.fs.read_only
+        self.fs.read_only = True
+        try:
+            yield
+        finally:
+            self.fs.read_only = saved
+
+    @contextmanager
+    def frozen_fs(self) -> Iterator[None]:
+        """Freeze the volume (snapshot in progress) for the duration."""
+        saved = self.fs.frozen
+        self.fs.frozen = True
+        try:
+            yield
+        finally:
+            self.fs.frozen = saved
+
+    @contextmanager
+    def full_device(self) -> Iterator[None]:
+        """Withhold all free blocks so allocations fail with ENOSPC."""
+        self.fs.device.reserve_all_free()
+        try:
+            yield
+        finally:
+            self.fs.device.release_reserved()
+
+    @contextmanager
+    def exhausted_quota(self) -> Iterator[None]:
+        """Give the tester uid an already-exhausted block quota."""
+        uid = self.sc.process.creds.uid
+        hog = self.path(self.unique_name("quota_hog"))
+        self.ensure_file(hog, size=self.fs.device.block_size)
+        self.fs.set_quota(uid, 1)
+        try:
+            yield
+        finally:
+            self.fs.set_quota(uid, 0)
+            self.sc.unlink(hog)
+
+    @contextmanager
+    def fd_limit(self, limit: int) -> Iterator[None]:
+        """Temporarily lower the process fd limit (EMFILE scenarios)."""
+        table = self.sc.process.fd_table
+        saved = table.max_fds
+        table.max_fds = limit
+        try:
+            yield
+        finally:
+            table.max_fds = saved
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload (failures are data, not crashes)."""
+
+    name: str
+    group: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full suite run: the trace plus bookkeeping."""
+
+    suite_name: str
+    mount_point: str
+    events: list[SyscallEvent]
+    workload_results: list[WorkloadResult] = field(default_factory=list)
+    scale: float = 1.0
+
+    @property
+    def failures(self) -> list[WorkloadResult]:
+        return [result for result in self.workload_results if not result.ok]
+
+    def event_count(self) -> int:
+        return len(self.events)
+
+
+class TestSuite:
+    """Base class for the simulated suites.
+
+    Subclasses provide :meth:`workloads` (the mechanistic tests) and
+    optionally :meth:`calibrate` (the statistical top-up pass that runs
+    after all workloads, receiving the live recorder).
+    """
+
+    name = "abstract-suite"
+    mount_point = "/mnt/test"
+
+    def workloads(self) -> Iterable[Workload]:
+        raise NotImplementedError
+
+    def calibrate(self, ctx: SuiteContext, recorder: TraceRecorder) -> None:
+        """Statistical top-up; default none."""
+
+    def make_filesystem(self) -> FileSystem:
+        """Build the volume this suite runs against (override to size)."""
+        return FileSystem()
+
+    def seed(self) -> int:
+        """Deterministic RNG seed; stable per suite name."""
+        return sum(ord(char) for char in self.name) * 7919
+
+
+class SuiteRunner:
+    """Mounts, traces, runs, calibrates, and returns the trace."""
+
+    def __init__(self, suite: TestSuite) -> None:
+        self.suite = suite
+
+    def _make_context(self, fs: FileSystem) -> SuiteContext:
+        process = Process(
+            creds=Credentials(uid=TESTER_UID, gid=TESTER_GID),
+            fd_table=FdTable(SystemFileTable()),
+            cwd_ino=fs.root_ino,
+            pid=1000,
+            comm=self.suite.name[:15],
+        )
+        sc = SyscallInterface(fs, process=process)
+        ctx = SuiteContext(
+            fs, sc, self.suite.mount_point, random.Random(self.suite.seed())
+        )
+        ctx.crash_sim = CrashSimulator(fs)
+        return ctx
+
+    def _mount(self, ctx: SuiteContext) -> None:
+        """Create the mount-point tree (done by root, like mount+chown)."""
+        with ctx.as_root():
+            ctx.ensure_dir(ctx.mount_point)
+            result = ctx.sc.chmod(ctx.mount_point, 0o777)
+            assert result.ok, result
+
+    def run(self) -> RunResult:
+        """Execute the whole suite on a fresh volume and return the trace."""
+        fs = self.suite.make_filesystem()
+        ctx = self._make_context(fs)
+        recorder = TraceRecorder()
+        recorder.attach(ctx.sc)
+        self._mount(ctx)
+
+        results: list[WorkloadResult] = []
+        for workload in self.suite.workloads():
+            try:
+                workload.run(ctx)
+            except Exception as exc:  # a broken workload is a result, not a crash
+                results.append(
+                    WorkloadResult(workload.name, workload.group, False, repr(exc))
+                )
+            else:
+                results.append(WorkloadResult(workload.name, workload.group, True))
+
+        self.suite.calibrate(ctx, recorder)
+        recorder.detach_all()
+        return RunResult(
+            suite_name=self.suite.name,
+            mount_point=self.suite.mount_point,
+            events=recorder.events,
+            workload_results=results,
+            scale=getattr(self.suite, "scale", 1.0),
+        )

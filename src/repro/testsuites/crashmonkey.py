@@ -1,0 +1,363 @@
+"""CrashMonkey substrate: bounded black-box crash-consistency testing.
+
+CrashMonkey (Mohan et al., OSDI '18) generates small workloads over a
+bounded set of operations and files ("seq-1": every workload is one
+core operation plus persistence ops), simulates a crash at a
+persistence point, remounts, and checks that everything acknowledged as
+persisted survived.  The paper traces "all of seq-1's 300 workloads and
+all generic tests" against Ext4.
+
+This module reproduces that tester against the in-memory VFS:
+
+* :class:`Seq1Generator` enumerates 300 deterministic seq-1 workloads
+  (core op x target file x persistence mode);
+* each workload runs in a private directory, takes a crash at its
+  persistence point via :class:`~repro.vfs.crash.CrashSimulator`, and
+  runs an oracle check over the remounted state;
+* a handful of generic crash-consistency scenarios (rename
+  atomicity, append durability, directory-entry durability) join them;
+* afterwards the calibration driver tops the trace up to the
+  CrashMonkey statistical profile from the paper's figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.testsuites.base import SuiteContext, TestSuite, Workload
+from repro.testsuites.calibration import CalibrationDriver
+from repro.testsuites.profiles import CRASHMONKEY_PROFILE
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants
+from repro.vfs.filesystem import FileSystem
+
+#: CrashMonkey's write flags, chosen from the calibration profile's
+#: writable combinations so mechanistic usage counts toward the target.
+DWRITE_FLAGS = (
+    constants.O_RDWR | constants.O_CREAT | constants.O_DIRECT | constants.O_SYNC
+)
+
+#: Core operations of the seq-1 space.
+SEQ1_OPS = (
+    "creat",
+    "mkdir",
+    "write",
+    "dwrite",
+    "append",
+    "truncate",
+    "unlink",
+    "rmdir",
+    "rename",
+    "symlink",
+)
+
+#: Target files within each workload's private directory.
+SEQ1_TARGETS = ("foo", "bar", "A/foo")
+
+#: Persistence modes applied after the core op.
+SEQ1_PERSIST = ("none", "fsync", "fdatasync", "sync")
+
+#: I/O sizes enumerated for the data-path ops (CrashMonkey's bounded
+#: parameter space); metadata ops ignore the size but are still
+#: enumerated with it, which is how the tool reaches its 300 workloads.
+SEQ1_SIZES = (512, 4096, 65536)
+
+#: seq-1 workload count reported in the paper.
+SEQ1_WORKLOAD_COUNT = 300
+
+
+@dataclass(frozen=True)
+class Seq1Spec:
+    """One seq-1 workload: core op, target, persistence mode, I/O size."""
+
+    index: int
+    op: str
+    target: str
+    persist: str
+    size: int = 4096
+
+    @property
+    def name(self) -> str:
+        return (
+            f"seq1-{self.index:03d}-{self.op}-"
+            f"{self.target.replace('/', '_')}-{self.persist}-{self.size}"
+        )
+
+
+class Seq1Generator:
+    """Deterministic enumeration of the 300 seq-1 workloads."""
+
+    def __iter__(self) -> Iterator[Seq1Spec]:
+        combos = itertools.product(SEQ1_OPS, SEQ1_TARGETS, SEQ1_PERSIST, SEQ1_SIZES)
+        for index, (op, target, persist, size) in enumerate(
+            itertools.islice(combos, SEQ1_WORKLOAD_COUNT)
+        ):
+            yield Seq1Spec(
+                index=index, op=op, target=target, persist=persist, size=size
+            )
+
+
+class CrashConsistencyViolation(AssertionError):
+    """The oracle found persisted state missing after the crash."""
+
+
+class CrashMonkeySuite(TestSuite):
+    """The simulated CrashMonkey tester.
+
+    Args:
+        scale: statistical-profile scale factor (1.0 = the paper's
+            absolute open counts; CrashMonkey is small enough to run at
+            full scale).
+        run_seq1: include the 300 seq-1 workloads.
+        run_generic: include the generic crash-consistency tests.
+    """
+
+    name = "CrashMonkey"
+    mount_point = "/mnt/test"
+
+    def __init__(
+        self, scale: float = 1.0, run_seq1: bool = True, run_generic: bool = True
+    ) -> None:
+        self.scale = scale
+        self.run_seq1 = run_seq1
+        self.run_generic = run_generic
+        self.profile = CRASHMONKEY_PROFILE.scaled(scale)
+        self.violations: list[str] = []
+
+    def make_filesystem(self) -> FileSystem:
+        # CrashMonkey tests small trees; a modest device is plenty and
+        # keeps crash snapshots cheap.
+        return FileSystem(total_blocks=65536)  # 256 MiB
+
+    # ------------------------------------------------------------------
+    # workload enumeration
+    # ------------------------------------------------------------------
+
+    def workloads(self) -> Iterable[Workload]:
+        if self.run_seq1:
+            for spec in Seq1Generator():
+                yield Workload(spec.name, "seq1", self._make_seq1_body(spec))
+        if self.run_generic:
+            yield from self._generic_workloads()
+
+    def calibrate(self, ctx: SuiteContext, recorder: TraceRecorder) -> None:
+        CalibrationDriver(self.profile).run(ctx, recorder)
+
+    # ------------------------------------------------------------------
+    # seq-1 machinery
+    # ------------------------------------------------------------------
+
+    def _make_seq1_body(self, spec: Seq1Spec) -> Callable[[SuiteContext], None]:
+        def body(ctx: SuiteContext) -> None:
+            self._run_seq1(ctx, spec)
+
+        return body
+
+    def _run_seq1(self, ctx: SuiteContext, spec: Seq1Spec) -> None:
+        base = ctx.path(f"wl{spec.index:03d}")
+        ctx.sc.mkdir(base, 0o755)
+        ctx.sc.mkdir(f"{base}/A", 0o755)
+        target = f"{base}/{spec.target}"
+
+        # Pre-populate the target the op needs (CrashMonkey's setup
+        # phase), then persist the baseline.
+        if spec.op in ("write", "dwrite", "append", "truncate", "unlink", "rename"):
+            self._setup_file(ctx, target)
+        if spec.op == "rmdir":
+            ctx.sc.mkdir(f"{base}/victim", 0o755)
+        assert ctx.crash_sim is not None
+        ctx.sc.sync()
+        ctx.crash_sim.checkpoint()
+
+        persisted_paths = self._core_op(ctx, spec, base, target)
+
+        # Apply the persistence mode, recording what is now guaranteed.
+        guaranteed: list[tuple[str, int]] = []
+        if spec.persist == "sync":
+            ctx.sc.sync()
+            ctx.crash_sim.checkpoint()
+            guaranteed = persisted_paths
+        elif spec.persist in ("fsync", "fdatasync") and persisted_paths:
+            path, size = persisted_paths[0]
+            # Directories are fsync'ed via a read-only directory open;
+            # files reuse CrashMonkey's usual write-open flags.
+            if spec.op == "mkdir":
+                flags = constants.O_RDONLY | constants.O_DIRECTORY
+            else:
+                flags = DWRITE_FLAGS
+            result = ctx.sc.open(path, flags)
+            if result.ok:
+                if spec.persist == "fsync":
+                    ctx.sc.fsync(result.retval)
+                else:
+                    ctx.sc.fdatasync(result.retval)
+                ctx.sc.close(result.retval)
+                ctx.crash_sim.checkpoint()
+                guaranteed = [(path, size)]
+
+        # Crash and run the oracle over the remounted image.
+        ctx.crash_sim.crash()
+        for path, size in guaranteed:
+            check = ctx.sc.lstat(path)
+            if not check.ok:
+                self.violations.append(f"{spec.name}: {path} lost after crash")
+                raise CrashConsistencyViolation(spec.name)
+            if size >= 0:
+                inode = ctx.fs.lookup(path)
+                if inode.size < size:
+                    self.violations.append(
+                        f"{spec.name}: {path} truncated to {inode.size} < {size}"
+                    )
+                    raise CrashConsistencyViolation(spec.name)
+
+    @staticmethod
+    def _setup_file(ctx: SuiteContext, path: str) -> None:
+        result = ctx.sc.creat(path, 0o644)
+        if result.ok:
+            ctx.sc.write(result.retval, count=4096)
+            ctx.sc.close(result.retval)
+
+    def _core_op(
+        self, ctx: SuiteContext, spec: Seq1Spec, base: str, target: str
+    ) -> list[tuple[str, int]]:
+        """Run the core operation; returns [(path, min_size)] it persists."""
+        sc = ctx.sc
+        if spec.op == "creat":
+            result = sc.creat(target, 0o644)
+            if result.ok:
+                sc.close(result.retval)
+            return [(target, 0)]
+        if spec.op == "mkdir":
+            sc.mkdir(f"{base}/newdir", 0o755)
+            return [(f"{base}/newdir", -1)]
+        if spec.op == "write":
+            result = sc.open(target, DWRITE_FLAGS, 0o644)
+            if result.ok:
+                sc.pwrite64(result.retval, count=spec.size, offset=0)
+                sc.close(result.retval)
+            return [(target, spec.size)]
+        if spec.op == "dwrite":
+            result = sc.open(target, DWRITE_FLAGS, 0o644)
+            if result.ok:
+                sc.pwrite64(result.retval, count=spec.size, offset=0)
+                sc.close(result.retval)
+            return [(target, spec.size)]
+        if spec.op == "append":
+            result = sc.open(target, DWRITE_FLAGS, 0o644)
+            if result.ok:
+                sc.lseek(result.retval, 0, constants.SEEK_END)
+                sc.write(result.retval, count=spec.size)
+                sc.close(result.retval)
+            return [(target, 4096 + spec.size)]
+        if spec.op == "truncate":
+            sc.truncate(target, min(100, spec.size))
+            return [(target, min(100, spec.size))]
+        if spec.op == "unlink":
+            sc.unlink(target)
+            return []
+        if spec.op == "rmdir":
+            sc.rmdir(f"{base}/victim")
+            return []
+        if spec.op == "rename":
+            renamed = f"{base}/renamed"
+            sc.rename(target, renamed)
+            return [(renamed, 4096)]
+        if spec.op == "symlink":
+            link = f"{base}/link"
+            sc.symlink(target, link)
+            return [(link, -1)]
+        raise ValueError(f"unknown seq-1 op {spec.op!r}")
+
+    # ------------------------------------------------------------------
+    # generic crash-consistency tests
+    # ------------------------------------------------------------------
+
+    def _generic_workloads(self) -> Iterable[Workload]:
+        generics: list[tuple[str, Callable[[SuiteContext], None]]] = [
+            ("generic-rename-atomicity", self._generic_rename_atomicity),
+            ("generic-append-durability", self._generic_append_durability),
+            ("generic-dirent-durability", self._generic_dirent_durability),
+            ("generic-overwrite-durability", self._generic_overwrite),
+            ("generic-unsynced-loss", self._generic_unsynced_loss),
+        ]
+        for name, body in generics:
+            yield Workload(name, "generic", body)
+
+    def _generic_rename_atomicity(self, ctx: SuiteContext) -> None:
+        """Write-to-temp + rename must expose old or new, never neither."""
+        base = ctx.path("gen_rename")
+        ctx.sc.mkdir(base, 0o755)
+        live, tmp = f"{base}/config", f"{base}/config.tmp"
+        self._setup_file(ctx, live)
+        ctx.sc.sync()
+        assert ctx.crash_sim is not None
+        ctx.crash_sim.checkpoint()
+        self._setup_file(ctx, tmp)
+        ctx.sc.rename(tmp, live)
+        ctx.crash_sim.crash()
+        if not ctx.sc.stat(live).ok:
+            self.violations.append("rename-atomicity: config vanished")
+            raise CrashConsistencyViolation("rename-atomicity")
+
+    def _generic_append_durability(self, ctx: SuiteContext) -> None:
+        """fsync'ed appends survive a crash."""
+        path = ctx.path("gen_append")
+        self._setup_file(ctx, path)
+        result = ctx.sc.open(path, DWRITE_FLAGS, 0o644)
+        assert result.ok
+        ctx.sc.lseek(result.retval, 0, constants.SEEK_END)
+        ctx.sc.write(result.retval, count=1024)
+        ctx.sc.fsync(result.retval)
+        ctx.sc.close(result.retval)
+        assert ctx.crash_sim is not None
+        ctx.crash_sim.checkpoint()
+        ctx.crash_sim.crash()
+        inode = ctx.fs.lookup(path)
+        if inode.size < 4096 + 1024:
+            self.violations.append("append-durability: synced append lost")
+            raise CrashConsistencyViolation("append-durability")
+
+    def _generic_dirent_durability(self, ctx: SuiteContext) -> None:
+        """A sync'ed directory entry survives a crash."""
+        base = ctx.path("gen_dirent")
+        ctx.sc.mkdir(base, 0o755)
+        self._setup_file(ctx, f"{base}/entry")
+        ctx.sc.sync()
+        assert ctx.crash_sim is not None
+        ctx.crash_sim.checkpoint()
+        ctx.crash_sim.crash()
+        if not ctx.sc.stat(f"{base}/entry").ok:
+            self.violations.append("dirent-durability: entry lost")
+            raise CrashConsistencyViolation("dirent-durability")
+
+    def _generic_overwrite(self, ctx: SuiteContext) -> None:
+        """fsync'ed in-place overwrite survives with the new length."""
+        path = ctx.path("gen_overwrite")
+        self._setup_file(ctx, path)
+        result = ctx.sc.open(path, DWRITE_FLAGS, 0o644)
+        assert result.ok
+        ctx.sc.pwrite64(result.retval, count=2048, offset=1024)
+        ctx.sc.fdatasync(result.retval)
+        ctx.sc.close(result.retval)
+        assert ctx.crash_sim is not None
+        ctx.crash_sim.checkpoint()
+        ctx.crash_sim.crash()
+        if ctx.fs.lookup(path).size < 4096:
+            self.violations.append("overwrite: file shrank after crash")
+            raise CrashConsistencyViolation("overwrite")
+
+    def _generic_unsynced_loss(self, ctx: SuiteContext) -> None:
+        """Unsynced data MAY be lost — assert the crash model drops it."""
+        path = ctx.path("gen_unsynced")
+        assert ctx.crash_sim is not None
+        ctx.sc.sync()
+        ctx.crash_sim.checkpoint()
+        self._setup_file(ctx, path)  # never synced
+        ctx.crash_sim.crash()
+        if ctx.sc.stat(path).ok:
+            # Not a bug (POSIX permits persistence), but our volatile
+            # model must drop it; treat survival as a model violation.
+            self.violations.append("unsynced-loss: unsynced file survived")
+            raise CrashConsistencyViolation("unsynced-loss")

@@ -1,0 +1,361 @@
+"""LTP substrate: the Linux Test Project's syscall-test style.
+
+The paper's related work names LTP alongside xfstests as the
+hand-written regression suites ("Regression-testing suites such as
+xfstests and LTP use hand-written tests for various aspects of file
+system functionality").  This third tester rounds out the comparison
+machinery and demonstrates the paper's per-tester setup claim: adding a
+tester to IOCov only requires its mount-point expression — LTP runs
+under its own ``TMPDIR`` (here ``/tmp/ltp``), not ``/mnt/test``.
+
+LTP's style differs from xfstests in a way that shows up in coverage:
+its syscall tests are *per-call conformance batteries* (open01..openNN,
+each checking one documented behaviour, heavy on errno assertions),
+not workload regressions.  The simulated suite mirrors that: many
+small testcases per syscall, each asserting one success or one errno,
+with little data volume.  No statistical calibration is applied — LTP's
+coverage here is purely what its mechanistic tests produce, which makes
+it a useful uncalibrated contrast to the two profiled suites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.testsuites.base import SuiteContext, TestSuite, Workload
+from repro.vfs import constants
+from repro.vfs.filesystem import FileSystem
+
+Case = Callable[[SuiteContext, int], None]
+
+
+class LtpSuite(TestSuite):
+    """The simulated LTP syscall-test suite.
+
+    Args:
+        repeats: how many numbered instances each battery gets
+            (LTP ships openNN up to two digits; default 6 gives a
+            ~150-testcase suite).
+    """
+
+    name = "LTP"
+    mount_point = "/tmp/ltp"
+
+    def __init__(self, repeats: int = 6) -> None:
+        self.repeats = repeats
+
+    def make_filesystem(self) -> FileSystem:
+        return FileSystem(total_blocks=32768)  # 128 MiB
+
+    # ------------------------------------------------------------------
+    # population: per-syscall batteries
+    # ------------------------------------------------------------------
+
+    def workloads(self) -> Iterable[Workload]:
+        batteries: dict[str, Case] = {
+            "open": self._battery_open,
+            "creat": self._battery_creat,
+            "read": self._battery_read,
+            "write": self._battery_write,
+            "lseek": self._battery_lseek,
+            "truncate": self._battery_truncate,
+            "ftruncate": self._battery_ftruncate,
+            "mkdir": self._battery_mkdir,
+            "rmdir": self._battery_rmdir,
+            "chmod": self._battery_chmod,
+            "chdir": self._battery_chdir,
+            "close": self._battery_close,
+            "link": self._battery_link,
+            "symlink": self._battery_symlink,
+            "rename": self._battery_rename,
+            "unlink": self._battery_unlink,
+            "access": self._battery_access,
+            "setxattr": self._battery_setxattr,
+            "getxattr": self._battery_getxattr,
+            "fsync": self._battery_fsync,
+        }
+        for syscall, battery in batteries.items():
+            for instance in range(1, self.repeats + 1):
+                yield Workload(
+                    f"{syscall}{instance:02d}",
+                    "syscalls",
+                    self._bind(battery, instance),
+                )
+
+    @staticmethod
+    def _bind(battery: Case, instance: int) -> Callable[[SuiteContext], None]:
+        def body(ctx: SuiteContext) -> None:
+            battery(ctx, instance)
+
+        return body
+
+    # ------------------------------------------------------------------
+    # batteries (one behaviour per numbered instance, LTP-style)
+    # ------------------------------------------------------------------
+
+    def _battery_open(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"open{instance:02d}")
+        if instance == 1:  # basic create
+            result = ctx.sc.open(path, constants.O_CREAT | constants.O_RDWR, 0o644)
+            assert result.ok
+            ctx.sc.close(result.retval)
+        elif instance == 2:  # ENOENT
+            assert ctx.sc.open(ctx.path("absent"), constants.O_RDONLY).errno != 0
+        elif instance == 3:  # EEXIST via O_EXCL
+            ctx.ensure_file(path)
+            flags = constants.O_CREAT | constants.O_EXCL | constants.O_WRONLY
+            assert not ctx.sc.open(path, flags, 0o644).ok
+        elif instance == 4:  # EISDIR
+            ctx.ensure_dir(path)
+            assert not ctx.sc.open(path, constants.O_WRONLY).ok
+        elif instance == 5:  # ENAMETOOLONG
+            long_name = ctx.path("n" * (constants.NAME_MAX + 1))
+            assert not ctx.sc.open(long_name, constants.O_RDONLY).ok
+        else:  # O_APPEND semantics
+            ctx.ensure_file(path, size=10)
+            result = ctx.sc.open(path, constants.O_WRONLY | constants.O_APPEND)
+            assert result.ok
+            ctx.sc.write(result.retval, count=5)
+            ctx.sc.close(result.retval)
+            assert ctx.fs.lookup(path).size == 15
+
+    def _battery_creat(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"creat{instance:02d}")
+        result = ctx.sc.creat(path, (0o600, 0o644, 0o666, 0o755, 0o444, 0o640)[instance % 6])
+        assert result.ok
+        ctx.sc.close(result.retval)
+        if instance % 2:
+            again = ctx.sc.creat(path, 0o644)  # truncates existing
+            assert again.ok
+            ctx.sc.close(again.retval)
+
+    def _battery_read(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"read{instance:02d}")
+        ctx.ensure_file(path, size=64 * instance)
+        fd = ctx.sc.open(path, constants.O_RDONLY).retval
+        if instance == 1:
+            assert ctx.sc.read(fd, 64).retval == 64
+        elif instance == 2:
+            assert ctx.sc.read(fd, 0).retval == 0
+        elif instance == 3:
+            assert ctx.sc.read(fd, -1).errno != 0  # EINVAL
+        elif instance == 4:
+            ctx.sc.lseek(fd, 0, constants.SEEK_END)
+            assert ctx.sc.read(fd, 16).retval == 0  # EOF
+        else:
+            assert ctx.sc.read(fd, 10**6).retval == 64 * instance  # short
+        ctx.sc.close(fd)
+        if instance == 6:
+            assert ctx.sc.read(fd, 8).errno != 0  # EBADF after close
+
+    def _battery_write(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"write{instance:02d}")
+        result = ctx.sc.open(path, constants.O_CREAT | constants.O_WRONLY, 0o644)
+        assert result.ok
+        fd = result.retval
+        if instance == 1:
+            assert ctx.sc.write(fd, count=128).retval == 128
+        elif instance == 2:
+            assert ctx.sc.write(fd, count=0).retval == 0
+        elif instance == 3:
+            assert ctx.sc.write(fd, count=-1).errno != 0
+        elif instance == 4:
+            assert ctx.sc.pwrite64(fd, count=32, offset=1000).retval == 32
+        else:
+            assert ctx.sc.writev(fd, [b"a" * 8, b"b" * 24]).retval == 32
+        ctx.sc.close(fd)
+        if instance == 6:
+            rd = ctx.sc.open(path, constants.O_RDONLY).retval
+            assert ctx.sc.write(rd, count=4).errno != 0  # EBADF
+            ctx.sc.close(rd)
+
+    def _battery_lseek(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"lseek{instance:02d}")
+        ctx.ensure_file(path, size=100)
+        fd = ctx.sc.open(path, constants.O_RDONLY).retval
+        checks = (
+            lambda: ctx.sc.lseek(fd, 10, constants.SEEK_SET).retval == 10,
+            lambda: ctx.sc.lseek(fd, 5, constants.SEEK_CUR).retval >= 5,
+            lambda: ctx.sc.lseek(fd, 0, constants.SEEK_END).retval == 100,
+            lambda: ctx.sc.lseek(fd, -1, constants.SEEK_SET).errno != 0,
+            lambda: ctx.sc.lseek(fd, 0, 99).errno != 0,
+            lambda: ctx.sc.lseek(fd, 0, constants.SEEK_DATA).retval == 0,
+        )
+        assert checks[(instance - 1) % len(checks)]()
+        ctx.sc.close(fd)
+
+    def _battery_truncate(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"trunc{instance:02d}")
+        ctx.ensure_file(path, size=1000)
+        if instance == 1:
+            assert ctx.sc.truncate(path, 0).ok
+        elif instance == 2:
+            assert ctx.sc.truncate(path, 5000).ok
+            assert ctx.fs.lookup(path).size == 5000
+        elif instance == 3:
+            assert ctx.sc.truncate(path, -1).errno != 0
+        elif instance == 4:
+            assert ctx.sc.truncate(ctx.path("absent"), 0).errno != 0
+        else:
+            assert ctx.sc.truncate(path, instance * 100).ok
+
+    def _battery_ftruncate(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"ftrunc{instance:02d}")
+        ctx.ensure_file(path, size=500)
+        fd = ctx.sc.open(path, constants.O_RDWR).retval
+        if instance % 3 == 0:
+            assert ctx.sc.ftruncate(fd, -2).errno != 0
+        else:
+            assert ctx.sc.ftruncate(fd, instance * 64).ok
+        ctx.sc.close(fd)
+        if instance == 5:
+            assert ctx.sc.ftruncate(fd, 0).errno != 0  # EBADF
+
+    def _battery_mkdir(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"mkdir{instance:02d}")
+        if instance == 2:
+            ctx.ensure_dir(path)
+            assert not ctx.sc.mkdir(path, 0o755).ok  # EEXIST
+        elif instance == 3:
+            assert not ctx.sc.mkdir(ctx.path("no/deep"), 0o755).ok  # ENOENT
+        else:
+            assert ctx.sc.mkdir(path, (0o755, 0o700, 0o777)[instance % 3]).ok
+
+    def _battery_rmdir(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"rmdir{instance:02d}")
+        ctx.ensure_dir(path)
+        if instance == 2:
+            ctx.ensure_file(f"{path}/f")
+            assert not ctx.sc.rmdir(path).ok  # ENOTEMPTY
+        elif instance == 3:
+            ctx.ensure_file(ctx.path("rmfile"))
+            assert not ctx.sc.rmdir(ctx.path("rmfile")).ok  # ENOTDIR
+        else:
+            assert ctx.sc.rmdir(path).ok
+
+    def _battery_chmod(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"chmod{instance:02d}")
+        ctx.ensure_file(path)
+        modes = (0o600, 0o644, 0o000, 0o4755, 0o1777, 0o444)
+        if instance == 3:
+            assert not ctx.sc.chmod(ctx.path("absent"), 0o600).ok
+        else:
+            assert ctx.sc.chmod(path, modes[instance % 6]).ok
+            assert ctx.fs.lookup(path).permissions == modes[instance % 6]
+
+    def _battery_chdir(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"chdir{instance:02d}")
+        ctx.ensure_dir(path)
+        if instance == 2:
+            ctx.ensure_file(ctx.path("cdfile"))
+            assert not ctx.sc.chdir(ctx.path("cdfile")).ok  # ENOTDIR
+        elif instance == 3:
+            assert not ctx.sc.chdir(ctx.path("absent")).ok
+        else:
+            assert ctx.sc.chdir(path).ok
+            ctx.sc.chdir("/")
+
+    def _battery_close(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"close{instance:02d}")
+        ctx.ensure_file(path)
+        fd = ctx.sc.open(path, constants.O_RDONLY).retval
+        assert ctx.sc.close(fd).ok
+        if instance % 2:
+            assert ctx.sc.close(fd).errno != 0       # EBADF: double close
+        if instance == 4:
+            assert ctx.sc.close(-1).errno != 0
+        if instance == 5:
+            assert ctx.sc.close(99999).errno != 0
+
+    def _battery_link(self, ctx: SuiteContext, instance: int) -> None:
+        src = ctx.path(f"link{instance:02d}")
+        ctx.ensure_file(src, size=8)
+        if instance == 2:
+            assert not ctx.sc.link(ctx.path("absent"), ctx.path("l2")).ok
+        elif instance == 3:
+            ctx.ensure_dir(ctx.path("ldir"))
+            assert not ctx.sc.link(ctx.path("ldir"), ctx.path("l3")).ok  # EPERM
+        else:
+            dst = ctx.path(f"hard{instance:02d}")
+            assert ctx.sc.link(src, dst).ok
+            assert ctx.fs.lookup(dst).nlink == 2
+
+    def _battery_symlink(self, ctx: SuiteContext, instance: int) -> None:
+        target = ctx.path(f"symt{instance:02d}")
+        link = ctx.path(f"syml{instance:02d}")
+        ctx.ensure_file(target)
+        assert ctx.sc.symlink(target, link).ok
+        if instance % 2:
+            assert ctx.sc.stat(link).ok           # follows
+            assert ctx.sc.lstat(link).ok
+        else:
+            assert not ctx.sc.symlink(target, link).ok  # EEXIST
+
+    def _battery_rename(self, ctx: SuiteContext, instance: int) -> None:
+        src = ctx.path(f"ren{instance:02d}")
+        dst = ctx.path(f"ren{instance:02d}_new")
+        ctx.ensure_file(src, size=16)
+        if instance == 3:
+            assert not ctx.sc.rename(ctx.path("absent"), dst).ok
+        else:
+            assert ctx.sc.rename(src, dst).ok
+            assert not ctx.sc.stat(src).ok
+
+    def _battery_unlink(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"unl{instance:02d}")
+        ctx.ensure_file(path)
+        if instance == 3:
+            ctx.ensure_dir(ctx.path("udir"))
+            assert not ctx.sc.unlink(ctx.path("udir")).ok  # EISDIR
+        else:
+            assert ctx.sc.unlink(path).ok
+            assert not ctx.sc.stat(path).ok
+
+    def _battery_access(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"acc{instance:02d}")
+        ctx.ensure_file(path, mode=0o640)
+        if instance == 2:
+            assert not ctx.sc.access(ctx.path("absent"), 0).ok
+        elif instance == 3:
+            assert ctx.sc.access(path, 0o77).errno != 0  # EINVAL
+        else:
+            assert ctx.sc.access(path, 0).ok
+
+    def _battery_setxattr(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"setx{instance:02d}")
+        ctx.ensure_file(path)
+        if instance == 2:
+            flags = constants.XATTR_REPLACE
+            assert not ctx.sc.setxattr(path, "user.none", b"v", flags=flags).ok
+        elif instance == 3:
+            assert not ctx.sc.setxattr(path, "bogus.ns", b"v").ok  # EOPNOTSUPP
+        else:
+            assert ctx.sc.setxattr(path, "user.ltp", b"x" * instance).ok
+
+    def _battery_getxattr(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"getx{instance:02d}")
+        ctx.ensure_file(path)
+        ctx.sc.setxattr(path, "user.ltp", b"value")
+        if instance == 2:
+            assert ctx.sc.getxattr(path, "user.absent", 16).errno != 0  # ENODATA
+        elif instance == 3:
+            assert ctx.sc.getxattr(path, "user.ltp", 2).errno != 0  # ERANGE
+        elif instance == 4:
+            assert ctx.sc.getxattr(path, "user.ltp", 0).retval == 5  # probe
+        else:
+            assert ctx.sc.getxattr(path, "user.ltp", 64).retval == 5
+
+    def _battery_fsync(self, ctx: SuiteContext, instance: int) -> None:
+        path = ctx.path(f"sync{instance:02d}")
+        ctx.ensure_file(path, size=256)
+        fd = ctx.sc.open(path, constants.O_WRONLY).retval
+        ctx.sc.write(fd, count=128)
+        if instance % 2:
+            assert ctx.sc.fsync(fd).ok
+        else:
+            assert ctx.sc.fdatasync(fd).ok
+        ctx.sc.close(fd)
+        if instance == 5:
+            assert ctx.sc.fsync(fd).errno != 0  # EBADF
+        if instance == 6:
+            assert ctx.sc.sync().ok

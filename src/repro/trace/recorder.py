@@ -1,0 +1,69 @@
+"""In-memory trace recorder: the LTTng equivalent for the simulated VFS.
+
+LTTng attaches to kernel tracepoints and streams syscall records to a
+consumer.  Here, :class:`TraceRecorder` subscribes to a
+:class:`~repro.vfs.syscalls.SyscallInterface` and accumulates
+:class:`~repro.trace.events.SyscallEvent` records.  The recorder is
+deliberately dumb — no filtering, no interpretation — because in the
+paper's architecture filtering and analysis belong to IOCov, not the
+tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.trace.events import SyscallEvent
+
+
+class TraceRecorder:
+    """Accumulates syscall events from one or more traced interfaces."""
+
+    def __init__(self) -> None:
+        self._events: list[SyscallEvent] = []
+        self._attached: list[object] = []
+        self.enabled = True
+
+    # -- collection ----------------------------------------------------------
+
+    def __call__(self, event: SyscallEvent) -> None:
+        """Listener entry point (subscribe this object directly)."""
+        if self.enabled:
+            self._events.append(event)
+
+    def attach(self, interface) -> None:
+        """Start tracing a :class:`SyscallInterface`."""
+        interface.subscribe(self)
+        self._attached.append(interface)
+
+    def detach_all(self) -> None:
+        """Stop tracing every attached interface."""
+        for interface in self._attached:
+            interface.unsubscribe(self)
+        self._attached.clear()
+
+    def pause(self) -> None:
+        self.enabled = False
+
+    def resume(self) -> None:
+        self.enabled = True
+
+    # -- access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SyscallEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[SyscallEvent]:
+        """The recorded events, in arrival order."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def extend(self, events: Iterable[SyscallEvent]) -> None:
+        """Append externally produced events (e.g. from a parsed file)."""
+        self._events.extend(events)

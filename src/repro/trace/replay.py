@@ -1,0 +1,256 @@
+"""Trace replay: re-execute a captured trace against a live VFS.
+
+The paper traces testers with LTTng partly because the same group's
+Re-Animator work (Akgun et al., SYSTOR '20) showed such traces can be
+*replayed* with high fidelity.  This module is the replay half: feed a
+parsed trace (live events, LTTng text, or strace) to
+:class:`TraceReplayer` and it re-issues every syscall against a target
+:class:`~repro.vfs.syscalls.SyscallInterface`, reporting where the
+replayed outcome diverges from the recorded one.
+
+Uses:
+
+* validate that a trace is self-consistent (replaying a recorder's own
+  trace onto a fresh FS must reproduce every outcome);
+* port a captured workload onto a differently configured FS and see
+  which outcomes change (a poor-man's differential test from a trace);
+* turn an external strace capture into a living workload for the
+  simulated suites.
+
+File descriptors are remapped (the replay target hands out its own fd
+numbers); write payloads are reconstructed as zero-fill of the recorded
+count, since traces do not carry data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.trace.events import SyscallEvent
+
+if TYPE_CHECKING:  # circular at runtime: vfs.syscalls emits trace events
+    from repro.vfs.syscalls import SyscallInterface, SyscallResult
+
+
+@dataclass
+class ReplayDivergence:
+    """One event whose replayed outcome differs from the recording."""
+
+    index: int
+    event: SyscallEvent
+    replay_retval: int
+    replay_errno: int
+
+    def describe(self) -> str:
+        return (
+            f"#{self.index} {self.event.name}: recorded "
+            f"(ret={self.event.retval}, errno={self.event.errno}) vs replayed "
+            f"(ret={self.replay_retval}, errno={self.replay_errno})"
+        )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    replayed: int = 0
+    skipped: int = 0
+    divergences: list[ReplayDivergence] = field(default_factory=list)
+
+    @property
+    def faithful(self) -> bool:
+        return not self.divergences
+
+    def render_text(self) -> str:
+        lines = [
+            f"replayed {self.replayed} events"
+            f" ({self.skipped} skipped, {len(self.divergences)} divergent)"
+        ]
+        lines.extend("  " + d.describe() for d in self.divergences[:20])
+        return "\n".join(lines)
+
+
+#: Syscalls whose success retval is an fd (compared by ok-ness only).
+_FD_RETURNING = frozenset({"open", "openat", "openat2", "creat"})
+
+
+class TraceReplayer:
+    """Re-executes trace events against a target interface."""
+
+    def __init__(self, target: SyscallInterface) -> None:
+        self.target = target
+        #: recorded fd -> replay fd
+        self._fd_map: dict[int, int] = {}
+        self._handlers: dict[str, Callable[[SyscallEvent], SyscallResult | None]] = {
+            "open": self._replay_open,
+            "openat": self._replay_open,
+            "openat2": self._replay_open,
+            "creat": self._replay_open,
+            "close": self._replay_close,
+            "read": self._replay_read,
+            "pread64": self._replay_read,
+            "readv": self._replay_readv,
+            "write": self._replay_write,
+            "pwrite64": self._replay_write,
+            "writev": self._replay_writev,
+            "lseek": self._replay_lseek,
+            "truncate": lambda e: self.target.truncate(
+                e.arg("path") or e.arg("pathname"), e.arg("length", 0)
+            ),
+            "ftruncate": lambda e: self.target.ftruncate(
+                self._fd(e.arg("fd")), e.arg("length", 0)
+            ),
+            "mkdir": lambda e: self.target.mkdir(
+                e.arg("pathname"), e.arg("mode", 0o755)
+            ),
+            "mkdirat": lambda e: self.target.mkdir(
+                e.arg("pathname"), e.arg("mode", 0o755)
+            ),
+            "chmod": lambda e: self.target.chmod(e.arg("pathname"), e.arg("mode", 0)),
+            "fchmod": lambda e: self.target.fchmod(
+                self._fd(e.arg("fd")), e.arg("mode", 0)
+            ),
+            "fchmodat": lambda e: self.target.fchmodat(
+                -100, e.arg("pathname"), e.arg("mode", 0), e.arg("flags", 0)
+            ),
+            "chdir": lambda e: self.target.chdir(e.arg("filename")),
+            "fchdir": lambda e: self.target.fchdir(self._fd(e.arg("fd"))),
+            "setxattr": self._replay_setxattr,
+            "lsetxattr": self._replay_setxattr,
+            "fsetxattr": self._replay_fsetxattr,
+            "getxattr": lambda e: self.target.getxattr(
+                e.arg("pathname"), e.arg("name", ""), e.arg("size", 0)
+            ),
+            "lgetxattr": lambda e: self.target.lgetxattr(
+                e.arg("pathname"), e.arg("name", ""), e.arg("size", 0)
+            ),
+            "fgetxattr": lambda e: self.target.fgetxattr(
+                self._fd(e.arg("fd")), e.arg("name", ""), e.arg("size", 0)
+            ),
+            "unlink": lambda e: self.target.unlink(e.arg("pathname")),
+            "rmdir": lambda e: self.target.rmdir(e.arg("pathname")),
+            "rename": lambda e: self.target.rename(
+                e.arg("oldpath"), e.arg("newpath")
+            ),
+            "link": lambda e: self.target.link(e.arg("oldpath"), e.arg("newpath")),
+            "symlink": lambda e: self.target.symlink(
+                e.arg("target", ""), e.arg("linkpath")
+            ),
+            "stat": lambda e: self.target.stat(e.arg("pathname")),
+            "lstat": lambda e: self.target.lstat(e.arg("pathname")),
+            "fstat": lambda e: self.target.fstat(self._fd(e.arg("fd"))),
+            "access": lambda e: self.target.access(e.arg("pathname"), e.arg("mode", 0)),
+            "statfs": lambda e: self.target.statfs(e.arg("pathname")),
+            "fsync": lambda e: self.target.fsync(self._fd(e.arg("fd"))),
+            "fdatasync": lambda e: self.target.fdatasync(self._fd(e.arg("fd"))),
+            "sync": lambda e: self.target.sync(),
+        }
+
+    # -- fd translation ------------------------------------------------------
+
+    def _fd(self, recorded_fd: Any) -> int:
+        if isinstance(recorded_fd, int):
+            return self._fd_map.get(recorded_fd, recorded_fd)
+        return -1
+
+    # -- per-family handlers ------------------------------------------------------
+
+    def _replay_open(self, event: SyscallEvent) -> SyscallResult:
+        result = self.target.open(
+            event.arg("pathname"),
+            event.arg("flags", 0) or 0,
+            event.arg("mode", 0o644) or 0o644,
+        )
+        if event.ok and result.ok:
+            self._fd_map[event.retval] = result.retval
+        return result
+
+    def _replay_close(self, event: SyscallEvent) -> SyscallResult:
+        recorded = event.arg("fd")
+        result = self.target.close(self._fd(recorded))
+        if isinstance(recorded, int):
+            self._fd_map.pop(recorded, None)
+        return result
+
+    def _replay_read(self, event: SyscallEvent) -> SyscallResult:
+        fd = self._fd(event.arg("fd"))
+        count = event.arg("count", 0) or 0
+        if "pos" in event.args:
+            return self.target.pread64(fd, count, event.arg("pos", 0))
+        return self.target.read(fd, count)
+
+    def _replay_readv(self, event: SyscallEvent) -> SyscallResult:
+        fd = self._fd(event.arg("fd"))
+        count = event.arg("count", 0) or 0
+        vlen = max(1, event.arg("vlen", 1) or 1)
+        base = count // vlen
+        lens = [base] * vlen
+        lens[-1] += count - base * vlen
+        return self.target.readv(fd, lens)
+
+    def _replay_write(self, event: SyscallEvent) -> SyscallResult:
+        fd = self._fd(event.arg("fd"))
+        count = event.arg("count", 0) or 0
+        if "pos" in event.args:
+            return self.target.pwrite64(fd, count=count, offset=event.arg("pos", 0))
+        return self.target.write(fd, count=count)
+
+    def _replay_writev(self, event: SyscallEvent) -> SyscallResult:
+        fd = self._fd(event.arg("fd"))
+        count = event.arg("count", 0) or 0
+        vlen = max(1, event.arg("vlen", 1) or 1)
+        base = count // vlen
+        sizes = [base] * vlen
+        sizes[-1] += count - base * vlen
+        return self.target.writev(fd, [b"\0" * size for size in sizes])
+
+    def _replay_lseek(self, event: SyscallEvent) -> SyscallResult:
+        return self.target.lseek(
+            self._fd(event.arg("fd")),
+            event.arg("offset", 0) or 0,
+            event.arg("whence", 0) or 0,
+        )
+
+    def _replay_setxattr(self, event: SyscallEvent) -> SyscallResult:
+        size = event.arg("size", 0) or 0
+        method = getattr(self.target, event.name)
+        return method(event.arg("pathname"), event.arg("name", ""), b"", size=size)
+
+    def _replay_fsetxattr(self, event: SyscallEvent) -> SyscallResult:
+        size = event.arg("size", 0) or 0
+        return self.target.fsetxattr(
+            self._fd(event.arg("fd")), event.arg("name", ""), b"", size=size
+        )
+
+    # -- comparison ------------------------------------------------------------
+
+    @staticmethod
+    def _matches(event: SyscallEvent, result: SyscallResult) -> bool:
+        if event.name in _FD_RETURNING:
+            # fd numbering is environment-specific: compare outcome only.
+            return event.ok == result.ok and event.errno == result.errno
+        return event.retval == result.retval and event.errno == result.errno
+
+    # -- entry point ------------------------------------------------------------
+
+    def replay(self, events: Iterable[SyscallEvent]) -> ReplayReport:
+        """Re-execute *events* in order; report fidelity."""
+        report = ReplayReport()
+        for index, event in enumerate(events):
+            handler = self._handlers.get(event.name)
+            if handler is None:
+                report.skipped += 1
+                continue
+            result = handler(event)
+            report.replayed += 1
+            if result is not None and not self._matches(event, result):
+                report.divergences.append(
+                    ReplayDivergence(
+                        index=index,
+                        event=event,
+                        replay_retval=result.retval,
+                        replay_errno=result.errno,
+                    )
+                )
+        return report

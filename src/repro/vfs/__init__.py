@@ -1,0 +1,44 @@
+"""In-memory POSIX file system substrate.
+
+The VFS gives IOCov a realistic syscall boundary to trace: all 27
+syscalls the paper's prototype covers, with Linux-faithful flag values,
+errno behaviour, and resource limits.  See :mod:`repro.vfs.syscalls`
+for the call surface.
+"""
+
+from repro.vfs.blockdev import BlockDevice, BlockDeviceStats
+from repro.vfs.crash import CrashSimulator
+from repro.vfs.errors import FsError, errno_from_name, errno_name
+from repro.vfs.faults import FaultInjector, FaultRule
+from repro.vfs.fd import FdTable, OpenFileDescription, Process, SystemFileTable
+from repro.vfs.filesystem import FileSystem, Quota
+from repro.vfs.inode import DirInode, FileInode, Inode, InodeTable, SymlinkInode
+from repro.vfs.path import Credentials, PathResolver, ResolveResult
+from repro.vfs.syscalls import SyscallInterface, SyscallResult
+
+__all__ = [
+    "BlockDevice",
+    "BlockDeviceStats",
+    "CrashSimulator",
+    "Credentials",
+    "DirInode",
+    "FaultInjector",
+    "FaultRule",
+    "FdTable",
+    "FileInode",
+    "FileSystem",
+    "FsError",
+    "Inode",
+    "InodeTable",
+    "OpenFileDescription",
+    "PathResolver",
+    "Process",
+    "Quota",
+    "ResolveResult",
+    "SymlinkInode",
+    "SyscallInterface",
+    "SyscallResult",
+    "SystemFileTable",
+    "errno_from_name",
+    "errno_name",
+]

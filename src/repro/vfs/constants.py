@@ -1,0 +1,201 @@
+"""Flag, mode, and limit constants for the in-memory VFS.
+
+Values match Linux/x86-64 so that bit patterns recorded in traces are
+directly comparable with real LTTng/strace captures, and so that the
+IOCov bitmap partitioner (:mod:`repro.core.partition`) can decode them
+with the same tables it would use on real traces.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# open(2) flags (Linux, x86-64 generic values)
+# --------------------------------------------------------------------------
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_ACCMODE = 0o3
+
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_NOCTTY = 0o400
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+O_NONBLOCK = 0o4000
+O_DSYNC = 0o10000
+O_ASYNC = 0o20000
+O_DIRECT = 0o40000
+O_LARGEFILE = 0o100000
+O_DIRECTORY = 0o200000
+O_NOFOLLOW = 0o400000
+O_NOATIME = 0o1000000
+O_CLOEXEC = 0o2000000
+# O_SYNC is (__O_SYNC | O_DSYNC) on Linux; __O_SYNC is 0o4000000.
+__O_SYNC = 0o4000000
+O_SYNC = __O_SYNC | O_DSYNC
+O_PATH = 0o10000000
+# O_TMPFILE is (__O_TMPFILE | O_DIRECTORY).
+__O_TMPFILE = 0o20000000
+O_TMPFILE = __O_TMPFILE | O_DIRECTORY
+O_NDELAY = O_NONBLOCK
+
+#: The full per-flag decode table for open(2), in the order the paper's
+#: Figure 2 x-axis lists them (access modes first, then the modifier
+#: flags).  O_RDONLY is value 0 and therefore needs special handling in
+#: the partitioner: an open is O_RDONLY iff ``flags & O_ACCMODE == 0``.
+OPEN_FLAG_NAMES: dict[str, int] = {
+    "O_RDONLY": O_RDONLY,
+    "O_WRONLY": O_WRONLY,
+    "O_RDWR": O_RDWR,
+    "O_CREAT": O_CREAT,
+    "O_EXCL": O_EXCL,
+    "O_NOCTTY": O_NOCTTY,
+    "O_TRUNC": O_TRUNC,
+    "O_APPEND": O_APPEND,
+    "O_NONBLOCK": O_NONBLOCK,
+    "O_DSYNC": O_DSYNC,
+    "O_ASYNC": O_ASYNC,
+    "O_DIRECT": O_DIRECT,
+    "O_LARGEFILE": O_LARGEFILE,
+    "O_DIRECTORY": O_DIRECTORY,
+    "O_NOFOLLOW": O_NOFOLLOW,
+    "O_NOATIME": O_NOATIME,
+    "O_CLOEXEC": O_CLOEXEC,
+    "O_SYNC": O_SYNC,
+    "O_PATH": O_PATH,
+    "O_TMPFILE": O_TMPFILE,
+}
+
+#: Flags that occupy the access-mode field rather than independent bits.
+OPEN_ACCESS_MODES: dict[str, int] = {
+    "O_RDONLY": O_RDONLY,
+    "O_WRONLY": O_WRONLY,
+    "O_RDWR": O_RDWR,
+}
+
+#: Independent modifier bits (everything except the access-mode field).
+#: O_SYNC and O_TMPFILE are composite; they are decoded before their
+#: constituent bits (O_DSYNC, O_DIRECTORY) to avoid double-reporting.
+OPEN_MODIFIER_FLAGS: dict[str, int] = {
+    name: value
+    for name, value in OPEN_FLAG_NAMES.items()
+    if name not in OPEN_ACCESS_MODES
+}
+
+# --------------------------------------------------------------------------
+# lseek(2) whence values
+# --------------------------------------------------------------------------
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+SEEK_DATA = 3
+SEEK_HOLE = 4
+
+SEEK_WHENCE_NAMES: dict[str, int] = {
+    "SEEK_SET": SEEK_SET,
+    "SEEK_CUR": SEEK_CUR,
+    "SEEK_END": SEEK_END,
+    "SEEK_DATA": SEEK_DATA,
+    "SEEK_HOLE": SEEK_HOLE,
+}
+
+# --------------------------------------------------------------------------
+# mode bits (chmod / open mode argument)
+# --------------------------------------------------------------------------
+S_ISUID = 0o4000
+S_ISGID = 0o2000
+S_ISVTX = 0o1000
+S_IRUSR = 0o400
+S_IWUSR = 0o200
+S_IXUSR = 0o100
+S_IRGRP = 0o40
+S_IWGRP = 0o20
+S_IXGRP = 0o10
+S_IROTH = 0o4
+S_IWOTH = 0o2
+S_IXOTH = 0o1
+S_IRWXU = S_IRUSR | S_IWUSR | S_IXUSR
+S_IRWXG = S_IRGRP | S_IWGRP | S_IXGRP
+S_IRWXO = S_IROTH | S_IWOTH | S_IXOTH
+
+MODE_BIT_NAMES: dict[str, int] = {
+    "S_ISUID": S_ISUID,
+    "S_ISGID": S_ISGID,
+    "S_ISVTX": S_ISVTX,
+    "S_IRUSR": S_IRUSR,
+    "S_IWUSR": S_IWUSR,
+    "S_IXUSR": S_IXUSR,
+    "S_IRGRP": S_IRGRP,
+    "S_IWGRP": S_IWGRP,
+    "S_IXGRP": S_IXGRP,
+    "S_IROTH": S_IROTH,
+    "S_IWOTH": S_IWOTH,
+    "S_IXOTH": S_IXOTH,
+}
+
+#: File-type bits in st_mode.
+S_IFMT = 0o170000
+S_IFREG = 0o100000
+S_IFDIR = 0o40000
+S_IFLNK = 0o120000
+
+# --------------------------------------------------------------------------
+# setxattr(2) flags
+# --------------------------------------------------------------------------
+XATTR_CREATE = 0x1
+XATTR_REPLACE = 0x2
+
+XATTR_FLAG_NAMES: dict[str, int] = {
+    "XATTR_CREATE": XATTR_CREATE,
+    "XATTR_REPLACE": XATTR_REPLACE,
+}
+
+# --------------------------------------------------------------------------
+# *at(2) dirfd sentinel and flags
+# --------------------------------------------------------------------------
+AT_FDCWD = -100
+AT_SYMLINK_NOFOLLOW = 0x100
+AT_EMPTY_PATH = 0x1000
+
+# --------------------------------------------------------------------------
+# openat2(2) resolve flags (struct open_how.resolve)
+# --------------------------------------------------------------------------
+RESOLVE_NO_XDEV = 0x01
+RESOLVE_NO_MAGICLINKS = 0x02
+RESOLVE_NO_SYMLINKS = 0x04
+RESOLVE_BENEATH = 0x08
+RESOLVE_IN_ROOT = 0x10
+
+# --------------------------------------------------------------------------
+# File-system limits (Linux / Ext4 defaults unless noted)
+# --------------------------------------------------------------------------
+#: Maximum length of one path component.
+NAME_MAX = 255
+#: Maximum length of a whole path handed to a syscall.
+PATH_MAX = 4096
+#: Maximum depth of symlink resolution before ELOOP.
+SYMLOOP_MAX = 40
+#: Per-process soft limit on open file descriptors (RLIMIT_NOFILE default).
+DEFAULT_MAX_FDS = 1024
+#: System-wide limit on open file descriptions (file-max analogue).
+DEFAULT_MAX_OPEN_FILES = 65536
+#: Default logical block size (Ext4 default 4 KiB).
+DEFAULT_BLOCK_SIZE = 4096
+#: Default device capacity: 1 GiB of 4 KiB blocks.
+DEFAULT_DEVICE_BLOCKS = 262144
+#: Maximum file size (Ext4 with 4 KiB blocks: 16 TiB).
+MAX_FILE_SIZE = 16 * 1024**4
+#: Largest file offset representable (2**63 - 1, loff_t).
+MAX_OFFSET = 2**63 - 1
+#: Maximum size of one xattr value (Linux VFS limit, 64 KiB).
+XATTR_SIZE_MAX = 65536
+#: Maximum length of an xattr name.
+XATTR_NAME_MAX = 255
+#: In-inode xattr storage space (Ext4 inode with 256-byte inodes keeps
+#: roughly this much room for in-body xattrs; used by the Figure 1
+#: exemplar bug model).
+XATTR_IBODY_SPACE = 100
+#: Maximum count for a single read/write (Linux caps at MAX_RW_COUNT).
+MAX_RW_COUNT = 0x7FFFF000
+#: Maximum iovec entries for readv/writev.
+IOV_MAX = 1024

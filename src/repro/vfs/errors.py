@@ -1,0 +1,110 @@
+"""Errno catalogue and the exception type used throughout the VFS.
+
+The in-memory file system mirrors the Linux syscall boundary: every
+syscall either succeeds (returning a non-negative value) or fails with a
+POSIX errno.  Internally, failures propagate as :class:`FsError`
+exceptions carrying the errno; the syscall layer in
+:mod:`repro.vfs.syscalls` catches them and converts to the
+``(retval, errno)`` convention that the tracer records.
+
+The errno values here follow the Linux/x86-64 numbering so that traces
+produced by this VFS are byte-compatible with traces captured from a
+real kernel by LTTng or strace.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+
+# Re-export the standard numbering under short names.  Only the errnos
+# that file-system syscalls can legitimately return are listed; this is
+# the same set that appears on the x-axis of the paper's Figure 4 (the
+# output-coverage plot for ``open``), plus a few needed by other
+# syscalls (e.g. ESPIPE for lseek, ERANGE/ENODATA for xattrs).
+EPERM = _errno.EPERM
+ENOENT = _errno.ENOENT
+EINTR = _errno.EINTR
+EIO = _errno.EIO
+ENXIO = _errno.ENXIO
+E2BIG = _errno.E2BIG
+EBADF = _errno.EBADF
+EAGAIN = _errno.EAGAIN
+ENOMEM = _errno.ENOMEM
+EACCES = _errno.EACCES
+EFAULT = _errno.EFAULT
+ENOTBLK = _errno.ENOTBLK
+EBUSY = _errno.EBUSY
+EEXIST = _errno.EEXIST
+EXDEV = _errno.EXDEV
+ENODEV = _errno.ENODEV
+ENOTDIR = _errno.ENOTDIR
+EISDIR = _errno.EISDIR
+EINVAL = _errno.EINVAL
+ENFILE = _errno.ENFILE
+EMFILE = _errno.EMFILE
+ETXTBSY = _errno.ETXTBSY
+EFBIG = _errno.EFBIG
+ENOSPC = _errno.ENOSPC
+ESPIPE = _errno.ESPIPE
+EROFS = _errno.EROFS
+EMLINK = _errno.EMLINK
+EPIPE = _errno.EPIPE
+ERANGE = _errno.ERANGE
+ENAMETOOLONG = _errno.ENAMETOOLONG
+ELOOP = _errno.ELOOP
+EOVERFLOW = _errno.EOVERFLOW
+EOPNOTSUPP = _errno.EOPNOTSUPP
+EDQUOT = _errno.EDQUOT
+ENODATA = _errno.ENODATA
+ENOSYS = _errno.ENOSYS
+ENOTEMPTY = _errno.ENOTEMPTY
+
+#: Errno number -> symbolic name (e.g. 2 -> "ENOENT").
+ERRNO_NAMES: dict[int, str] = dict(_errno.errorcode)
+
+#: Symbolic name -> errno number (e.g. "ENOENT" -> 2).  Aliases that
+#: share a number (EOPNOTSUPP/ENOTSUP, EAGAIN/EWOULDBLOCK) are all
+#: present so parsers accept either spelling; :func:`errno_name` emits
+#: the canonical one from ``errno.errorcode``.
+ERRNO_BY_NAME: dict[str, int] = {name: num for num, name in _errno.errorcode.items()}
+ERRNO_BY_NAME.setdefault("EOPNOTSUPP", _errno.EOPNOTSUPP)
+ERRNO_BY_NAME.setdefault("ENOTSUP", _errno.ENOTSUP)
+ERRNO_BY_NAME.setdefault("EWOULDBLOCK", _errno.EWOULDBLOCK)
+ERRNO_BY_NAME.setdefault("EDEADLOCK", _errno.EDEADLK)
+
+
+def errno_name(err: int) -> str:
+    """Return the symbolic name for *err* (e.g. ``2`` -> ``"ENOENT"``).
+
+    Unknown numbers render as ``"E?<num>"`` so that malformed traces
+    remain debuggable rather than raising.
+    """
+    return ERRNO_NAMES.get(err, f"E?{err}")
+
+
+def errno_from_name(name: str) -> int:
+    """Return the errno number for a symbolic *name* (e.g. ``"ENOENT"``).
+
+    Raises:
+        KeyError: if *name* is not a recognized errno symbol.
+    """
+    return ERRNO_BY_NAME[name]
+
+
+class FsError(Exception):
+    """A file-system operation failed with a POSIX errno.
+
+    Attributes:
+        errno: the numeric errno (Linux numbering).
+        message: optional human-readable context.
+    """
+
+    def __init__(self, err: int, message: str = "") -> None:
+        self.errno = err
+        self.message = message
+        super().__init__(f"{errno_name(err)}: {message}" if message else errno_name(err))
+
+    @property
+    def name(self) -> str:
+        """Symbolic errno name, e.g. ``"ENOENT"``."""
+        return errno_name(self.errno)

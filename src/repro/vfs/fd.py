@@ -1,0 +1,158 @@
+"""Open file descriptions and the per-process descriptor table.
+
+Mirrors the kernel's split between the *file description* (offset,
+flags, inode reference — shared across dup'ed descriptors) and the
+*descriptor table* (small integers per process).  EBADF, EMFILE, and
+ENFILE all originate here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vfs import constants
+from repro.vfs.errors import EBADF, EMFILE, ENFILE, FsError
+from repro.vfs.inode import Inode
+from repro.vfs.path import Credentials
+
+
+@dataclass
+class OpenFileDescription:
+    """One open(2) result: inode + position + the flags it was opened with."""
+
+    inode: Inode
+    flags: int
+    offset: int = 0
+    refcount: int = 1
+
+    @property
+    def access_mode(self) -> int:
+        return self.flags & constants.O_ACCMODE
+
+    def readable(self) -> bool:
+        # O_PATH descriptors allow no I/O at all.
+        if self.flags & constants.O_PATH:
+            return False
+        return self.access_mode in (constants.O_RDONLY, constants.O_RDWR)
+
+    def writable(self) -> bool:
+        if self.flags & constants.O_PATH:
+            return False
+        return self.access_mode in (constants.O_WRONLY, constants.O_RDWR)
+
+    def append_mode(self) -> bool:
+        return bool(self.flags & constants.O_APPEND)
+
+
+class SystemFileTable:
+    """System-wide open-file accounting (the file-max limit → ENFILE)."""
+
+    def __init__(self, max_open: int = constants.DEFAULT_MAX_OPEN_FILES) -> None:
+        self.max_open = max_open
+        self.open_count = 0
+
+    def acquire(self) -> None:
+        if self.open_count >= self.max_open:
+            raise FsError(ENFILE, f"system file table full ({self.max_open})")
+        self.open_count += 1
+
+    def release(self) -> None:
+        if self.open_count > 0:
+            self.open_count -= 1
+
+
+class FdTable:
+    """Per-process descriptor table: fd int -> OpenFileDescription."""
+
+    def __init__(
+        self,
+        system_table: SystemFileTable,
+        max_fds: int = constants.DEFAULT_MAX_FDS,
+    ) -> None:
+        self._system = system_table
+        self.max_fds = max_fds
+        self._fds: dict[int, OpenFileDescription] = {}
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._fds
+
+    def _lowest_free(self) -> int:
+        fd = 0
+        while fd in self._fds:
+            fd += 1
+        return fd
+
+    def install(self, ofd: OpenFileDescription) -> int:
+        """Install *ofd* at the lowest free fd number.
+
+        Raises:
+            FsError(EMFILE): the process fd limit is reached.
+            FsError(ENFILE): the system-wide table is full.
+        """
+        if len(self._fds) >= self.max_fds:
+            raise FsError(EMFILE, f"process fd limit {self.max_fds}")
+        self._system.acquire()
+        fd = self._lowest_free()
+        self._fds[fd] = ofd
+        return fd
+
+    def install_at(self, ofd: OpenFileDescription, fd: int) -> int:
+        """Install *ofd* at a specific number (dup2 semantics).
+
+        An existing descriptor at *fd* is closed first.
+
+        Raises:
+            FsError(EBADF): *fd* is negative or beyond the limit.
+            FsError(ENFILE): the system-wide table is full.
+        """
+        if fd < 0 or fd >= self.max_fds:
+            raise FsError(EBADF, f"dup2 target {fd}")
+        if fd in self._fds:
+            self.close(fd)
+        self._system.acquire()
+        self._fds[fd] = ofd
+        return fd
+
+    def get(self, fd: int) -> OpenFileDescription:
+        """Look up *fd*.
+
+        Raises:
+            FsError(EBADF): not an open descriptor.
+        """
+        if fd not in self._fds:
+            raise FsError(EBADF, f"fd {fd}")
+        return self._fds[fd]
+
+    def close(self, fd: int) -> None:
+        """Close *fd*.
+
+        Raises:
+            FsError(EBADF): not an open descriptor.
+        """
+        if fd not in self._fds:
+            raise FsError(EBADF, f"fd {fd}")
+        ofd = self._fds.pop(fd)
+        ofd.refcount -= 1
+        self._system.release()
+
+    def close_all(self) -> None:
+        for fd in list(self._fds):
+            self.close(fd)
+
+    def open_fds(self) -> list[int]:
+        return sorted(self._fds)
+
+
+@dataclass
+class Process:
+    """The execution context syscalls run under: creds, cwd, fd table."""
+
+    creds: Credentials
+    fd_table: FdTable
+    cwd_ino: int
+    umask: int = 0o022
+    pid: int = 1
+    comm: str = "tester"

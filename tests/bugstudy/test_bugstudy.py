@@ -1,0 +1,151 @@
+"""Bug study: model constraints, dataset exactness, analytics."""
+
+import pytest
+
+from repro.bugstudy import (
+    BUGS,
+    COMMITS,
+    Bug,
+    BugStudy,
+    CommitKind,
+    FileSystemName,
+    build_bugs,
+    paper_comparison,
+)
+
+
+# -- model ------------------------------------------------------------------
+
+
+def test_bug_kind_classification():
+    def bug(inp, out):
+        return Bug(
+            bug_id="x", fs=FileSystemName.EXT4, title="t",
+            trigger_syscalls=(), input_related=inp, output_related=out,
+            line_covered=False, function_covered=False, branch_covered=False,
+            detected=False,
+        )
+
+    assert bug(True, True).kind == "both"
+    assert bug(True, False).kind == "input"
+    assert bug(False, True).kind == "output"
+    assert bug(False, False).kind == "neither"
+
+
+def test_coverage_granularity_constraints_enforced():
+    with pytest.raises(ValueError):
+        Bug(
+            bug_id="bad", fs=FileSystemName.EXT4, title="t",
+            trigger_syscalls=(), input_related=True, output_related=False,
+            line_covered=True, function_covered=False, branch_covered=False,
+            detected=False,
+        )
+    with pytest.raises(ValueError):
+        Bug(
+            bug_id="bad", fs=FileSystemName.EXT4, title="t",
+            trigger_syscalls=(), input_related=True, output_related=False,
+            line_covered=False, function_covered=True, branch_covered=True,
+            detected=False,
+        )
+    with pytest.raises(ValueError):
+        Bug(
+            bug_id="bad", fs=FileSystemName.EXT4, title="t",
+            trigger_syscalls=(), input_related=True, output_related=False,
+            line_covered=False, function_covered=False, branch_covered=False,
+            detected=True,  # detection without execution
+        )
+
+
+# -- dataset ------------------------------------------------------------------
+
+
+def test_dataset_sizes():
+    assert len(BUGS) == 70
+    assert sum(1 for b in BUGS if b.fs is FileSystemName.EXT4) == 51
+    assert sum(1 for b in BUGS if b.fs is FileSystemName.BTRFS) == 19
+    assert len(COMMITS) == 200
+    assert sum(1 for c in COMMITS if c.kind is CommitKind.BUG_FIX) == 70
+
+
+def test_dataset_unique_ids():
+    assert len({b.bug_id for b in BUGS}) == 70
+
+
+def test_dataset_is_deterministic():
+    again = build_bugs()
+    assert [b.bug_id for b in again] == [b.bug_id for b in BUGS]
+    assert [b.kind for b in again] == [b.kind for b in BUGS]
+
+
+def test_named_real_bugs_present():
+    titles = " | ".join(b.title for b in BUGS)
+    assert "ext4_xattr_set_entry" in titles        # Figure 1
+    assert "ext4_fc_replay_scan" in titles
+    assert "NOWAIT buffered write" in titles
+    assert "O_LARGEFILE" in titles or "generic_file_open" in titles
+
+
+def test_figure1_bug_annotation():
+    figure1 = next(b for b in BUGS if "ext4_xattr_set_entry" in b.title)
+    assert figure1.kind == "both"
+    assert figure1.covered_but_missed_line
+    assert "setxattr" in figure1.trigger_syscalls
+    assert "maximum" in figure1.boundary_note
+
+
+def test_btrfs_refactoring_skew():
+    """The paper: fewer BtrFS bugs because of a large 2022 refactor."""
+    btrfs_other = [
+        c for c in COMMITS
+        if c.fs is FileSystemName.BTRFS and c.kind is not CommitKind.BUG_FIX
+    ]
+    refactors = sum(1 for c in btrfs_other if c.kind is CommitKind.REFACTOR)
+    assert refactors > len(btrfs_other) / 2
+
+
+# -- analytics -----------------------------------------------------------------
+
+
+def test_all_paper_statistics_reproduce_exactly():
+    study = BugStudy()
+    assert study.verify_paper_statistics() == []
+
+
+def test_headline_numbers():
+    study = BugStudy()
+    assert len(study.covered_but_missed("line")) == 37
+    assert len(study.covered_but_missed("function")) == 43
+    assert len(study.covered_but_missed("branch")) == 20
+    assert len(study.input_bugs()) == 50
+    assert len(study.output_bugs()) == 41
+    assert len(study.input_or_output_bugs()) == 57
+    assert len(study.specific_arg_triggerable()) == 24
+
+
+def test_kind_histogram_sums_to_total():
+    histogram = BugStudy().kind_histogram()
+    assert sum(histogram.values()) == 70
+    assert histogram["both"] == 34
+    assert histogram["neither"] == 13
+
+
+def test_percentages_match_paper_rounding():
+    comparison = paper_comparison()
+    assert round(comparison["line-covered but missed"][0]) == 53
+    assert round(comparison["input bugs"][0]) == 71
+    assert round(comparison["output bugs"][0]) == 59
+    assert round(comparison["input or output bugs"][0]) == 81
+    assert round(comparison["covered-missed triggerable by specific args"][0]) == 65
+
+
+def test_render_text_contains_all_stats():
+    text = BugStudy().render_text()
+    assert "input bugs" in text
+    assert "53" in text or "52.9" in text
+
+
+def test_study_over_custom_bug_list():
+    subset = [b for b in BUGS if b.fs is FileSystemName.EXT4]
+    study = BugStudy(bugs=subset, commits=[c for c in COMMITS])
+    assert study.bug_count() == 51
+    assert study.bug_count(FileSystemName.BTRFS) == 0

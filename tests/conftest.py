@@ -1,0 +1,79 @@
+"""Shared fixtures: a fresh VFS, a traced syscall interface, helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants
+from repro.vfs.fd import FdTable, Process, SystemFileTable
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.path import Credentials
+from repro.vfs.syscalls import SyscallInterface
+
+
+@pytest.fixture
+def fs() -> FileSystem:
+    """A fresh 1 GiB file system."""
+    return FileSystem()
+
+
+@pytest.fixture
+def small_fs() -> FileSystem:
+    """A tiny file system (64 blocks = 256 KiB) for ENOSPC tests."""
+    return FileSystem(total_blocks=64)
+
+
+@pytest.fixture
+def sc(fs: FileSystem) -> SyscallInterface:
+    """Root-credential syscall interface on the fresh FS."""
+    return SyscallInterface(fs)
+
+
+@pytest.fixture
+def user_sc(fs: FileSystem) -> SyscallInterface:
+    """Unprivileged (uid 1000) interface sharing the same FS.
+
+    The root directory is opened up (0777) the way a test harness
+    chowns/chmods its scratch mount point for the unprivileged user.
+    """
+    fs.root.set_permissions(0o777)
+    process = Process(
+        creds=Credentials(uid=1000, gid=1000),
+        fd_table=FdTable(SystemFileTable()),
+        cwd_ino=fs.root_ino,
+        pid=4242,
+        comm="user",
+    )
+    return SyscallInterface(fs, process=process)
+
+
+@pytest.fixture
+def recorder(sc: SyscallInterface) -> TraceRecorder:
+    """A recorder already attached to ``sc``."""
+    rec = TraceRecorder()
+    rec.attach(sc)
+    return rec
+
+
+def make_file(sc: SyscallInterface, path: str, size: int = 0, mode: int = 0o644):
+    """Create a file with *size* bytes via real syscalls."""
+    result = sc.open(
+        path, constants.O_WRONLY | constants.O_CREAT | constants.O_TRUNC, mode
+    )
+    assert result.ok, f"open {path}: errno {result.errno}"
+    if size:
+        wrote = sc.write(result.retval, count=size)
+        assert wrote.retval == size
+    assert sc.close(result.retval).ok
+    return result.retval
+
+
+@pytest.fixture
+def mkfile(sc: SyscallInterface):
+    """Factory fixture: mkfile(path, size) on the shared interface."""
+
+    def factory(path: str, size: int = 0, mode: int = 0o644):
+        return make_file(sc, path, size, mode)
+
+    return factory

@@ -1,0 +1,125 @@
+"""IOCov analyzer: the full filter -> variants -> partition pipeline."""
+
+import errno
+
+import pytest
+
+from repro.core import IOCov, analyze_events
+from repro.trace.events import make_event
+from repro.vfs import constants as C
+
+
+def ev(name, args, retval=0, err=0):
+    return make_event(name, args, retval, err, pid=1)
+
+
+def test_mount_point_scoping():
+    iocov = IOCov(mount_point="/mnt/test")
+    iocov.consume(
+        [
+            ev("open", {"pathname": "/mnt/test/f", "flags": 0}, 3),
+            ev("open", {"pathname": "/etc/passwd", "flags": 0}, 4),
+        ]
+    )
+    report = iocov.report()
+    assert report.events_processed == 2
+    assert report.events_admitted == 1
+    assert report.output_frequencies("open")["OK"] == 1
+
+
+def test_variant_merging_in_pipeline():
+    iocov = IOCov(suite_name="t")
+    iocov.consume(
+        [
+            ev("open", {"pathname": "/f", "flags": C.O_RDONLY}, 3),
+            ev("openat", {"dfd": C.AT_FDCWD, "pathname": "/f", "flags": C.O_RDONLY}, 4),
+            ev("creat", {"pathname": "/g", "mode": 0o644}, 5),
+        ]
+    )
+    report = iocov.report()
+    flags = report.input_frequencies("open", "flags")
+    assert flags["O_RDONLY"] == 2
+    assert flags["O_WRONLY"] == 1  # creat implies O_WRONLY
+    assert report.output_frequencies("open")["OK"] == 3
+
+
+def test_untracked_syscalls_counted():
+    iocov = IOCov()
+    iocov.consume([ev("rename", {"oldpath": "/a", "newpath": "/b"}, 0)])
+    assert iocov.untracked == {"rename": 1}
+
+
+def test_output_errno_recorded():
+    iocov = IOCov()
+    iocov.consume([ev("open", {"pathname": "/x", "flags": 0}, -2, errno.ENOENT)])
+    assert iocov.report().output_frequencies("open")["ENOENT"] == 1
+
+
+def test_mutually_exclusive_filter_args():
+    from repro.core.filter import TraceFilter
+
+    with pytest.raises(ValueError):
+        IOCov(mount_point="/mnt", trace_filter=TraceFilter.for_mount_point("/m"))
+
+
+def test_analyze_events_one_shot():
+    report = analyze_events(
+        [ev("write", {"fd": 3, "count": 512}, 512)], suite_name="quick"
+    )
+    assert report.suite_name == "quick"
+    assert report.input_frequencies("write", "count")["2^9"] == 1
+    assert report.output_frequencies("write")["OK:2^9"] == 1
+
+
+def test_consume_lttng_file(tmp_path, sc, recorder):
+    from repro.trace.lttng import LttngWriter
+
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    fd = sc.open("/mnt/test/f", C.O_CREAT | C.O_WRONLY, 0o644).retval
+    sc.write(fd, count=256)
+    sc.close(fd)
+    path = tmp_path / "trace.txt"
+    path.write_text(LttngWriter().dumps(recorder.events))
+
+    iocov = IOCov(mount_point="/mnt/test", suite_name="from-file")
+    report = iocov.consume_lttng_file(str(path)).report()
+    assert report.input_frequencies("write", "count")["2^8"] == 1
+
+
+def test_consume_strace_file(tmp_path):
+    path = tmp_path / "strace.log"
+    path.write_text(
+        'openat(AT_FDCWD, "/mnt/test/f", O_WRONLY|O_CREAT, 0644) = 3\n'
+        'write(3, "x"..., 1024) = 1024\n'
+        "close(3) = 0\n"
+    )
+    report = IOCov(mount_point="/mnt/test").consume_strace_file(str(path)).report()
+    assert report.input_frequencies("open", "flags")["O_CREAT"] == 1
+    assert report.input_frequencies("write", "count")["2^10"] == 1
+
+
+def test_consume_syzkaller_file(tmp_path):
+    path = tmp_path / "prog.syz"
+    path.write_text(
+        "r0 = openat(0xffffffffffffff9c, &(0x7f0000000040)='./f\\x00', 0x42, 0x1ff)\n"
+        'write(r0, &(0x7f0000000080)="61", 0x1)\n'
+    )
+    report = IOCov().consume_syzkaller_file(str(path)).report()
+    assert report.input_frequencies("open", "flags")["O_CREAT"] == 1
+
+
+def test_live_interface_to_report(sc, recorder):
+    """The whole stack: VFS syscalls through to a coverage report."""
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    for i in range(4):
+        fd = sc.open(f"/mnt/test/f{i}", C.O_CREAT | C.O_RDWR, 0o644).retval
+        sc.write(fd, count=1 << i)
+        sc.close(fd)
+    sc.open("/mnt/test/nope", C.O_RDONLY)
+    report = IOCov(mount_point="/mnt/test").consume(recorder.events).report()
+    counts = report.input_frequencies("write", "count")
+    assert [counts[f"2^{i}"] for i in range(4)] == [1, 1, 1, 1]
+    outputs = report.output_frequencies("open")
+    assert outputs["OK"] == 4 and outputs["ENOENT"] == 1

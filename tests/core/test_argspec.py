@@ -1,0 +1,87 @@
+"""The syscall registry: exactly the paper's selection."""
+
+from repro.core.argspec import (
+    BASE_SYSCALLS,
+    TRACKED_ARG_COUNT,
+    TRACKED_SYSCALLS,
+    VARIANT_TO_BASE,
+    ArgClass,
+    OutputKind,
+    base_name,
+    spec_for,
+)
+
+
+def test_27_tracked_syscalls():
+    """The paper: 27 syscalls total."""
+    assert len(TRACKED_SYSCALLS) == 27
+
+
+def test_11_base_syscalls():
+    """The paper: 11 base syscalls."""
+    assert len(BASE_SYSCALLS) == 11
+    assert set(BASE_SYSCALLS) == {
+        "open", "read", "write", "lseek", "truncate", "mkdir",
+        "chmod", "close", "chdir", "setxattr", "getxattr",
+    }
+
+
+def test_14_tracked_input_arguments():
+    """The paper: input coverage for 14 distinct arguments."""
+    assert TRACKED_ARG_COUNT == 14
+
+
+def test_variants_map_to_real_bases():
+    for variant, base in VARIANT_TO_BASE.items():
+        assert base in BASE_SYSCALLS, variant
+        assert variant not in BASE_SYSCALLS
+
+
+def test_base_name_resolution():
+    assert base_name("open") == "open"
+    assert base_name("openat2") == "open"
+    assert base_name("pwrite64") == "write"
+    assert base_name("fgetxattr") == "getxattr"
+    assert base_name("rename") is None
+
+
+def test_spec_for_variant_returns_base_spec():
+    assert spec_for("creat") is BASE_SYSCALLS["open"]
+    assert spec_for("nanosleep") is None
+
+
+def test_every_base_has_output_space():
+    for name, spec in BASE_SYSCALLS.items():
+        assert spec.errnos, name
+        assert spec.output_kind in (OutputKind.FLAG, OutputKind.SIZE)
+
+
+def test_open_flags_is_bitmap_with_access_modes():
+    spec = BASE_SYSCALLS["open"]
+    flags_arg = next(a for a in spec.tracked_args if a.name == "flags")
+    assert flags_arg.arg_class is ArgClass.BITMAP
+    assert flags_arg.access_names is not None
+    assert set(flags_arg.access_names.values()) == {"O_RDONLY", "O_WRONLY", "O_RDWR"}
+
+
+def test_open_errno_domain_matches_figure4():
+    """Figure 4's x-axis: 27 error codes + OK."""
+    spec = BASE_SYSCALLS["open"]
+    assert len(spec.errnos) == 27
+    for expected in ("ENOENT", "EDQUOT", "ETXTBSY", "E2BIG", "EOVERFLOW"):
+        assert expected in spec.errnos
+
+
+def test_lseek_whence_is_categorical():
+    spec = BASE_SYSCALLS["lseek"]
+    whence = next(a for a in spec.tracked_args if a.name == "whence")
+    assert whence.arg_class is ArgClass.CATEGORICAL
+    assert "SEEK_HOLE" in whence.categories
+
+
+def test_size_returning_syscalls_marked():
+    assert BASE_SYSCALLS["read"].output_kind is OutputKind.SIZE
+    assert BASE_SYSCALLS["write"].output_kind is OutputKind.SIZE
+    assert BASE_SYSCALLS["getxattr"].output_kind is OutputKind.SIZE
+    assert BASE_SYSCALLS["open"].output_kind is OutputKind.FLAG
+    assert BASE_SYSCALLS["close"].output_kind is OutputKind.FLAG

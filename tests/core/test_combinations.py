@@ -1,0 +1,99 @@
+"""t-way bit-combination coverage (the future-work metric)."""
+
+import pytest
+
+from repro.core.argspec import OPEN_FLAGS_ARG
+from repro.core.combinations import CombinationCoverage, pairwise_coverage_from
+from repro.core.input_coverage import ArgCoverage
+from repro.core.partition import BitmapPartitioner, make_input_partitioner
+from repro.vfs import constants as C
+
+
+@pytest.fixture
+def pairwise() -> CombinationCoverage:
+    return CombinationCoverage(spec=OPEN_FLAGS_ARG, t=2)
+
+
+def test_domain_excludes_unsatisfiable_pairs(pairwise):
+    domain_pairs = {tuple(sorted(c)) for c in pairwise._domain}
+    assert ("O_RDONLY", "O_WRONLY") not in domain_pairs  # exclusive modes
+    assert ("O_RDWR", "O_WRONLY") not in domain_pairs
+    assert ("O_DSYNC", "O_SYNC") not in domain_pairs     # composite subsumes
+    assert ("O_DIRECTORY", "O_TMPFILE") not in domain_pairs
+    assert ("O_CREAT", "O_EXCL") in domain_pairs
+
+
+def test_domain_size_order_of_magnitude(pairwise):
+    # ~20 flags -> on the order of 150+ satisfiable pairs.
+    assert 120 <= pairwise.domain_size <= 220
+
+
+def test_record_value_credits_pairs(pairwise):
+    pairwise.record_value(C.O_WRONLY | C.O_CREAT | C.O_TRUNC)
+    assert pairwise.count("O_WRONLY", "O_CREAT") == 1
+    assert pairwise.count("O_CREAT", "O_TRUNC") == 1
+    assert pairwise.count("O_WRONLY", "O_TRUNC") == 1
+    assert pairwise.count("O_WRONLY", "O_EXCL") == 0
+
+
+def test_single_flag_value_covers_nothing_pairwise(pairwise):
+    pairwise.record_value(C.O_RDONLY)
+    assert pairwise.covered() == set()
+
+
+def test_coverage_ratio_and_uncovered(pairwise):
+    assert pairwise.coverage_ratio() == 0.0
+    pairwise.record_value(C.O_RDWR | C.O_CREAT | C.O_EXCL)
+    assert 0 < pairwise.coverage_ratio() < 0.05
+    assert ("O_CREAT", "O_EXCL") not in pairwise.uncovered()
+    assert ("O_APPEND", "O_SYNC") in pairwise.uncovered()
+
+
+def test_three_way_strength():
+    threeway = CombinationCoverage(spec=OPEN_FLAGS_ARG, t=3)
+    threeway.record_value(C.O_RDWR | C.O_CREAT | C.O_DIRECT | C.O_SYNC)
+    # C(4,3) = 4 triples from one 4-flag value.
+    assert len(threeway.covered()) == 4
+    assert threeway.count("O_CREAT", "O_DIRECT", "O_SYNC") == 1
+
+
+def test_invalid_t_rejected():
+    with pytest.raises(ValueError):
+        CombinationCoverage(spec=OPEN_FLAGS_ARG, t=0)
+
+
+def test_record_from_arg_coverage():
+    arg_cov = ArgCoverage(
+        syscall="open",
+        spec=OPEN_FLAGS_ARG,
+        partitioner=make_input_partitioner(OPEN_FLAGS_ARG),
+    )
+    for _ in range(3):
+        arg_cov.record(C.O_WRONLY | C.O_CREAT)
+    pairwise = pairwise_coverage_from(arg_cov)
+    assert pairwise.count("O_WRONLY", "O_CREAT") == 3
+
+
+def test_most_common_and_render(pairwise):
+    for _ in range(5):
+        pairwise.record_value(C.O_WRONLY | C.O_CREAT)
+    pairwise.record_value(C.O_RDWR | C.O_APPEND)
+    top = pairwise.most_common(1)
+    assert top == [(("O_CREAT", "O_WRONLY"), 5)]
+    text = pairwise.render_text(max_rows=3)
+    assert "2-way combination coverage" in text
+    assert "missing:" in text
+
+
+def test_pairwise_is_stricter_than_per_flag():
+    """The motivation: full per-flag coverage can coexist with tiny
+    pairwise coverage."""
+    pairwise = CombinationCoverage(spec=OPEN_FLAGS_ARG, t=2)
+    flags_seen = set()
+    # One value per flag: every flag covered individually...
+    for name, value in C.OPEN_FLAG_NAMES.items():
+        pairwise.record_value(value)  # mostly single-flag values
+        flags_seen.add(name)
+    assert len(flags_seen) == len(C.OPEN_FLAG_NAMES)
+    # ...yet almost no interactions.
+    assert pairwise.coverage_ratio() < 0.10

@@ -1,0 +1,74 @@
+"""Extended registry: fd/path argument tracking (future work)."""
+
+import pytest
+
+from repro.core import IOCov
+from repro.core.argspec import BASE_SYSCALLS, TRACKED_ARG_COUNT
+from repro.core.extensions import extended_arg_count, extended_registry
+from repro.trace.events import make_event
+from repro.vfs import constants as C
+
+
+def test_extended_registry_superset_of_base():
+    extended = extended_registry()
+    assert set(extended) == set(BASE_SYSCALLS)
+    for name, spec in extended.items():
+        base_args = {arg.name for arg in BASE_SYSCALLS[name].tracked_args}
+        ext_args = {arg.name for arg in spec.tracked_args}
+        assert base_args <= ext_args
+
+
+def test_extended_arg_count_exceeds_14():
+    assert TRACKED_ARG_COUNT == 14
+    assert extended_arg_count() > 14
+
+
+def test_base_registry_not_mutated():
+    before = {n: len(s.tracked_args) for n, s in BASE_SYSCALLS.items()}
+    extended_registry()
+    after = {n: len(s.tracked_args) for n, s in BASE_SYSCALLS.items()}
+    assert before == after
+
+
+def test_no_duplicate_arg_specs():
+    for spec in extended_registry().values():
+        names = [arg.name for arg in spec.tracked_args]
+        assert len(names) == len(set(names)), spec.name
+
+
+def test_analyzer_tracks_paths_with_extension():
+    iocov = IOCov(suite_name="ext", registry=extended_registry())
+    iocov.consume(
+        [
+            make_event("open", {"pathname": "/mnt/test/deep/file", "flags": 0}, 3),
+            make_event("open", {"pathname": "relative", "flags": 0}, 4),
+            make_event("open", {"pathname": "/" + "n" * C.NAME_MAX, "flags": 0}, -36, 36),
+        ]
+    )
+    paths = iocov.report().input_frequencies("open", "pathname")
+    assert paths["path_absolute_deep"] == 1
+    assert paths["path_relative_depth_1"] == 1
+    assert paths["path_name_max_boundary"] == 1
+    assert paths["path_root"] == 0  # untested partition visible
+
+
+def test_analyzer_tracks_fds_with_extension():
+    iocov = IOCov(suite_name="ext", registry=extended_registry())
+    iocov.consume(
+        [
+            make_event("read", {"fd": 3, "count": 100}, 100),
+            make_event("read", {"fd": 900, "count": 100}, 100),
+            make_event("write", {"fd": -1, "count": 8}, -9, 9),
+        ]
+    )
+    report = iocov.report()
+    assert report.input_frequencies("read", "fd")["fd_3_to_63"] == 1
+    assert report.input_frequencies("read", "fd")["fd_64_to_1023"] == 1
+    assert report.input_frequencies("write", "fd")["fd_negative"] == 1
+
+
+def test_base_analyzer_unaffected():
+    iocov = IOCov(suite_name="base")
+    iocov.consume([make_event("read", {"fd": 3, "count": 100}, 100)])
+    with pytest.raises(KeyError):
+        iocov.report().input_frequencies("read", "fd")

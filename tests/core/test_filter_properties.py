@@ -1,0 +1,98 @@
+"""Property-based tests for the trace filter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filter import TraceFilter
+from repro.trace.events import make_event
+
+_PATHS = st.sampled_from(
+    [
+        "/mnt/test/a",
+        "/mnt/test/deep/b",
+        "/mnt/test",
+        "/mnt/tester/evil",
+        "/tmp/x",
+        "/etc/passwd",
+        "/mnt",
+    ]
+)
+
+_EVENT = st.one_of(
+    st.builds(
+        lambda path, fd, ok: make_event(
+            "open", {"pathname": path, "flags": 0}, fd if ok else -2, 0 if ok else 2, pid=1
+        ),
+        path=_PATHS,
+        fd=st.integers(3, 20),
+        ok=st.booleans(),
+    ),
+    st.builds(
+        lambda fd, count: make_event("read", {"fd": fd, "count": count}, count, pid=1),
+        fd=st.integers(3, 20),
+        count=st.integers(0, 4096),
+    ),
+    st.builds(
+        lambda fd: make_event("close", {"fd": fd}, 0, pid=1),
+        fd=st.integers(3, 20),
+    ),
+    st.builds(
+        lambda fd: make_event("dup", {"fildes": fd}, fd + 30, pid=1),
+        fd=st.integers(3, 20),
+    ),
+    st.builds(
+        lambda path: make_event("chdir", {"filename": path}, 0, pid=1),
+        path=_PATHS,
+    ),
+)
+
+
+@given(events=st.lists(_EVENT, max_size=60))
+@settings(max_examples=150)
+def test_admitted_is_subset_and_counts_consistent(events):
+    flt = TraceFilter.for_mount_point("/mnt/test")
+    kept = list(flt.filter(events))
+    assert len(kept) + flt.dropped == len(events)
+    kept_ids = {id(event) for event in kept}
+    assert all(id(event) in {id(e) for e in events} for event in kept)
+
+
+@given(events=st.lists(_EVENT, max_size=60))
+@settings(max_examples=150)
+def test_filter_is_deterministic(events):
+    flt_a = TraceFilter.for_mount_point("/mnt/test")
+    flt_b = TraceFilter.for_mount_point("/mnt/test")
+    assert list(flt_a.filter(events)) == list(flt_b.filter(events))
+
+
+@given(events=st.lists(_EVENT, max_size=60))
+@settings(max_examples=150)
+def test_path_kept_events_always_in_scope(events):
+    """Every admitted path-carrying event has an in-scope path."""
+    flt = TraceFilter.for_mount_point("/mnt/test")
+    for event in flt.filter(events):
+        for key in ("pathname", "filename"):
+            value = event.arg(key)
+            if isinstance(value, str):
+                assert flt.path_in_scope(value), (event.name, value)
+
+
+@given(events=st.lists(_EVENT, max_size=60))
+@settings(max_examples=100)
+def test_fd_events_only_after_matching_open(events):
+    """An admitted read's fd traces back to an admitted in-scope open
+    that succeeded (possibly via a dup chain) and wasn't closed."""
+    flt = TraceFilter.for_mount_point("/mnt/test")
+    live: set[int] = set()
+    for event in events:
+        admitted = flt.admit(event)
+        if event.name == "open":
+            in_scope = flt.path_in_scope(event.arg("pathname") or "")
+            if in_scope and event.ok:
+                live.add(event.retval)
+        elif event.name == "dup" and admitted and event.ok:
+            live.add(event.retval)
+        elif event.name == "close" and admitted:
+            live.discard(event.arg("fd"))
+        elif event.name == "read":
+            assert admitted == (event.arg("fd") in live)

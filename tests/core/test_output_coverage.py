@@ -1,0 +1,85 @@
+"""Output-coverage accounting: success/errno partitions per syscall."""
+
+import errno
+
+import pytest
+
+from repro.core.output_coverage import OutputCoverage
+
+
+@pytest.fixture
+def cov() -> OutputCoverage:
+    return OutputCoverage()
+
+
+def test_tracks_all_11_base_syscalls(cov):
+    assert len(cov.tracked_syscalls()) == 11
+
+
+def test_flag_output_success(cov):
+    cov.record("open", 3)
+    cov.record("open", 0)
+    assert cov.syscall("open").success_count() == 2
+
+
+def test_size_output_buckets(cov):
+    cov.record("write", 4096)
+    cov.record("write", 0)
+    cov.record("write", 1)
+    freqs = cov.syscall("write").frequencies()
+    assert freqs["OK:2^12"] == 1
+    assert freqs["OK:equal_to_0"] == 1
+    assert freqs["OK:2^0"] == 1
+    assert cov.syscall("write").success_count() == 3
+
+
+def test_error_partitions(cov):
+    cov.record("open", -errno.ENOENT, errno.ENOENT)
+    cov.record("open", -errno.ENOENT, errno.ENOENT)
+    cov.record("open", -errno.EACCES, errno.EACCES)
+    errors = cov.syscall("open").error_counts()
+    assert errors["ENOENT"] == 2
+    assert errors["EACCES"] == 1
+
+
+def test_untested_errnos_reported(cov):
+    cov.record("open", -errno.ENOENT, errno.ENOENT)
+    untested = cov.syscall("open").untested_errnos()
+    assert "ENOENT" not in untested
+    assert "EDQUOT" in untested
+    assert "E2BIG" in untested
+
+
+def test_undocumented_errno_observed(cov):
+    # ENOTEMPTY is not in open's manpage domain.
+    cov.record("open", -errno.ENOTEMPTY, errno.ENOTEMPTY)
+    syscall = cov.syscall("open")
+    assert "ENOTEMPTY" in syscall.undocumented_errnos()
+    assert syscall.frequencies()["ENOTEMPTY"] == 1
+
+
+def test_coverage_ratio_documented_domain_only(cov):
+    syscall = cov.syscall("close")
+    assert syscall.coverage_ratio() == 0.0
+    cov.record("close", 0)
+    # OK + 5 errnos -> 1/6 covered.
+    assert syscall.coverage_ratio() == pytest.approx(1 / 6)
+
+
+def test_all_untested_errnos(cov):
+    cov.record("close", -errno.EBADF, errno.EBADF)
+    gaps = cov.all_untested_errnos()
+    assert "EBADF" not in gaps["close"]
+    assert "EINTR" in gaps["close"]
+
+
+def test_untracked_syscall_ignored(cov):
+    cov.record("rename", 0)  # silently ignored
+    with pytest.raises(KeyError):
+        cov.syscall("rename")
+
+
+def test_total_observations(cov):
+    for _ in range(5):
+        cov.record("read", 100)
+    assert cov.syscall("read").total_observations == 5

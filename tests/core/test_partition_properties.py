@@ -1,0 +1,125 @@
+"""Property-based tests: partitioning totality and disjointness.
+
+The defining invariant of input-space partitioning (Section 3): every
+concrete value falls into at least one partition; for non-bitmap
+classes, *exactly* one; and the partition is always drawn from the
+declared domain (bar the observed-only output keys).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.argspec import (
+    BASE_SYSCALLS,
+    LSEEK_WHENCE_ARG,
+    OPEN_FLAGS_ARG,
+    OPEN_MODE_ARG,
+)
+from repro.core.partition import (
+    BitmapPartitioner,
+    CategoricalPartitioner,
+    IdentifierPartitioner,
+    NumericPartitioner,
+    OutputPartitioner,
+)
+from repro.vfs import constants as C
+
+
+@given(value=st.integers(min_value=-(2**63), max_value=2**63))
+@settings(max_examples=300)
+def test_numeric_totality_and_uniqueness(value):
+    part = NumericPartitioner()
+    keys = part.classify(value)
+    assert len(keys) == 1
+    assert keys[0] in part.domain()
+
+
+@given(value=st.integers(min_value=0, max_value=2**63 - 1))
+@settings(max_examples=300)
+def test_numeric_bucket_bounds(value):
+    """A value in bucket 2^k satisfies 2^k <= value < 2^(k+1)."""
+    part = NumericPartitioner()
+    key = part.classify(value)[0]
+    exp = NumericPartitioner.bucket_exponent(key)
+    if exp is not None:
+        assert 2**exp <= value < 2 ** (exp + 1)
+    elif key == "equal_to_0":
+        assert value == 0
+
+
+@given(flags=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=300)
+def test_bitmap_totality_and_domain(flags):
+    part = BitmapPartitioner(OPEN_FLAGS_ARG)
+    keys = part.classify(flags)
+    assert keys, flags
+    domain = set(part.domain())
+    assert all(key in domain for key in keys)
+    # Exactly one access-mode name (or unknown for the 11 pattern).
+    access = [k for k in keys if k in ("O_RDONLY", "O_WRONLY", "O_RDWR")]
+    assert len(access) <= 1
+    # No duplicates.
+    assert len(keys) == len(set(keys))
+
+
+@given(flags=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=300)
+def test_bitmap_decode_reconstructs_known_bits(flags):
+    """OR-ing the decoded flags' masks reproduces every known bit of
+    the input (nothing silently dropped)."""
+    part = BitmapPartitioner(OPEN_FLAGS_ARG)
+    keys = part.decode(flags)
+    rebuilt = 0
+    for key in keys:
+        rebuilt |= C.OPEN_FLAG_NAMES.get(key, 0)
+    known_mask = 0
+    for mask in C.OPEN_FLAG_NAMES.values():
+        known_mask |= mask
+    if "unknown_bits" not in keys:
+        assert rebuilt | C.O_ACCMODE == (flags & known_mask) | C.O_ACCMODE
+
+
+@given(value=st.integers(min_value=-100, max_value=100))
+@settings(max_examples=100)
+def test_categorical_totality(value):
+    part = CategoricalPartitioner(LSEEK_WHENCE_ARG)
+    keys = part.classify(value)
+    assert len(keys) == 1
+    assert keys[0] in part.domain()
+
+
+@given(
+    value=st.one_of(
+        st.integers(min_value=-200, max_value=10000),
+        st.text(max_size=30),
+    )
+)
+@settings(max_examples=200)
+def test_identifier_totality(value):
+    part = IdentifierPartitioner()
+    keys = part.classify(value)
+    assert len(keys) == 1
+    assert keys[0] in part.domain()
+
+
+@given(
+    retval=st.integers(min_value=-133, max_value=2**40),
+)
+@settings(max_examples=300)
+def test_output_totality_every_retval_classifies(retval):
+    for name in ("open", "write"):
+        part = OutputPartitioner(BASE_SYSCALLS[name])
+        keys = part.classify(retval)
+        assert len(keys) == 1
+
+
+@given(
+    combos=st.lists(
+        st.integers(min_value=0, max_value=2**24), min_size=1, max_size=50
+    )
+)
+@settings(max_examples=100)
+def test_combination_size_positive(combos):
+    part = BitmapPartitioner(OPEN_FLAGS_ARG)
+    for flags in combos:
+        assert part.combination_size(flags) >= 1

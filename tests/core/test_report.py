@@ -1,0 +1,118 @@
+"""Coverage reports: rendering, serialization, suite comparison."""
+
+import errno
+import json
+
+import pytest
+
+from repro.core import IOCov, SuiteComparison
+from repro.trace.events import make_event
+from repro.vfs import constants as C
+
+
+def _report(events, name="suite"):
+    return IOCov(suite_name=name).consume(events).report()
+
+
+def ev(name, args, retval=0, err=0):
+    return make_event(name, args, retval, err)
+
+
+@pytest.fixture
+def rich_report():
+    return _report(
+        [
+            ev("open", {"pathname": "/f", "flags": C.O_RDONLY}, 3),
+            ev("open", {"pathname": "/g", "flags": C.O_WRONLY | C.O_CREAT}, 4),
+            ev("open", {"pathname": "/x", "flags": 0}, -2, errno.ENOENT),
+            ev("write", {"fd": 4, "count": 4096}, 4096),
+            ev("write", {"fd": 4, "count": 0}, 0),
+        ]
+    )
+
+
+def test_to_dict_and_json(rich_report):
+    data = rich_report.to_dict()
+    assert data["suite"] == "suite"
+    assert data["input_coverage"]["open"]["flags"]["O_RDONLY"] == 2
+    assert data["output_coverage"]["open"]["ENOENT"] == 1
+    parsed = json.loads(rich_report.to_json())
+    assert parsed == data
+
+
+def test_render_text_mentions_gaps(rich_report):
+    text = rich_report.render_text()
+    assert "untested" in text
+    assert "suite" in text
+
+
+def test_render_frequency_table(rich_report):
+    table = rich_report.render_frequency_table("input", "open", "flags")
+    assert "O_RDONLY" in table and "2" in table
+    table = rich_report.render_frequency_table("output", "open")
+    assert "ENOENT" in table
+    with pytest.raises(ValueError):
+        rich_report.render_frequency_table("input", "open")  # arg required
+    with pytest.raises(ValueError):
+        rich_report.render_frequency_table("bogus", "open")
+
+
+def test_render_nonzero_only(rich_report):
+    table = rich_report.render_frequency_table(
+        "input", "open", "flags", nonzero_only=True
+    )
+    assert "O_RDONLY" in table
+    assert "O_TMPFILE" not in table
+
+
+def test_input_tcd_and_assessment(rich_report):
+    value = rich_report.input_tcd("open", "flags", 100)
+    assert value > 0
+    assessments = rich_report.assess_input("open", "flags", 100)
+    by_key = {item.key: item.verdict for item in assessments}
+    assert by_key["O_TMPFILE"] == "under"  # untested
+
+
+def test_output_tcd(rich_report):
+    assert rich_report.output_tcd("open", 10) > 0
+
+
+def test_comparison_tables():
+    report_a = _report(
+        [ev("open", {"pathname": "/f", "flags": C.O_RDONLY}, 3)], "A"
+    )
+    report_b = _report(
+        [
+            ev("open", {"pathname": "/f", "flags": C.O_RDONLY}, 3),
+            ev("open", {"pathname": "/f", "flags": C.O_WRONLY}, 4),
+        ],
+        "B",
+    )
+    cmp = SuiteComparison(report_a, report_b)
+    table = cmp.input_table("open", "flags")
+    assert table["O_RDONLY"] == (1, 1)
+    assert table["O_WRONLY"] == (0, 1)
+    only_a, only_b = cmp.only_covered_by("open", "flags")
+    assert only_a == [] and only_b == ["O_WRONLY"]
+    dominance = cmp.dominance("open", "flags")
+    assert dominance["O_RDONLY"] == "tie"
+    assert dominance["O_WRONLY"] == "B"
+
+
+def test_comparison_output_table():
+    report_a = _report([ev("open", {"pathname": "/x", "flags": 0}, -2, errno.ENOENT)], "A")
+    report_b = _report([ev("open", {"pathname": "/f", "flags": 0}, 3)], "B")
+    cmp = SuiteComparison(report_a, report_b)
+    table = cmp.output_table("open")
+    assert table["ENOENT"] == (1, 0)
+    assert table["OK"] == (0, 1)
+
+
+def test_comparison_render_text():
+    report_a = _report([ev("open", {"pathname": "/f", "flags": 0}, 3)], "A")
+    report_b = _report([ev("open", {"pathname": "/f", "flags": 0}, 3)], "B")
+    cmp = SuiteComparison(report_a, report_b)
+    text = cmp.render_text("open", "flags")
+    assert "A" in text and "B" in text and "O_RDONLY" in text
+    out_text = cmp.render_text("open")
+    assert "outputs" in out_text

@@ -1,0 +1,46 @@
+"""ASCII chart rendering for coverage reports."""
+
+import pytest
+
+from repro.core import IOCov
+from repro.trace.events import make_event
+from repro.vfs import constants as C
+
+
+@pytest.fixture
+def report():
+    events = [
+        make_event("open", {"pathname": "/f", "flags": C.O_RDONLY}, 3)
+        for _ in range(1000)
+    ]
+    events.append(make_event("open", {"pathname": "/g", "flags": C.O_WRONLY}, 4))
+    events.append(make_event("write", {"fd": 4, "count": 512}, 512))
+    return IOCov(suite_name="chart").consume(events).report()
+
+
+def test_chart_renders_bars_and_gaps(report):
+    chart = report.render_chart("input", "open", "flags")
+    assert "log scale" in chart
+    assert "· untested" in chart        # zero partitions visually loud
+    assert chart.count("#") > 10        # bars present
+    # The 1000x partition has a longer bar than the 1x one.
+    lines = {line.split(" ")[0]: line for line in chart.splitlines()}
+    assert lines["O_RDONLY"].count("#") > lines["O_WRONLY"].count("#")
+
+
+def test_chart_output_kind(report):
+    chart = report.render_chart("output", "write")
+    assert "OK:2^9" in chart
+
+
+def test_chart_nonzero_only(report):
+    chart = report.render_chart("input", "open", "flags", nonzero_only=True)
+    assert "untested" not in chart
+    assert "O_RDONLY" in chart and "O_TMPFILE" not in chart
+
+
+def test_chart_errors(report):
+    with pytest.raises(ValueError):
+        report.render_chart("input", "open")   # arg required
+    with pytest.raises(ValueError):
+        report.render_chart("bogus", "open")

@@ -1,0 +1,133 @@
+"""Test Coverage Deviation: formula, targets, crossover, assessment."""
+
+import math
+
+import pytest
+
+from repro.core.tcd import (
+    assess_partitions,
+    find_crossover,
+    safe_log10,
+    tcd,
+    tcd_curve,
+    tcd_uniform,
+    uniform_target,
+    weighted_target,
+)
+
+
+def test_tcd_zero_when_frequencies_match_target():
+    assert tcd([100, 100, 100], [100, 100, 100]) == 0.0
+
+
+def test_tcd_is_rmsd_of_logs():
+    # One partition off by one decade: sqrt(1/1 * 1) = 1.
+    assert tcd([1000], [100]) == pytest.approx(1.0)
+    # Two partitions: one exact, one off by two decades.
+    assert tcd([100, 10000], [100, 100]) == pytest.approx(math.sqrt(4 / 2))
+
+
+def test_tcd_symmetric_in_log_space():
+    assert tcd([1000], [100]) == pytest.approx(tcd([10], [100]))
+
+
+def test_untested_partition_penalized_maximally():
+    # F=0 floors to 1: deviation is the full log of the target.
+    assert tcd([0], [10**6]) == pytest.approx(6.0)
+
+
+def test_zero_floor_configurable():
+    assert tcd([0], [100], zero_floor=0.1) == pytest.approx(3.0)
+
+
+def test_tcd_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        tcd([1, 2], [1])
+
+
+def test_tcd_empty_raises():
+    with pytest.raises(ValueError):
+        tcd([], [])
+
+
+def test_uniform_target():
+    assert uniform_target(3, 50) == [50, 50, 50]
+    with pytest.raises(ValueError):
+        uniform_target(0, 50)
+
+
+def test_weighted_target_future_work():
+    """Persistence-weighted targets (the paper's future work)."""
+    domain = ["O_RDONLY", "O_SYNC", "O_DSYNC"]
+    target = weighted_target(domain, 100, {"O_SYNC": 10, "O_DSYNC": 10})
+    assert target == [100, 1000, 1000]
+
+
+def test_tcd_curve_is_per_target(monkeypatch):
+    freqs = [10, 1000, 0]
+    curve = tcd_curve(freqs, [1, 10, 100])
+    assert len(curve) == 3
+    assert curve[0][0] == 1
+    assert all(value >= 0 for _, value in curve)
+
+
+def test_curve_monotone_beyond_max_frequency():
+    """Once the target exceeds every frequency, TCD grows with it."""
+    freqs = [10, 100, 1000]
+    curve = tcd_curve(freqs, [10**4, 10**5, 10**6])
+    values = [value for _, value in curve]
+    assert values == sorted(values)
+
+
+def test_find_crossover_basic():
+    # Suite A uniformly tests 100x; suite B tests 10000x.
+    low = [100.0] * 5
+    high = [10000.0] * 5
+    cross = find_crossover(low, high, 1, 10**7)
+    assert cross is not None
+    # The crossover is the geometric mean: sqrt(100 * 10000) = 1000.
+    assert cross == pytest.approx(1000, rel=0.05)
+    # Below it A is better; above it B is better.
+    assert tcd_uniform(low, 100) < tcd_uniform(high, 100)
+    assert tcd_uniform(high, 10**5) < tcd_uniform(low, 10**5)
+
+
+def test_find_crossover_none_when_one_dominates():
+    # Same geometric mean, but B has no variance: B's TCD is lower for
+    # every uniform target, so there is no sign change to find.
+    a = [10.0, 1000.0]
+    b = [100.0, 100.0]
+    assert find_crossover(a, b, 1, 10**6) is None
+
+
+def test_assess_partitions_verdicts():
+    domain = ["a", "b", "c", "d"]
+    freqs = [1, 1000, 100, 0]
+    target = [100, 100, 100, 100]
+    verdicts = {
+        item.key: item.verdict
+        for item in assess_partitions(domain, freqs, target, tolerance_decades=1.0)
+    }
+    assert verdicts == {
+        "a": "under",      # 2 decades below
+        "b": "on-target",  # exactly 1 decade above = within tolerance
+        "c": "on-target",
+        "d": "under",
+    }
+
+
+def test_assess_partitions_over():
+    items = assess_partitions(["x"], [10**6], [10], tolerance_decades=1.0)
+    assert items[0].verdict == "over"
+    assert items[0].log_deviation == pytest.approx(5.0)
+
+
+def test_assess_length_mismatch():
+    with pytest.raises(ValueError):
+        assess_partitions(["a"], [1, 2], [1])
+
+
+def test_safe_log10():
+    assert safe_log10(0) == 0.0
+    assert safe_log10(1) == 0.0
+    assert safe_log10(1000) == pytest.approx(3.0)

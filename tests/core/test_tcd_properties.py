@@ -1,0 +1,72 @@
+"""Property-based tests for TCD's mathematical behaviour."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tcd import tcd, tcd_uniform, uniform_target
+
+_FREQS = st.lists(st.integers(0, 10**7), min_size=1, max_size=30)
+
+
+@given(freqs=_FREQS)
+@settings(max_examples=150)
+def test_tcd_nonnegative(freqs):
+    assert tcd(freqs, uniform_target(len(freqs), 100)) >= 0.0
+
+
+@given(freqs=st.lists(st.integers(1, 10**7), min_size=1, max_size=30))
+@settings(max_examples=150)
+def test_tcd_zero_iff_at_target(freqs):
+    assert tcd(freqs, list(freqs)) == 0.0
+
+
+@given(freqs=_FREQS, target=st.integers(1, 10**7))
+@settings(max_examples=150)
+def test_tcd_bounded_by_max_deviation(freqs, target):
+    """RMSD never exceeds the worst single-partition deviation."""
+    value = tcd_uniform(freqs, target)
+    worst = max(
+        abs(math.log10(max(freq, 1)) - math.log10(target)) for freq in freqs
+    )
+    assert value <= worst + 1e-9
+
+
+@given(
+    freqs=st.lists(st.integers(1, 10**6), min_size=2, max_size=20),
+    target=st.integers(1, 10**6),
+)
+@settings(max_examples=150)
+def test_tcd_permutation_invariant(freqs, target):
+    forward = tcd_uniform(freqs, target)
+    backward = tcd_uniform(list(reversed(freqs)), target)
+    assert math.isclose(forward, backward, rel_tol=1e-12)
+
+
+@given(
+    freqs=st.lists(st.integers(1, 10**5), min_size=1, max_size=20),
+    factor=st.integers(2, 100),
+)
+@settings(max_examples=150)
+def test_scaling_both_shifts_nothing(freqs, factor):
+    """Scaling frequencies AND target together leaves TCD unchanged —
+    the invariance the scaled suite runs rely on."""
+    scaled = [freq * factor for freq in freqs]
+    base_target = 1000
+    original = tcd_uniform(freqs, base_target)
+    rescaled = tcd_uniform(scaled, base_target * factor)
+    assert abs(original - rescaled) < 1e-9
+
+
+@given(
+    freqs=st.lists(st.integers(10, 10**5), min_size=1, max_size=20),
+)
+@settings(max_examples=100)
+def test_moving_target_toward_frequencies_improves(freqs):
+    """A uniform target at the geometric mean of the frequencies never
+    scores worse than one 100x above the maximum."""
+    log_mean = sum(math.log10(freq) for freq in freqs) / len(freqs)
+    near = tcd_uniform(freqs, 10**log_mean)
+    far = tcd_uniform(freqs, max(freqs) * 100)
+    assert near <= far + 1e-9

@@ -1,0 +1,99 @@
+"""Variant handler: merging variant syscalls into base input spaces."""
+
+from repro.core.variants import CREAT_IMPLIED_FLAGS, VariantHandler
+from repro.trace.events import make_event
+from repro.vfs import constants as C
+
+
+def test_base_syscall_passes_through():
+    handler = VariantHandler()
+    event = make_event("open", {"pathname": "/f", "flags": 0, "mode": 0o644}, 3)
+    base, args = handler.normalize(event)
+    assert base == "open"
+    assert args == {"pathname": "/f", "flags": 0, "mode": 0o644}
+
+
+def test_openat_drops_dfd():
+    handler = VariantHandler()
+    event = make_event(
+        "openat", {"dfd": C.AT_FDCWD, "pathname": "/f", "flags": 2, "mode": 0}, 3
+    )
+    base, args = handler.normalize(event)
+    assert base == "open"
+    assert "dfd" not in args
+    assert args["flags"] == 2
+
+
+def test_openat2_drops_resolve():
+    handler = VariantHandler()
+    event = make_event(
+        "openat2",
+        {"dfd": C.AT_FDCWD, "pathname": "/f", "flags": 0, "mode": 0, "resolve": 4},
+        3,
+    )
+    base, args = handler.normalize(event)
+    assert base == "open" and "resolve" not in args
+
+
+def test_creat_synthesizes_flags():
+    handler = VariantHandler()
+    event = make_event("creat", {"pathname": "/f", "mode": 0o644}, 3)
+    base, args = handler.normalize(event)
+    assert base == "open"
+    assert args["flags"] == CREAT_IMPLIED_FLAGS
+    assert CREAT_IMPLIED_FLAGS == C.O_CREAT | C.O_WRONLY | C.O_TRUNC
+
+
+def test_pwrite_drops_pos():
+    handler = VariantHandler()
+    event = make_event("pwrite64", {"fd": 3, "count": 512, "pos": 4096}, 512)
+    base, args = handler.normalize(event)
+    assert base == "write"
+    assert args == {"fd": 3, "count": 512}
+
+
+def test_writev_drops_vlen_keeps_count():
+    handler = VariantHandler()
+    event = make_event("writev", {"fd": 3, "vlen": 4, "count": 1000}, 1000)
+    base, args = handler.normalize(event)
+    assert base == "write" and args == {"fd": 3, "count": 1000}
+
+
+def test_fchdir_fd_becomes_identifier():
+    handler = VariantHandler()
+    event = make_event("fchdir", {"fd": 5}, 0)
+    base, args = handler.normalize(event)
+    assert base == "chdir"
+    assert args == {"filename": 5}
+
+
+def test_xattr_variants_merge():
+    handler = VariantHandler()
+    for name in ("setxattr", "lsetxattr", "fsetxattr"):
+        event = make_event(name, {"name": "user.k", "size": 4, "flags": 0}, 0)
+        base, _ = handler.normalize(event)
+        assert base == "setxattr"
+
+
+def test_untracked_syscall_returns_none():
+    handler = VariantHandler()
+    assert handler.normalize(make_event("rename", {"oldpath": "/a"}, 0)) is None
+    assert handler.normalize(make_event("nanosleep", {}, 0)) is None
+
+
+def test_merge_counts():
+    handler = VariantHandler()
+    events = [
+        make_event("open", {}, 3),
+        make_event("openat", {}, 4),
+        make_event("creat", {}, 5),
+        make_event("pwrite64", {}, 10),
+        make_event("sync", {}, 0),
+    ]
+    counts = handler.merge_counts(events)
+    assert counts == {"open": 3, "write": 1}
+
+
+def test_variants_of_listing():
+    assert VariantHandler.variants_of("open") == ["open", "creat", "openat", "openat2"]
+    assert VariantHandler.variants_of("close") == ["close"]

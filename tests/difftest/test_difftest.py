@@ -1,0 +1,196 @@
+"""Differential tester: faulty system, generator, harness."""
+
+import pytest
+
+from repro.core import IOCov
+from repro.difftest import (
+    CoverageGuidedGenerator,
+    DifferentialTester,
+    FaultySyscallInterface,
+    make_faulty,
+    make_reference,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants as C
+from repro.vfs.errors import EIO, ENOSPC, EOVERFLOW
+from repro.vfs.filesystem import FileSystem
+
+
+# -- the faulty system-under-test ------------------------------------------------
+
+
+def test_faulty_rejects_unknown_bug_ids():
+    with pytest.raises(ValueError):
+        make_faulty(enabled_bugs=["no-such-bug"])
+
+
+def test_faulty_agrees_on_ordinary_operations():
+    ref, sut = make_reference(), make_faulty()
+    for sc in (ref, sut):
+        fd = sc.open("/f", C.O_CREAT | C.O_RDWR, 0o644).retval
+        assert sc.write(fd, count=4096).retval == 4096
+        assert sc.read(fd, 10).retval == 0
+        assert sc.close(fd).ok
+    assert sut.corruptions_applied == []
+
+
+def test_faulty_xattr_overflow_accepts_bad_set():
+    ref, sut = make_reference(), make_faulty()
+    for sc in (ref, sut):
+        sc.open("/f", C.O_CREAT | C.O_WRONLY, 0o644)
+    ref_result = ref.setxattr("/f", "user.max", b"", size=C.XATTR_SIZE_MAX)
+    sut_result = sut.setxattr("/f", "user.max", b"", size=C.XATTR_SIZE_MAX)
+    assert not ref_result.ok          # conforming: rejected
+    assert sut_result.ok              # buggy: accepted
+    assert ("xattr-ibody-overflow", "setxattr") in sut.corruptions_applied
+
+
+def test_faulty_get_branch_wrong_errno():
+    sut = make_faulty()
+    fd = sut.open("/f", C.O_CREAT | C.O_RDWR, 0o644).retval
+    sut.write(fd, count=100)
+    result = sut.pread64(fd, 16, 5000)
+    assert result.errno == EIO  # correct kernel: short read of 0
+
+
+def test_faulty_nowait_spurious_enospc():
+    fs = FileSystem(total_blocks=64)
+    sut = make_faulty(fs)
+    fd = sut.open("/f", C.O_CREAT | C.O_WRONLY | C.O_NONBLOCK, 0o644).retval
+    # Drop free space under 10% while leaving room for the write.
+    fs.device.reserved_blocks = 60
+    result = sut.write(fd, count=512)
+    assert result.errno == ENOSPC
+    fs.device.release_reserved()
+    assert sut.write(fd, count=512).ok  # plenty of space: no corruption
+
+
+def test_faulty_max_count_short_write():
+    fs_a, fs_b = FileSystem(total_blocks=4096), FileSystem(total_blocks=4096)
+    ref, sut = make_reference(fs_a), make_faulty(fs_b)
+    results = []
+    for sc in (ref, sut):
+        fd = sc.open("/f", C.O_CREAT | C.O_WRONLY, 0o644).retval
+        results.append(sc.write(fd, count=C.MAX_RW_COUNT).retval)
+    assert results[1] == results[0] - 4096
+
+
+def test_largefile_check_in_reference_and_bypass_in_faulty():
+    ref, sut = make_reference(), make_faulty()
+    for sc in (ref, sut):
+        fd = sc.open("/big", C.O_CREAT | C.O_WRONLY, 0o644).retval
+        sc.ftruncate(fd, 2**31 + 10)  # sparse: no materialization
+        sc.close(fd)
+    assert ref.open("/big", C.O_RDONLY).errno == EOVERFLOW
+    assert ref.open("/big", C.O_RDONLY | C.O_LARGEFILE).ok
+    bypassed = sut.open("/big", C.O_RDONLY)
+    assert bypassed.ok
+    assert ("open-largefile-overflow", "open") in sut.corruptions_applied
+
+
+def test_selective_corruption():
+    sut = make_faulty(enabled_bugs=["get-branch-errcode"])
+    sut.open("/f", C.O_CREAT | C.O_WRONLY, 0o644)
+    result = sut.setxattr("/f", "user.max", b"", size=C.XATTR_SIZE_MAX)
+    assert not result.ok  # xattr bug not enabled: conforming behaviour
+
+
+# -- the generator ------------------------------------------------------------
+
+
+def test_generator_targets_untested_partitions():
+    sc = make_reference()
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    recorder = TraceRecorder()
+    recorder.attach(sc)
+    fd = sc.open("/mnt/test/f", C.O_CREAT | C.O_WRONLY, 0o644).retval
+    sc.write(fd, count=4096)
+    sc.close(fd)
+
+    iocov = IOCov(mount_point="/mnt/test").consume(recorder.events)
+    generator = CoverageGuidedGenerator("/mnt/test")
+    ops = generator.propose(iocov.input, max_ops=200)
+    assert ops
+    targets = {op.target for op in ops}
+    # 4096 was written, so its bucket is covered; 0 was not.
+    assert "write.count -> equal_to_0" in targets
+    assert "write.count -> 2^12" not in targets
+
+
+def test_generated_ops_actually_open_their_partitions():
+    sc = make_reference()
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    recorder = TraceRecorder()
+    recorder.attach(sc)
+    iocov = IOCov(mount_point="/mnt/test").consume(recorder.events)
+    generator = CoverageGuidedGenerator("/mnt/test")
+    before = sum(len(g) for g in iocov.input.all_untested().values())
+    for op in generator.propose(iocov.input, max_ops=100):
+        op.run(sc)
+    iocov2 = IOCov(mount_point="/mnt/test").consume(recorder.events)
+    after = sum(len(g) for g in iocov2.input.all_untested().values())
+    assert after < before
+
+
+def test_output_scenarios_proposed_for_enospc_gap():
+    sc = make_reference(FileSystem(total_blocks=64))
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    iocov = IOCov(mount_point="/mnt/test")
+    generator = CoverageGuidedGenerator("/mnt/test")
+    scenarios = generator.propose_output_scenarios(iocov.output)
+    assert any("ENOSPC" in op.target for op in scenarios)
+    # Running it produces both a success under pressure and a failure.
+    outcomes = scenarios[0].run(sc)
+    assert outcomes[0][1] > 0          # low-space write still succeeded
+    assert outcomes[1][2] == ENOSPC    # full-device write failed
+
+
+# -- the harness ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def diff_report():
+    ref = make_reference(FileSystem(total_blocks=4096))
+    sut = make_faulty(FileSystem(total_blocks=4096))
+    tester = DifferentialTester(ref, sut)
+    report = tester.run(rounds=8, max_ops_per_round=80)
+    return report, sut
+
+
+def test_identical_systems_produce_no_divergence():
+    ref_a = make_reference(FileSystem(total_blocks=1024))
+    ref_b = make_reference(FileSystem(total_blocks=1024))
+    report = DifferentialTester(ref_a, ref_b).run(rounds=4, max_ops_per_round=60)
+    assert report.ops_executed > 50
+    assert report.divergences == []
+
+
+def test_differential_run_finds_all_behavioural_bugs(diff_report):
+    report, sut = diff_report
+    assert report.found_bugs
+    exposed = {bug_id for bug_id, _ in sut.corruptions_applied}
+    assert exposed == {
+        "xattr-ibody-overflow",
+        "get-branch-errcode",
+        "nowait-write-enospc",
+        "write-max-count-short",
+        "open-largefile-overflow",
+    }
+
+
+def test_divergences_name_their_coverage_targets(diff_report):
+    report, _ = diff_report
+    families = {d.target.split(" -> ")[0] for d in report.divergences}
+    assert "setxattr.size" in families
+    assert "truncate.length" in families  # the O_LARGEFILE boundary
+    assert "write.outputs" in families    # the NOWAIT pressure scenario
+
+
+def test_report_renders(diff_report):
+    report, _ = diff_report
+    text = report.render_text()
+    assert "divergences found" in text
+    assert report.partitions_opened > 50

@@ -1,0 +1,79 @@
+"""Capture-format integration: identical coverage from live events,
+LTTng text, and strace text of the same workload."""
+
+import pytest
+
+from repro.core import IOCov
+from repro.trace.lttng import LttngParser, LttngWriter
+from repro.vfs import constants as C
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.syscalls import SyscallInterface
+from repro.trace.recorder import TraceRecorder
+
+
+@pytest.fixture
+def traced_workload():
+    fs = FileSystem()
+    sc = SyscallInterface(fs)
+    recorder = TraceRecorder()
+    recorder.attach(sc)
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    for i in range(8):
+        fd = sc.open(f"/mnt/test/f{i}", C.O_CREAT | C.O_RDWR, 0o644).retval
+        sc.write(fd, count=1 << (4 + i))
+        sc.lseek(fd, 0, C.SEEK_SET)
+        sc.read(fd, 1 << (4 + i))
+        sc.close(fd)
+    sc.open("/mnt/test/absent", C.O_RDONLY)
+    sc.setxattr("/mnt/test/f0", "user.k", b"v" * 10)
+    sc.getxattr("/mnt/test/f0", "user.k", 64)
+    return recorder.events
+
+
+def coverage_dict(events):
+    report = IOCov(mount_point="/mnt/test").consume(events).report()
+    return report.to_dict()
+
+
+def test_lttng_file_coverage_identical_to_live(traced_workload, tmp_path):
+    live = coverage_dict(traced_workload)
+    path = tmp_path / "trace.lttng.txt"
+    path.write_text(LttngWriter().dumps(traced_workload))
+    from_file = coverage_dict(LttngParser().parse_file(str(path)))
+    live.pop("suite"), from_file.pop("suite")
+    assert live == from_file
+
+
+def test_strace_lines_yield_same_partitions(tmp_path):
+    """Hand-written strace of the same logical workload lands in the
+    same partitions as the simulated one."""
+    strace_text = "\n".join(
+        [
+            'mkdir("/mnt/test/d", 0755) = 0',
+            'openat(AT_FDCWD, "/mnt/test/d/f", O_RDWR|O_CREAT, 0644) = 3',
+            'write(3, "..."..., 16) = 16',
+            "lseek(3, 0, SEEK_SET) = 0",
+            'read(3, "..."..., 16) = 16',
+            "close(3) = 0",
+            'open("/mnt/test/absent", O_RDONLY) = -1 ENOENT (No such file)',
+        ]
+    )
+    path = tmp_path / "capture.strace"
+    path.write_text(strace_text)
+    report = IOCov(mount_point="/mnt/test").consume_strace_file(str(path)).report()
+    assert report.input_frequencies("open", "flags")["O_RDWR"] == 1
+    assert report.input_frequencies("write", "count")["2^4"] == 1
+    assert report.output_frequencies("open")["ENOENT"] == 1
+    assert report.output_frequencies("read")["OK:2^4"] == 1
+
+
+def test_mixed_sources_accumulate(traced_workload, tmp_path):
+    """One analyzer can consume live events and a parsed file together."""
+    iocov = IOCov(mount_point="/mnt/test")
+    iocov.consume(traced_workload)
+    first = iocov.report().output_frequencies("open")["OK"]
+    path = tmp_path / "more.txt"
+    path.write_text(LttngWriter().dumps(traced_workload))
+    iocov.consume_lttng_file(str(path))
+    assert iocov.report().output_frequencies("open")["OK"] == 2 * first

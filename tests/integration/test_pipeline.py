@@ -1,0 +1,124 @@
+"""End-to-end integration: suites -> trace -> IOCov -> paper artifacts.
+
+These run both simulated testers at reduced scale and check the
+*shape-level* reproduction claims that the full-scale benchmarks
+measure precisely.
+"""
+
+import pytest
+
+from repro.core import IOCov, SuiteComparison, find_crossover
+from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
+
+CM_SCALE = 0.25
+XF_SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def reports():
+    cm_run = SuiteRunner(CrashMonkeySuite(scale=CM_SCALE)).run()
+    xf_run = SuiteRunner(XfstestsSuite(scale=XF_SCALE)).run()
+    cm = IOCov(mount_point="/mnt/test", suite_name="CrashMonkey")
+    xf = IOCov(mount_point="/mnt/test", suite_name="xfstests")
+    return (
+        cm.consume(cm_run.events).report(),
+        xf.consume(xf_run.events).report(),
+    )
+
+
+def effective(freqs: dict, scale: float) -> dict:
+    return {key: value / scale for key, value in freqs.items()}
+
+
+def test_untested_partitions_exist_for_both(reports):
+    """The paper's headline: IOCov finds many untested cases for both."""
+    cm, xf = reports
+    assert cm.untested_inputs()
+    assert xf.untested_inputs()
+    assert cm.untested_outputs()
+    assert xf.untested_outputs()
+
+
+def test_xfstests_covers_more_flags_than_crashmonkey(reports):
+    cm, xf = reports
+    cm_flags = cm.input_frequencies("open", "flags")
+    xf_flags = xf.input_frequencies("open", "flags")
+    cm_tested = {key for key, count in cm_flags.items() if count}
+    xf_tested = {key for key, count in xf_flags.items() if count}
+    assert cm_tested < xf_tested  # strict subset
+
+
+def test_flags_untested_by_both_match_profile(reports):
+    from repro.testsuites import UNTESTED_BY_BOTH
+
+    cm, xf = reports
+    for flag in UNTESTED_BY_BOTH:
+        assert cm.input_frequencies("open", "flags")[flag] == 0
+        assert xf.input_frequencies("open", "flags")[flag] == 0
+
+
+def test_effective_frequencies_xfstests_dominates(reports):
+    cm, xf = reports
+    cm_eff = effective(cm.input_frequencies("open", "flags"), CM_SCALE)
+    xf_eff = effective(xf.input_frequencies("open", "flags"), XF_SCALE)
+    for flag, count in cm_eff.items():
+        if count and flag != "unknown_bits":
+            assert xf_eff[flag] > count, flag
+
+
+def test_write_size_shape(reports):
+    cm, xf = reports
+    cm_counts = cm.input_frequencies("write", "count")
+    xf_counts = xf.input_frequencies("write", "count")
+    # Nothing above the 2^28 interval for either suite.
+    for counts in (cm_counts, xf_counts):
+        for key, value in counts.items():
+            if value and key.startswith("2^"):
+                assert int(key[2:]) <= 28
+    # xfstests tests the zero boundary; CrashMonkey does not.
+    assert xf_counts["equal_to_0"] > 0
+    assert cm_counts["equal_to_0"] == 0
+
+
+def test_output_coverage_shape(reports):
+    cm, xf = reports
+    cm_out = cm.output_frequencies("open")
+    xf_out = xf.output_frequencies("open")
+    cm_errs = {k for k, v in cm_out.items() if v and not k.startswith("OK")}
+    xf_errs = {k for k, v in xf_out.items() if v and not k.startswith("OK")}
+    assert cm_errs < xf_errs
+    # Untested codes remain for both (the paper's point).
+    assert set(cm.output_coverage.syscall("open").untested_errnos())
+    assert set(xf.output_coverage.syscall("open").untested_errnos())
+    for code in ("ENOMEM", "ENODEV", "EXDEV", "E2BIG"):
+        assert cm_out.get(code, 0) == 0 and xf_out.get(code, 0) == 0
+
+
+def test_tcd_crossover_exists(reports):
+    cm, xf = reports
+    cm_eff = effective(cm.input_frequencies("open", "flags"), CM_SCALE)
+    xf_eff = effective(xf.input_frequencies("open", "flags"), XF_SCALE)
+    keys = [key for key in cm_eff if key != "unknown_bits"]
+    crossover = find_crossover(
+        [cm_eff[k] for k in keys], [xf_eff[k] for k in keys], 1, 1e7
+    )
+    assert crossover is not None
+    assert 500 < crossover < 50000  # same regime as the paper's 5,237
+
+
+def test_suite_comparison_renders(reports):
+    cm, xf = reports
+    cmp = SuiteComparison(cm, xf)
+    text = cmp.render_text("open", "flags")
+    assert "CrashMonkey" in text and "xfstests" in text
+    dominance = cmp.dominance("write", "count")
+    assert dominance  # non-empty
+
+
+def test_reports_serialize_round_trip(reports):
+    import json
+
+    cm, _ = reports
+    data = json.loads(cm.to_json())
+    assert data["suite"] == "CrashMonkey"
+    assert data["events_admitted"] > 0

@@ -1,0 +1,90 @@
+"""Gcov-like collector: line/function/branch semantics."""
+
+import pytest
+
+from repro.kernelsim.coverage import CodeCoverage, FunctionSpec
+
+
+@pytest.fixture
+def cov() -> CodeCoverage:
+    collector = CodeCoverage()
+    collector.register(FunctionSpec("f", "a.c", 5, ("b1", "b2")))
+    collector.register(FunctionSpec("g", "a.c", 3, ()))
+    return collector
+
+
+def test_line_coverage(cov):
+    assert not cov.line_covered("f", 1)
+    cov.line("f", 1)
+    assert cov.line_covered("f", 1)
+    assert cov.line_hit_count("f", 1) == 1
+    cov.line("f", 1)
+    assert cov.line_hit_count("f", 1) == 2
+
+
+def test_lines_range(cov):
+    cov.lines("f", 2, 4)
+    assert all(cov.line_covered("f", n) for n in (2, 3, 4))
+    assert not cov.line_covered("f", 1)
+
+
+def test_invalid_line_rejected(cov):
+    with pytest.raises(ValueError):
+        cov.line("f", 6)
+    with pytest.raises(ValueError):
+        cov.line("f", 0)
+
+
+def test_function_coverage_from_any_line(cov):
+    assert not cov.function_covered("f")
+    cov.line("f", 3)
+    assert cov.function_covered("f")
+    assert not cov.function_covered("g")
+
+
+def test_branch_requires_both_outcomes(cov):
+    cov.branch("f", "b1", True)
+    assert not cov.branch_fully_covered("f", "b1")
+    cov.branch("f", "b1", False)
+    assert cov.branch_fully_covered("f", "b1")
+
+
+def test_unknown_branch_rejected(cov):
+    with pytest.raises(ValueError):
+        cov.branch("f", "nope", True)
+    with pytest.raises(ValueError):
+        cov.branch("g", "b1", True)
+
+
+def test_snapshot_percentages(cov):
+    cov.lines("f", 1, 5)
+    cov.branch("f", "b1", True)
+    cov.branch("f", "b1", False)
+    snap = cov.snapshot()
+    assert snap.line_total == 8
+    assert snap.line_covered == 5
+    assert snap.line_percent == pytest.approx(100 * 5 / 8)
+    assert snap.function_total == 2 and snap.function_covered == 1
+    assert snap.function_percent == pytest.approx(50.0)
+    # 2 branches x 2 outcomes = 4; we covered both outcomes of b1.
+    assert snap.branch_outcomes_total == 4
+    assert snap.branch_outcomes_covered == 2
+    assert snap.branch_percent == pytest.approx(50.0)
+
+
+def test_duplicate_registration_rejected(cov):
+    with pytest.raises(ValueError):
+        cov.register(FunctionSpec("f", "b.c", 2, ()))
+
+
+def test_reset(cov):
+    cov.lines("f", 1, 5)
+    cov.reset()
+    assert cov.snapshot().line_covered == 0
+
+
+def test_empty_snapshot_percent_zero():
+    snap = CodeCoverage().snapshot()
+    assert snap.line_percent == 0.0
+    assert snap.function_percent == 0.0
+    assert snap.branch_percent == 0.0

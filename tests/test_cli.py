@@ -1,0 +1,120 @@
+"""CLI tests: every subcommand, both output modes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace.lttng import LttngWriter
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants as C
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.syscalls import SyscallInterface
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    fs = FileSystem()
+    sc = SyscallInterface(fs)
+    recorder = TraceRecorder()
+    recorder.attach(sc)
+    sc.mkdir("/mnt", 0o755)
+    sc.mkdir("/mnt/test", 0o755)
+    fd = sc.open("/mnt/test/f", C.O_CREAT | C.O_RDWR, 0o644).retval
+    sc.write(fd, count=2048)
+    sc.close(fd)
+    sc.open("/mnt/test/missing", C.O_RDONLY)
+    path = tmp_path / "trace.lttng.txt"
+    path.write_text(LttngWriter().dumps(recorder.events))
+    return str(path)
+
+
+def test_analyze_text_output(trace_file, capsys):
+    assert main(["analyze", trace_file, "--mount", "/mnt/test"]) == 0
+    out = capsys.readouterr().out
+    assert "IOCov report" in out
+    assert "untested" in out
+
+
+def test_analyze_json_output(trace_file, capsys):
+    assert main(["analyze", trace_file, "--mount", "/mnt/test", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["input_coverage"]["write"]["count"]["2^11"] == 1
+    assert data["output_coverage"]["open"]["ENOENT"] == 1
+
+
+def test_analyze_specific_syscall_tables(trace_file, capsys):
+    assert (
+        main(
+            [
+                "analyze", trace_file,
+                "--mount", "/mnt/test",
+                "--syscall", "open",
+                "--arg", "flags",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "input coverage: open.flags" in out
+    assert "output coverage: open" in out
+
+
+def test_analyze_with_suggestions(trace_file, capsys):
+    assert main(["analyze", trace_file, "--mount", "/mnt/test", "--suggest"]) == 0
+    out = capsys.readouterr().out
+    assert "suggested new tests" in out
+    assert "[" in out  # syscall-tagged suggestion lines
+
+
+def test_analyze_strace_format(tmp_path, capsys):
+    path = tmp_path / "cap.strace"
+    path.write_text('open("/mnt/test/f", O_RDONLY) = 3\nclose(3) = 0\n')
+    assert main(["analyze", str(path), "--format", "strace"]) == 0
+    assert "IOCov report" in capsys.readouterr().out
+
+
+def test_format_guessing(tmp_path):
+    from repro.cli import _guess_format
+
+    assert _guess_format("prog.syz") == "syzkaller"
+    assert _guess_format("capture.strace.log") == "strace"
+    assert _guess_format("trace.txt") == "lttng"
+
+
+def test_compare(trace_file, capsys):
+    assert main(["compare", trace_file, trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "open.flags" in out
+    assert "only" in out
+
+
+def test_bugstudy(capsys):
+    assert main(["bugstudy"]) == 0
+    out = capsys.readouterr().out
+    assert "input bugs" in out
+    assert "all aggregates match the paper." in out
+
+
+def test_difftest(capsys):
+    assert main(["difftest", "--rounds", "4", "--ops", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "divergences found" in out
+    assert "injected bugs exposed" in out
+
+
+def test_replay_faithful(trace_file, capsys):
+    assert main(["replay", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out and "0 divergent" in out
+
+
+def test_replay_divergent_on_tiny_device(trace_file, capsys):
+    assert main(["replay", trace_file, "--blocks", "1"]) == 1
+    assert "divergent" in capsys.readouterr().out
+
+
+def test_suites_crashmonkey_small(capsys):
+    assert main(["suites", "--suite", "crashmonkey", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "CrashMonkey" in out and "events" in out

@@ -1,0 +1,70 @@
+"""Smoke tests: the runnable examples must keep running.
+
+Each example is executed in-process (runpy) with stdout captured; the
+assertions pin the headline lines so a regression in any layer that
+breaks a walkthrough fails here, not in a user's terminal.  The two
+full-evaluation examples (compare_test_suites, tcd_tuning) are heavier
+and run the suites at their default scales, so they get one shared run.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    saved_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "traced" in out
+    assert "IOCov report" in out
+    assert "open flags never tested" in out
+    assert "TCD(open flags" in out
+
+
+def test_bug_detection_demo(capsys):
+    out = run_example("bug_detection_demo.py", capsys)
+    assert "function coverage 100.0%" in out
+    assert "bugs sitting in COVERED code" in out
+    assert "bugs exposed by the boundary-value tests (4)" in out
+
+
+def test_analyze_external_traces(capsys):
+    out = run_example("analyze_external_traces.py", capsys)
+    assert "[LTTng text trace]" in out
+    assert "[strace capture]" in out
+    assert "[syzkaller program (input-only)]" in out
+
+
+def test_differential_testing(capsys):
+    out = run_example("differential_testing.py", capsys)
+    assert "bugs exposed (5/5)" in out
+    assert "divergences per coverage family" in out
+
+
+def test_fuzzing_evaluation(capsys):
+    out = run_example("fuzzing_evaluation.py", capsys)
+    assert "guided" in out and "blind" in out
+    assert "flags the fuzzer reaches that xfstests never does" in out
+
+
+@pytest.mark.slow
+def test_compare_test_suites(capsys):
+    out = run_example("compare_test_suites.py", capsys, argv=["0.003"])
+    assert "flag combinations" in out
+    assert "flags untested by BOTH" in out
+    assert "O_LARGEFILE" in out

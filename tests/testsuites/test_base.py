@@ -1,0 +1,145 @@
+"""Suite framework: context helpers, runner life cycle."""
+
+import pytest
+
+from repro.testsuites.base import (
+    SuiteContext,
+    SuiteRunner,
+    TestSuite,
+    Workload,
+)
+from repro.vfs import constants as C
+from repro.vfs.errors import EACCES, EBUSY, EDQUOT, ENOSPC, EROFS
+
+
+class TinySuite(TestSuite):
+    name = "tiny"
+    mount_point = "/mnt/test"
+
+    def __init__(self, bodies):
+        self._bodies = bodies
+
+    def workloads(self):
+        for i, body in enumerate(self._bodies):
+            yield Workload(f"w{i}", "g", body)
+
+
+def run_suite(*bodies):
+    return SuiteRunner(TinySuite(list(bodies))).run()
+
+
+def test_runner_creates_mount_point_and_traces():
+    seen = {}
+
+    def body(ctx):
+        seen["stat"] = ctx.sc.stat(ctx.mount_point).ok
+        ctx.ensure_file(ctx.path("f"), size=10)
+
+    result = run_suite(body)
+    assert seen["stat"]
+    assert result.workload_results[0].ok
+    names = [event.name for event in result.events]
+    assert "open" in names and "write" in names
+
+
+def test_runner_captures_workload_exceptions():
+    def broken(ctx):
+        raise RuntimeError("boom")
+
+    result = run_suite(broken)
+    assert not result.workload_results[0].ok
+    assert "boom" in result.workload_results[0].detail
+    assert len(result.failures) == 1
+
+
+def test_context_unique_names():
+    names = set()
+
+    def body(ctx):
+        for _ in range(10):
+            names.add(ctx.unique_name())
+
+    run_suite(body)
+    assert len(names) == 10
+
+
+def test_context_ensure_dir_nested():
+    def body(ctx):
+        ctx.ensure_dir(ctx.path("a/b/c"))
+        assert ctx.sc.stat(ctx.path("a/b/c")).ok
+
+    assert run_suite(body).failures == []
+
+
+def test_context_as_root_restores_creds():
+    def body(ctx):
+        before = ctx.sc.process.creds
+        with ctx.as_root():
+            assert ctx.sc.process.creds.is_superuser
+        assert ctx.sc.process.creds == before
+
+    assert run_suite(body).failures == []
+
+
+def test_context_read_only_fs():
+    def body(ctx):
+        ctx.ensure_file(ctx.path("f"))
+        with ctx.read_only_fs():
+            assert ctx.sc.open(ctx.path("f"), C.O_WRONLY).errno == EROFS
+        assert ctx.sc.open(ctx.path("f"), C.O_WRONLY).ok
+
+    assert run_suite(body).failures == []
+
+
+def test_context_frozen_fs():
+    def body(ctx):
+        ctx.ensure_file(ctx.path("f"))
+        with ctx.frozen_fs():
+            assert ctx.sc.open(ctx.path("f"), C.O_WRONLY).errno == EBUSY
+
+    assert run_suite(body).failures == []
+
+
+def test_context_full_device():
+    def body(ctx):
+        with ctx.full_device():
+            result = ctx.sc.open(ctx.path("f"), C.O_CREAT | C.O_WRONLY, 0o644)
+            assert result.errno == ENOSPC
+        assert ctx.sc.open(ctx.path("g"), C.O_CREAT | C.O_WRONLY, 0o644).ok
+
+    assert run_suite(body).failures == []
+
+
+def test_context_exhausted_quota():
+    def body(ctx):
+        with ctx.exhausted_quota():
+            result = ctx.sc.open(ctx.path("q"), C.O_CREAT | C.O_WRONLY, 0o644)
+            assert result.errno == EDQUOT
+        assert ctx.sc.open(ctx.path("r"), C.O_CREAT | C.O_WRONLY, 0o644).ok
+
+    assert run_suite(body).failures == []
+
+
+def test_context_fd_limit():
+    def body(ctx):
+        ctx.ensure_file(ctx.path("f"))
+        with ctx.fd_limit(0):
+            from repro.vfs.errors import EMFILE
+
+            assert ctx.sc.open(ctx.path("f"), C.O_RDONLY).errno == EMFILE
+
+    assert run_suite(body).failures == []
+
+
+def test_unprivileged_tester_identity():
+    def body(ctx):
+        assert ctx.sc.process.creds.uid == 1000
+
+    assert run_suite(body).failures == []
+
+
+def test_runner_result_metadata():
+    result = run_suite(lambda ctx: None)
+    assert result.suite_name == "tiny"
+    assert result.mount_point == "/mnt/test"
+    assert result.event_count() == len(result.events)

@@ -1,0 +1,79 @@
+"""LTP substrate: conformance batteries, uncalibrated coverage."""
+
+import pytest
+
+from repro.core import IOCov, SuiteComparison
+from repro.testsuites import SuiteRunner
+from repro.testsuites.ltp import LtpSuite
+
+
+@pytest.fixture(scope="module")
+def ltp_run():
+    suite = LtpSuite()
+    return suite, SuiteRunner(suite).run()
+
+
+def test_population_is_per_syscall_batteries():
+    workloads = list(LtpSuite(repeats=6).workloads())
+    assert len(workloads) == 20 * 6
+    names = [w.name for w in workloads]
+    assert "open01" in names and "getxattr06" in names
+    assert len(set(names)) == len(names)
+
+
+def test_all_testcases_pass(ltp_run):
+    _, result = ltp_run
+    assert result.failures == [], [f.name + ": " + f.detail for f in result.failures]
+
+
+def test_ltp_mount_point_differs(ltp_run):
+    """The per-tester setting the paper describes: only the mount
+    expression changes between testers."""
+    _, result = ltp_run
+    assert result.mount_point == "/tmp/ltp"
+    scoped = IOCov(mount_point="/tmp/ltp").consume(result.events).report()
+    wrong_scope = IOCov(mount_point="/mnt/test").consume(result.events).report()
+    assert scoped.events_admitted > 0
+    # Scoping to the wrong mount point sees almost nothing.
+    assert wrong_scope.events_admitted < scoped.events_admitted * 0.05
+
+
+def test_ltp_errno_heavy_profile(ltp_run):
+    """LTP's conformance style reaches many errnos with little volume."""
+    _, result = ltp_run
+    report = IOCov(mount_point="/tmp/ltp", suite_name="LTP").consume(result.events).report()
+    open_errors = {
+        code
+        for code, count in report.output_frequencies("open").items()
+        if count and not code.startswith("OK")
+    }
+    assert {"ENOENT", "EEXIST", "EISDIR", "ENAMETOOLONG"} <= open_errors
+    # ...but its input volume is tiny compared to the profiled suites.
+    assert report.events_admitted < 5000
+
+
+def test_ltp_comparable_against_xfstests(ltp_run):
+    from repro.testsuites import XfstestsSuite
+
+    _, result = ltp_run
+    ltp_report = (
+        IOCov(mount_point="/tmp/ltp", suite_name="LTP").consume(result.events).report()
+    )
+    xf_run = SuiteRunner(XfstestsSuite(scale=0.002)).run()
+    xf_report = (
+        IOCov(mount_point="/mnt/test", suite_name="xfstests")
+        .consume(xf_run.events)
+        .report()
+    )
+    comparison = SuiteComparison(ltp_report, xf_report)
+    table = comparison.input_table("open", "flags")
+    assert table  # renders fine across different mount points
+    text = comparison.render_text("open", "flags")
+    assert "LTP" in text and "xfstests" in text
+
+
+def test_deterministic(ltp_run):
+    _, first = ltp_run
+    second = SuiteRunner(LtpSuite()).run()
+    assert len(first.events) == len(second.events)
+    assert [e.name for e in first.events] == [e.name for e in second.events]

@@ -1,0 +1,99 @@
+"""Profile self-consistency: the tables must imply the paper's numbers."""
+
+import pytest
+
+from repro.testsuites.profiles import (
+    CRASHMONKEY_PROFILE,
+    MAX_WRITE_SIZE,
+    UNTESTED_BY_BOTH,
+    XFSTESTS_PROFILE,
+)
+
+PAPER_TABLE1 = {
+    ("CrashMonkey", None): {1: 9.3, 2: 2.8, 3: 22.1, 4: 65.4, 5: 0.5, 6: 0.0},
+    ("CrashMonkey", "O_RDONLY"): {1: 9.3, 2: 2.8, 3: 21.9, 4: 65.6, 5: 0.5, 6: 0.0},
+    ("xfstests", None): {1: 6.1, 2: 28.2, 3: 18.2, 4: 46.8, 5: 0.5, 6: 0.4},
+    ("xfstests", "O_RDONLY"): {1: 6.0, 2: 30.8, 3: 10.5, 4: 51.9, 5: 0.5, 6: 0.3},
+}
+
+PROFILES = {"CrashMonkey": CRASHMONKEY_PROFILE, "xfstests": XFSTESTS_PROFILE}
+
+
+@pytest.mark.parametrize("suite,restrict", list(PAPER_TABLE1))
+def test_combination_percentages_match_table1(suite, restrict):
+    profile = PROFILES[suite]
+    got = profile.combination_size_percentages(restrict)
+    for size, expected in PAPER_TABLE1[(suite, restrict)].items():
+        assert got.get(size, 0.0) == pytest.approx(expected, abs=0.3), (size, got)
+
+
+def test_crashmonkey_o_rdonly_frequency_is_7924():
+    freq = CRASHMONKEY_PROFILE.flag_frequencies()["O_RDONLY"]
+    assert abs(freq - 7924) <= 1  # rounding in the row solver
+
+
+def test_xfstests_o_rdonly_frequency_is_4099770():
+    assert XFSTESTS_PROFILE.flag_frequencies()["O_RDONLY"] == 4099770
+
+
+def test_xfstests_dominates_every_flag():
+    """Figure 2: xfstests' frequency is larger for every flag."""
+    cm = CRASHMONKEY_PROFILE.flag_frequencies()
+    xf = XFSTESTS_PROFILE.flag_frequencies()
+    for flag, count in cm.items():
+        assert xf.get(flag, 0) > count, flag
+
+
+def test_untested_flags_absent_from_both():
+    cm = CRASHMONKEY_PROFILE.flag_frequencies()
+    xf = XFSTESTS_PROFILE.flag_frequencies()
+    for flag in UNTESTED_BY_BOTH:
+        assert flag not in cm and flag not in xf
+
+
+def test_write_sizes_xfstests_dominates():
+    """Figure 3: xfstests larger in every tested interval."""
+    cm = CRASHMONKEY_PROFILE.write_bucket_frequencies()
+    xf = XFSTESTS_PROFILE.write_bucket_frequencies()
+    for bucket, count in cm.items():
+        assert xf.get(bucket, 0) > count, bucket
+
+
+def test_no_write_sizes_above_258mib():
+    for profile in PROFILES.values():
+        assert max(profile.write_sizes) <= MAX_WRITE_SIZE
+    assert MAX_WRITE_SIZE.bit_length() - 1 == 28  # lands in the 2^28 bucket
+
+
+def test_zero_write_tested_by_xfstests_only():
+    assert 0 in XFSTESTS_PROFILE.write_sizes
+    assert 0 not in CRASHMONKEY_PROFILE.write_sizes
+
+
+def test_open_errors_crashmonkey_ahead_only_on_enotdir():
+    """Figure 4: xfstests covers more of every error except ENOTDIR."""
+    cm = CRASHMONKEY_PROFILE.open_errors
+    xf = XFSTESTS_PROFILE.open_errors
+    for code, count in cm.items():
+        if code == "ENOTDIR":
+            assert count > xf.get(code, 0)
+        else:
+            assert xf.get(code, 0) >= count, code
+
+
+def test_scaled_preserves_nonzero_partitions():
+    scaled = XFSTESTS_PROFILE.scaled(0.001)
+    assert set(scaled.open_combinations) == set(XFSTESTS_PROFILE.open_combinations)
+    assert set(scaled.write_sizes) == set(XFSTESTS_PROFILE.write_sizes)
+    assert all(count >= 1 for count in scaled.open_combinations.values())
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        XFSTESTS_PROFILE.scaled(0)
+
+
+def test_total_opens_sum():
+    assert CRASHMONKEY_PROFILE.total_opens() == sum(
+        CRASHMONKEY_PROFILE.open_combinations.values()
+    )

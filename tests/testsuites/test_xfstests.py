@@ -1,0 +1,82 @@
+"""xfstests substrate: population, template correctness, calibration."""
+
+import pytest
+
+from repro.core import IOCov
+from repro.testsuites import SuiteRunner, XfstestsSuite
+
+
+def test_population_is_706_generic_plus_308_ext4():
+    suite = XfstestsSuite(scale=0.001)
+    workloads = list(suite.workloads())
+    assert len(workloads) == 706 + 308
+    groups = [w.group for w in workloads]
+    assert groups.count("generic") == 706
+    assert groups.count("ext4") == 308
+    assert len({w.name for w in workloads}) == len(workloads)
+
+
+@pytest.fixture(scope="module")
+def xfs_run():
+    suite = XfstestsSuite(scale=0.002)
+    result = SuiteRunner(suite).run()
+    return suite, result
+
+
+def test_no_workload_failures(xfs_run):
+    _, result = xfs_run
+    assert result.failures == [], [f.name + ": " + f.detail for f in result.failures]
+
+
+def test_all_27_syscall_names_appear(xfs_run):
+    """The suite exercises every traced syscall (base or variant)."""
+    _, result = xfs_run
+    from repro.core import TRACKED_SYSCALLS
+
+    names = {event.name for event in result.events}
+    missing = TRACKED_SYSCALLS - names
+    assert not missing, missing
+
+
+def test_xfstests_covers_broad_error_range(xfs_run):
+    _, result = xfs_run
+    report = IOCov(mount_point="/mnt/test").consume(result.events).report()
+    observed = {
+        code
+        for code, count in report.output_frequencies("open").items()
+        if count and not code.startswith("OK")
+    }
+    # All profile error codes reached, even at small scale.
+    assert {"ENOENT", "EEXIST", "EACCES", "EISDIR", "EROFS", "ENOSPC",
+            "EDQUOT", "ETXTBSY", "EBUSY", "EFAULT", "EMFILE", "EPERM",
+            "ENAMETOOLONG", "ELOOP", "EINVAL", "ENOTDIR"} <= observed
+
+
+def test_never_tested_flags_stay_zero(xfs_run):
+    _, result = xfs_run
+    report = IOCov(mount_point="/mnt/test").consume(result.events).report()
+    flags = report.input_frequencies("open", "flags")
+    for never in ("O_LARGEFILE", "O_PATH", "O_TMPFILE", "O_NOATIME", "O_ASYNC"):
+        assert flags[never] == 0
+
+
+def test_write_zero_bucket_tested(xfs_run):
+    _, result = xfs_run
+    report = IOCov(mount_point="/mnt/test").consume(result.events).report()
+    counts = report.input_frequencies("write", "count")
+    assert counts["equal_to_0"] >= 1
+    over_28 = [
+        key
+        for key, count in counts.items()
+        if count and key.startswith("2^") and int(key[2:]) > 28
+    ]
+    assert over_28 == []
+
+
+def test_mount_scoping_excludes_nothing_relevant(xfs_run):
+    """Everything the suite does happens under /mnt/test, so the filter
+    keeps (nearly) the whole trace — chdir('/') transitions excepted."""
+    _, result = xfs_run
+    iocov = IOCov(mount_point="/mnt/test")
+    report = iocov.consume(result.events).report()
+    assert report.events_admitted >= report.events_processed * 0.95

@@ -1,0 +1,46 @@
+"""SyscallEvent model tests."""
+
+from repro.trace.events import SyscallEvent, make_event
+
+
+def test_ok_property():
+    assert make_event("open", {}, 3).ok
+    assert make_event("write", {}, 0).ok
+    assert not make_event("open", {}, -2, 2).ok
+
+
+def test_arg_accessor_with_default():
+    event = make_event("open", {"flags": 0o100}, 3)
+    assert event.arg("flags") == 0o100
+    assert event.arg("missing") is None
+    assert event.arg("missing", 7) == 7
+
+
+def test_make_event_copies_args():
+    args = {"fd": 1}
+    event = make_event("close", args, 0)
+    args["fd"] = 99
+    assert event.arg("fd") == 1
+
+
+def test_paths_yields_path_like_args():
+    event = make_event(
+        "rename",
+        {"oldpath": "/a", "newpath": "/b", "flags": 0},
+        0,
+    )
+    assert sorted(event.paths()) == ["/a", "/b"]
+    event = make_event("open", {"pathname": "/f", "mode": 0o644}, 3)
+    assert list(event.paths()) == ["/f"]
+    event = make_event("close", {"fd": 3}, 0)
+    assert list(event.paths()) == []
+
+
+def test_event_is_frozen():
+    event = make_event("open", {}, 0)
+    try:
+        event.retval = 5  # type: ignore[misc]
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("event should be immutable")

@@ -1,0 +1,64 @@
+"""TraceRecorder behaviour: attach/detach, pause, ordering."""
+
+from repro.trace.events import make_event
+from repro.trace.recorder import TraceRecorder
+from repro.vfs import constants as C
+
+
+def test_records_events_in_order(sc, recorder):
+    sc.mkdir("/d", 0o755)
+    sc.open("/d/f", C.O_CREAT | C.O_WRONLY, 0o644)
+    names = [event.name for event in recorder]
+    assert names == ["mkdir", "open"]
+
+
+def test_events_carry_args_and_retval(sc, recorder):
+    result = sc.open("/f", C.O_CREAT | C.O_WRONLY, 0o640)
+    event = recorder.events[-1]
+    assert event.name == "open"
+    assert event.args["pathname"] == "/f"
+    assert event.args["mode"] == 0o640
+    assert event.retval == result.retval
+
+
+def test_failed_syscalls_recorded_with_errno(sc, recorder):
+    sc.open("/missing", C.O_RDONLY)
+    event = recorder.events[-1]
+    assert event.retval < 0 and event.errno > 0
+
+
+def test_detach_stops_recording(sc, recorder):
+    sc.mkdir("/a", 0o755)
+    recorder.detach_all()
+    sc.mkdir("/b", 0o755)
+    assert len(recorder) == 1
+
+
+def test_pause_resume(sc, recorder):
+    recorder.pause()
+    sc.mkdir("/a", 0o755)
+    recorder.resume()
+    sc.mkdir("/b", 0o755)
+    assert [event.args["pathname"] for event in recorder] == ["/b"]
+
+
+def test_clear_and_extend(recorder):
+    recorder.extend([make_event("sync", {}, 0)])
+    assert len(recorder) == 1
+    recorder.clear()
+    assert len(recorder) == 0
+
+
+def test_timestamps_monotonic(sc, recorder):
+    for i in range(5):
+        sc.mkdir(f"/d{i}", 0o755)
+    stamps = [event.timestamp for event in recorder]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)
+
+
+def test_multiple_listeners_both_record(sc, recorder):
+    second = TraceRecorder()
+    second.attach(sc)
+    sc.mkdir("/d", 0o755)
+    assert len(recorder) == len(second) == 1

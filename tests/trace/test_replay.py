@@ -1,0 +1,125 @@
+"""Trace replay: fidelity on self-traces and cross-config divergence."""
+
+import pytest
+
+from repro.trace.lttng import LttngParser, LttngWriter
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import TraceReplayer
+from repro.trace.strace import StraceParser
+from repro.vfs import constants as C
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.syscalls import SyscallInterface
+
+
+def traced_workload(total_blocks: int = 262144):
+    """Run a diverse workload; return its events."""
+    fs = FileSystem(total_blocks=total_blocks)
+    sc = SyscallInterface(fs)
+    recorder = TraceRecorder()
+    recorder.attach(sc)
+    sc.mkdir("/d", 0o755)
+    fd = sc.open("/d/f", C.O_CREAT | C.O_RDWR, 0o644).retval
+    sc.write(fd, count=4096)
+    sc.lseek(fd, 0, C.SEEK_SET)
+    sc.read(fd, 1024)
+    sc.pwrite64(fd, count=100, offset=8192)
+    sc.fsync(fd)
+    sc.ftruncate(fd, 2048)
+    sc.close(fd)
+    sc.setxattr("/d/f", "user.k", b"", size=16)
+    sc.getxattr("/d/f", "user.k", 64)
+    sc.chmod("/d/f", 0o600)
+    sc.link("/d/f", "/d/hard")
+    sc.symlink("/d/f", "/d/soft")
+    sc.rename("/d/hard", "/d/renamed")
+    sc.stat("/d/renamed")
+    sc.access("/d/f", 4)
+    sc.open("/d/missing", C.O_RDONLY)  # recorded failure
+    sc.unlink("/d/soft")
+    sc.sync()
+    return recorder.events
+
+
+def test_self_replay_is_faithful():
+    events = traced_workload()
+    replayer = TraceReplayer(SyscallInterface(FileSystem()))
+    report = replayer.replay(events)
+    assert report.replayed == len(events)
+    assert report.skipped == 0
+    assert report.faithful, report.render_text()
+
+
+def test_replay_reproduces_state():
+    events = traced_workload()
+    target = SyscallInterface(FileSystem())
+    TraceReplayer(target).replay(events)
+    assert target.fs.lookup("/d/f").size == 2048
+    assert target.fs.lookup("/d/renamed") is target.fs.lookup("/d/f")
+    assert target.fs.lookup("/d/f").permissions == 0o600
+    assert target.stat("/d/soft").errno != 0  # was unlinked
+
+
+def test_replay_remaps_fds():
+    """The target already has fds open, so trace fds shift — outcomes
+    must still match."""
+    events = traced_workload()
+    target = SyscallInterface(FileSystem())
+    # Occupy fds 0..2 so replayed opens get different numbers.
+    target.mkdir("/occupied", 0o755)
+    for _ in range(3):
+        target.open("/occupied", C.O_RDONLY | C.O_DIRECTORY)
+    report = TraceReplayer(target).replay(events)
+    assert report.faithful, report.render_text()
+
+
+def test_replay_onto_tiny_device_diverges_with_enospc():
+    """Porting the workload to a much smaller volume changes outcomes —
+    exactly the signal replay is for."""
+    events = traced_workload()
+    tiny = SyscallInterface(FileSystem(total_blocks=1))
+    report = TraceReplayer(tiny).replay(events)
+    assert not report.faithful
+    assert any(d.replay_errno != 0 for d in report.divergences)
+
+
+def test_replay_roundtrip_through_lttng_text():
+    events = traced_workload()
+    text = LttngWriter().dumps(events)
+    parsed = LttngParser().parse_text(text)
+    report = TraceReplayer(SyscallInterface(FileSystem())).replay(parsed)
+    assert report.faithful, report.render_text()
+
+
+def test_replay_strace_capture():
+    capture = "\n".join(
+        [
+            'mkdir("/m", 0755) = 0',
+            'openat(AT_FDCWD, "/m/f", O_RDWR|O_CREAT, 0644) = 3',
+            'write(3, "..."..., 512) = 512',
+            "lseek(3, 0, SEEK_SET) = 0",
+            'read(3, ""..., 512) = 512',
+            "close(3) = 0",
+            'open("/m/gone", O_RDONLY) = -1 ENOENT (No such file or directory)',
+        ]
+    )
+    events = StraceParser().parse_text(capture)
+    target = SyscallInterface(FileSystem())
+    report = TraceReplayer(target).replay(events)
+    assert report.faithful, report.render_text()
+    assert target.fs.lookup("/m/f").size == 512
+
+
+def test_unknown_syscalls_skipped():
+    from repro.trace.events import make_event
+
+    events = [make_event("io_uring_setup", {"entries": 8}, 3)]
+    report = TraceReplayer(SyscallInterface(FileSystem())).replay(events)
+    assert report.skipped == 1 and report.replayed == 0
+
+
+def test_report_render():
+    events = traced_workload()
+    tiny = SyscallInterface(FileSystem(total_blocks=1))
+    report = TraceReplayer(tiny).replay(events)
+    text = report.render_text()
+    assert "replayed" in text and "divergent" in text

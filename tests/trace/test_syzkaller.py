@@ -1,0 +1,78 @@
+"""Syzkaller program-log parser tests."""
+
+import pytest
+
+from repro.trace.syzkaller import SyzkallerParser
+from repro.vfs import constants as C
+
+
+@pytest.fixture
+def parser() -> SyzkallerParser:
+    return SyzkallerParser()
+
+
+def test_openat_with_resource_binding(parser):
+    event = parser.parse_line(
+        "r0 = openat(0xffffffffffffff9c, &(0x7f0000000040)='./file0\\x00', 0x42, 0x1ff)"
+    )
+    assert event.name == "openat"
+    assert event.args["dfd"] == C.AT_FDCWD
+    assert event.args["pathname"] == "./file0"
+    assert event.args["flags"] == 0x42
+    assert event.args["mode"] == 0x1FF
+    assert event.retval == 0  # logs carry no return values
+
+
+def test_resource_reference_resolves_to_fd(parser):
+    parser.parse_line("r0 = openat(0xffffffffffffff9c, &(0x7f0000000040)='./f\\x00', 0x2, 0x0)")
+    event = parser.parse_line('write(r0, &(0x7f0000000080)="616263", 0x3)')
+    assert event.name == "write"
+    assert isinstance(event.args["fd"], int) and event.args["fd"] >= 3
+    assert event.args["count"] == 3
+
+
+def test_hex_data_buffer_becomes_length(parser):
+    event = parser.parse_line('write(3, &(0x7f0000000080)="deadbeef", 0x4)')
+    # 'buf' is dropped; 8 hex chars = 4 bytes would be its decode.
+    assert "buf" not in event.args
+    assert event.args["count"] == 4
+
+
+def test_comment_and_blank_lines_ignored(parser):
+    assert parser.parse_line("# a comment") is None
+    assert parser.parse_line("   ") is None
+
+
+def test_syscall_variant_suffix_stripped(parser):
+    event = parser.parse_line("r1 = openat$dir(0xffffffffffffff9c, &(0x7f00000000c0)='./d\\x00', 0x0, 0x0)")
+    assert event.name == "openat"
+
+
+def test_parse_program_text(parser):
+    program = "\n".join(
+        [
+            "r0 = openat(0xffffffffffffff9c, &(0x7f0000000040)='./file0\\x00', 0x42, 0x1ff)",
+            'write(r0, &(0x7f0000000080)="6162", 0x2)',
+            "close(r0)",
+        ]
+    )
+    events = parser.parse_text(program)
+    assert [event.name for event in events] == ["openat", "write", "close"]
+    assert events[2].args["fd"] == events[1].args["fd"]
+
+
+def test_events_feed_input_coverage_only():
+    """Syzkaller events contribute inputs; outputs all read as success."""
+    from repro.core import IOCov
+
+    parser = SyzkallerParser()
+    events = parser.parse_text(
+        "r0 = openat(0xffffffffffffff9c, &(0x7f0000000040)='./f\\x00', 0x42, 0x1ff)\n"
+        'write(r0, &(0x7f0000000080)="61", 0x1)'
+    )
+    report = IOCov(suite_name="syzkaller").consume(events).report()
+    flags = report.input_frequencies("open", "flags")
+    assert flags["O_RDWR"] == 1 and flags["O_CREAT"] == 1
+    outputs = report.output_frequencies("open")
+    assert outputs["OK"] == 1
+    assert all(count == 0 for key, count in outputs.items() if key != "OK")

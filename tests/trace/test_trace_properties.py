@@ -1,0 +1,66 @@
+"""Property-based round-trip tests for the LTTng codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import make_event
+from repro.trace.lttng import LttngParser, LttngWriter
+
+_ARG_NAME = st.sampled_from(
+    ["pathname", "flags", "mode", "fd", "count", "pos", "offset", "whence", "name", "size"]
+)
+
+_PRINTABLE = st.text(
+    alphabet=st.characters(
+        codec="ascii", min_codepoint=32, max_codepoint=126, exclude_characters="{}"
+    ),
+    max_size=40,
+)
+
+_ARG_VALUE = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    _PRINTABLE,
+    st.none(),
+)
+
+_EVENT = st.builds(
+    make_event,
+    name=st.sampled_from(["open", "openat", "write", "read", "lseek", "setxattr"]),
+    args=st.dictionaries(_ARG_NAME, _ARG_VALUE, max_size=5),
+    retval=st.integers(min_value=-133, max_value=2**31),
+    errno=st.just(0),
+    pid=st.integers(min_value=0, max_value=65535),
+    comm=st.text(
+        alphabet=st.characters(codec="ascii", min_codepoint=97, max_codepoint=122),
+        max_size=10,
+    ),
+    timestamp=st.integers(min_value=0, max_value=10**15),
+)
+
+
+@given(events=st.lists(_EVENT, max_size=20))
+@settings(max_examples=80)
+def test_lttng_roundtrip_preserves_everything(events):
+    """serialize → parse is the identity on (name, args, retval, pid)."""
+    writer, parser = LttngWriter(), LttngParser()
+    parsed = parser.parse_text(writer.dumps(events))
+    assert len(parsed) == len(events)
+    for got, want in zip(parsed, events):
+        assert got.name == want.name
+        assert got.retval == want.retval
+        assert got.pid == want.pid
+        assert dict(got.args) == dict(want.args)
+        expected_errno = -want.retval if want.retval < 0 else 0
+        assert got.errno == expected_errno
+
+
+@given(event=_EVENT)
+@settings(max_examples=80)
+def test_lttng_double_roundtrip_is_stable(event):
+    """parse(serialize(parse(serialize(e)))) == parse(serialize(e))."""
+    writer, parser = LttngWriter(), LttngParser()
+    once = parser.parse_text(writer.dumps([event]))
+    twice = LttngParser().parse_text(LttngWriter().dumps(once))
+    assert len(once) == len(twice) == 1
+    assert dict(once[0].args) == dict(twice[0].args)
+    assert once[0].retval == twice[0].retval

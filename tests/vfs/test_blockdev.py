@@ -1,0 +1,124 @@
+"""Unit tests for the block device: allocation, reserve, persistence."""
+
+import pytest
+
+from repro.vfs.blockdev import BlockDevice
+from repro.vfs.errors import ENOSPC, FsError
+
+
+def test_initial_state_all_free():
+    dev = BlockDevice(total_blocks=100, block_size=4096)
+    assert dev.free_blocks == 100
+    assert dev.allocated_blocks == 0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        BlockDevice(total_blocks=0)
+    with pytest.raises(ValueError):
+        BlockDevice(total_blocks=10, block_size=3000)  # not a power of two
+    with pytest.raises(ValueError):
+        BlockDevice(total_blocks=10, block_size=0)
+
+
+def test_blocks_for_rounds_up():
+    dev = BlockDevice(total_blocks=10, block_size=4096)
+    assert dev.blocks_for(0) == 0
+    assert dev.blocks_for(1) == 1
+    assert dev.blocks_for(4096) == 1
+    assert dev.blocks_for(4097) == 2
+    assert dev.blocks_for(-5) == 0
+
+
+def test_resize_owner_grow_and_shrink():
+    dev = BlockDevice(total_blocks=10, block_size=4096)
+    dev.resize_owner(7, 9000)  # 3 blocks
+    assert dev.owner_blocks(7) == 3
+    assert dev.free_blocks == 7
+    dev.resize_owner(7, 4096)  # shrink to 1
+    assert dev.owner_blocks(7) == 1
+    assert dev.free_blocks == 9
+    dev.resize_owner(7, 0)
+    assert dev.owner_blocks(7) == 0
+    assert dev.free_blocks == 10
+
+
+def test_resize_owner_enospc():
+    dev = BlockDevice(total_blocks=4, block_size=4096)
+    dev.resize_owner(1, 3 * 4096)
+    with pytest.raises(FsError) as excinfo:
+        dev.resize_owner(2, 2 * 4096)
+    assert excinfo.value.errno == ENOSPC
+    # Failed growth must not consume anything.
+    assert dev.owner_blocks(2) == 0
+    assert dev.free_blocks == 1
+
+
+def test_enospc_exactly_at_capacity_boundary():
+    dev = BlockDevice(total_blocks=4, block_size=4096)
+    dev.resize_owner(1, 4 * 4096)  # exactly full: fine
+    assert dev.free_blocks == 0
+    with pytest.raises(FsError):
+        dev.resize_owner(2, 1)
+
+
+def test_release_owner():
+    dev = BlockDevice(total_blocks=8, block_size=4096)
+    dev.resize_owner(3, 5 * 4096)
+    dev.release_owner(3)
+    assert dev.free_blocks == 8
+    dev.release_owner(3)  # idempotent
+
+
+def test_reserve_all_free_forces_enospc():
+    dev = BlockDevice(total_blocks=8, block_size=4096)
+    dev.resize_owner(1, 2 * 4096)
+    dev.reserve_all_free()
+    assert dev.free_blocks == 0
+    with pytest.raises(FsError):
+        dev.resize_owner(2, 1)
+    # Existing owners may still shrink.
+    dev.resize_owner(1, 4096)
+    dev.release_reserved()
+    assert dev.free_blocks == 7
+
+
+def test_sync_and_crash_rolls_back_unsynced():
+    dev = BlockDevice(total_blocks=10, block_size=4096)
+    dev.resize_owner(1, 4096)
+    dev.sync()
+    dev.resize_owner(2, 2 * 4096)  # never synced
+    dev.crash()
+    assert dev.owner_blocks(1) == 1
+    assert dev.owner_blocks(2) == 0
+
+
+def test_sync_owner_persists_single_file():
+    dev = BlockDevice(total_blocks=10, block_size=4096)
+    dev.resize_owner(1, 4096)
+    dev.resize_owner(2, 4096)
+    dev.sync_owner(1)
+    dev.crash()
+    assert dev.owner_blocks(1) == 1
+    assert dev.owner_blocks(2) == 0
+
+
+def test_sync_owner_removed_file_clears_persisted():
+    dev = BlockDevice(total_blocks=10, block_size=4096)
+    dev.resize_owner(1, 4096)
+    dev.sync()
+    dev.release_owner(1)
+    dev.sync_owner(1)  # now gone
+    dev.crash()
+    assert dev.owner_blocks(1) == 0
+
+
+def test_stats_snapshot():
+    dev = BlockDevice(total_blocks=16, block_size=512)
+    dev.resize_owner(1, 1024)
+    stats = dev.stats()
+    assert stats.total_blocks == 16
+    assert stats.allocated_blocks == 2
+    assert stats.free_blocks == 14
+    assert stats.total_bytes == 16 * 512
+    assert stats.free_bytes == 14 * 512

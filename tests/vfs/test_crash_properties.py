@@ -1,0 +1,99 @@
+"""Property-based crash-consistency invariants.
+
+The oracle the CrashMonkey substrate relies on, stated as properties:
+whatever op sequence runs, (1) state checkpointed before the sequence
+survives a crash exactly, and (2) a crash never leaves the file system
+unusable or its accounting negative.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.vfs import constants as C
+from repro.vfs.crash import CrashSimulator
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.syscalls import SyscallInterface
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "write", "truncate", "unlink", "mkdir", "rename"]),
+        st.integers(0, 4),       # target index
+        st.integers(0, 8192),    # size-ish parameter
+    ),
+    max_size=15,
+)
+
+
+def _apply(sc: SyscallInterface, op: str, index: int, size: int) -> None:
+    path = f"/f{index}"
+    if op == "create":
+        result = sc.open(path, C.O_CREAT | C.O_WRONLY, 0o644)
+        if result.ok:
+            sc.close(result.retval)
+    elif op == "write":
+        result = sc.open(path, C.O_CREAT | C.O_WRONLY, 0o644)
+        if result.ok:
+            sc.write(result.retval, count=size)
+            sc.close(result.retval)
+    elif op == "truncate":
+        sc.truncate(path, size)
+    elif op == "unlink":
+        sc.unlink(path)
+    elif op == "mkdir":
+        sc.mkdir(f"/d{index}", 0o755)
+    elif op == "rename":
+        sc.rename(path, f"/r{index}")
+
+
+@given(baseline=_OPS, volatile=_OPS)
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_checkpointed_state_survives_any_crash(baseline, volatile):
+    fs = FileSystem(total_blocks=256)
+    sc = SyscallInterface(fs)
+    sim = CrashSimulator(fs)
+
+    for op, index, size in baseline:
+        _apply(sc, op, index, size)
+    sc.sync()
+    sim.checkpoint()
+
+    # Record the durable image precisely.
+    durable_files = {}
+    for index in range(5):
+        for prefix in ("/f", "/r"):
+            path = f"{prefix}{index}"
+            if sc.stat(path).ok:
+                durable_files[path] = fs.lookup(path).size
+
+    for op, index, size in volatile:
+        _apply(sc, op, index, size)
+    sim.crash()
+
+    # Everything durable is back, byte-for-byte in size.
+    for path, size in durable_files.items():
+        assert sc.stat(path).ok, path
+        assert fs.lookup(path).size == size, path
+    # And nothing non-durable leaked in.
+    for index in range(5):
+        path = f"/f{index}"
+        if path not in durable_files and sc.stat(path).ok:
+            raise AssertionError(f"{path} survived without persistence")
+
+
+@given(ops=_OPS)
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_crash_never_corrupts_accounting(ops):
+    fs = FileSystem(total_blocks=128)
+    sc = SyscallInterface(fs)
+    sim = CrashSimulator(fs)
+    for op, index, size in ops:
+        _apply(sc, op, index, size)
+    sim.crash()
+    assert 0 <= fs.device.allocated_blocks <= fs.device.total_blocks
+    # The volume is still usable after the crash.
+    result = sc.open("/post_crash", C.O_CREAT | C.O_WRONLY, 0o644)
+    assert result.ok
+    assert sc.write(result.retval, count=512).retval == 512
+    sc.close(result.retval)

@@ -1,0 +1,80 @@
+"""Fault injection: schedules, patterns, syscall integration."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import EINTR, EIO, ENOMEM, FsError
+from repro.vfs.faults import FaultInjector, FaultRule
+
+
+def test_armed_fault_fires_once():
+    injector = FaultInjector()
+    injector.arm("write", ENOMEM)
+    with pytest.raises(FsError) as excinfo:
+        injector.check("write")
+    assert excinfo.value.errno == ENOMEM
+    injector.check("write")  # exhausted: no raise
+
+
+def test_pattern_matching_globs():
+    injector = FaultInjector()
+    injector.arm("open*", EIO, count=None)
+    with pytest.raises(FsError):
+        injector.check("openat")
+    with pytest.raises(FsError):
+        injector.check("open")
+    injector.check("read")  # unaffected
+
+
+def test_every_nth_schedule():
+    injector = FaultInjector()
+    injector.arm("read", EINTR, every=3, count=None)
+    fired = 0
+    for _ in range(9):
+        try:
+            injector.check("read")
+        except FsError:
+            fired += 1
+    assert fired == 3
+
+
+def test_count_bounds_firings():
+    injector = FaultInjector()
+    injector.arm("*", EIO, count=2)
+    fired = 0
+    for _ in range(5):
+        try:
+            injector.check("anything")
+        except FsError:
+            fired += 1
+    assert fired == 2
+    assert injector.injected_count == 2
+
+
+def test_disarm_all():
+    injector = FaultInjector()
+    injector.arm("*", EIO, count=None)
+    injector.disarm_all()
+    injector.check("open")
+    assert injector.armed_rules == []
+
+
+def test_invalid_every_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector().arm("x", EIO, every=0)
+
+
+def test_fault_surfaces_through_syscall(sc, mkfile):
+    mkfile("/f")
+    sc.faults.arm("open", ENOMEM)
+    assert sc.open("/f", C.O_RDONLY).errno == ENOMEM
+    assert sc.open("/f", C.O_RDONLY).ok  # one-shot
+
+
+def test_fault_traced_like_real_error(sc, recorder, mkfile):
+    mkfile("/f")
+    sc.faults.arm("read", EIO)
+    fd = sc.open("/f", C.O_RDONLY).retval
+    sc.read(fd, 10)
+    event = recorder.events[-1]
+    assert event.name == "read" and event.errno == EIO

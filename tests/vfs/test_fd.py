@@ -1,0 +1,88 @@
+"""Unit tests for fd tables and open file descriptions."""
+
+import pytest
+
+from repro.vfs import constants
+from repro.vfs.errors import EBADF, EMFILE, ENFILE, FsError
+from repro.vfs.fd import FdTable, OpenFileDescription, SystemFileTable
+from repro.vfs.inode import InodeTable
+
+
+@pytest.fixture
+def table() -> FdTable:
+    return FdTable(SystemFileTable())
+
+
+def make_ofd(flags: int = constants.O_RDONLY) -> OpenFileDescription:
+    inode = InodeTable().new_file()
+    return OpenFileDescription(inode=inode, flags=flags)
+
+
+def test_install_returns_lowest_free_fd(table):
+    assert table.install(make_ofd()) == 0
+    assert table.install(make_ofd()) == 1
+    table.close(0)
+    assert table.install(make_ofd()) == 0  # reuses the hole
+
+
+def test_get_and_close(table):
+    fd = table.install(make_ofd())
+    assert table.get(fd) is not None
+    table.close(fd)
+    with pytest.raises(FsError) as excinfo:
+        table.get(fd)
+    assert excinfo.value.errno == EBADF
+
+
+def test_close_bad_fd(table):
+    with pytest.raises(FsError) as excinfo:
+        table.close(42)
+    assert excinfo.value.errno == EBADF
+
+
+def test_emfile_at_process_limit():
+    table = FdTable(SystemFileTable(), max_fds=2)
+    table.install(make_ofd())
+    table.install(make_ofd())
+    with pytest.raises(FsError) as excinfo:
+        table.install(make_ofd())
+    assert excinfo.value.errno == EMFILE
+
+
+def test_enfile_at_system_limit():
+    system = SystemFileTable(max_open=1)
+    table_a, table_b = FdTable(system), FdTable(system)
+    table_a.install(make_ofd())
+    with pytest.raises(FsError) as excinfo:
+        table_b.install(make_ofd())
+    assert excinfo.value.errno == ENFILE
+    table_a.close(0)
+    table_b.install(make_ofd())  # freed capacity is reusable
+
+
+def test_close_all(table):
+    for _ in range(5):
+        table.install(make_ofd())
+    table.close_all()
+    assert len(table) == 0
+    assert table.open_fds() == []
+
+
+def test_access_mode_predicates():
+    rd = make_ofd(constants.O_RDONLY)
+    assert rd.readable() and not rd.writable()
+    wr = make_ofd(constants.O_WRONLY)
+    assert wr.writable() and not wr.readable()
+    rw = make_ofd(constants.O_RDWR)
+    assert rw.readable() and rw.writable()
+
+
+def test_o_path_forbids_all_io():
+    ofd = make_ofd(constants.O_PATH)
+    assert not ofd.readable()
+    assert not ofd.writable()
+
+
+def test_append_mode_flag():
+    assert make_ofd(constants.O_WRONLY | constants.O_APPEND).append_mode()
+    assert not make_ofd(constants.O_WRONLY).append_mode()

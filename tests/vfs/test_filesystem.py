@@ -1,0 +1,106 @@
+"""FileSystem policy: quotas, read-only, frozen, space accounting."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import EBUSY, EDQUOT, EFBIG, ENOSPC, EROFS, FsError
+from repro.vfs.filesystem import FileSystem, Quota
+from tests.conftest import make_file
+
+
+def test_fresh_fs_has_root_dir(fs):
+    assert fs.root.is_directory()
+    assert fs.root.parent_ino == fs.root.ino  # root is its own parent
+
+
+def test_require_writable_readonly(fs):
+    fs.read_only = True
+    with pytest.raises(FsError) as excinfo:
+        fs.require_writable()
+    assert excinfo.value.errno == EROFS
+
+
+def test_require_writable_frozen(fs):
+    fs.frozen = True
+    with pytest.raises(FsError) as excinfo:
+        fs.require_writable()
+    assert excinfo.value.errno == EBUSY
+
+
+def test_quota_charge_and_rollback():
+    quota = Quota(block_limit=3)
+    quota.charge(2)
+    with pytest.raises(FsError) as excinfo:
+        quota.charge(2)
+    assert excinfo.value.errno == EDQUOT
+    assert quota.blocks_used == 2  # failed charge has no effect
+    quota.charge(-5)
+    assert quota.blocks_used == 0  # floors at zero
+
+
+def test_charge_file_size_efbig():
+    fs = FileSystem(max_file_size=4096)
+    inode = fs.inodes.new_file()
+    with pytest.raises(FsError) as excinfo:
+        fs.charge_file_size(inode, 8192)
+    assert excinfo.value.errno == EFBIG
+
+
+def test_charge_file_size_quota_rollback_on_enospc():
+    fs = FileSystem(total_blocks=2)
+    fs.set_quota(0, 100)
+    inode = fs.inodes.new_file()
+    with pytest.raises(FsError) as excinfo:
+        fs.charge_file_size(inode, 10 * 4096)
+    assert excinfo.value.errno == ENOSPC
+    # The quota charge must have been rolled back atomically.
+    assert fs._quota_for(0).blocks_used == 0
+
+
+def test_set_quota_accounts_existing_usage(fs, sc):
+    make_file(sc, "/f", size=3 * 4096)
+    fs.set_quota(0, 10)
+    assert fs._quota_for(0).blocks_used == 3
+    fs.set_quota(0, 0)  # disable
+    assert fs._quota_for(0) is None
+
+
+def test_check_creation_allowed(fs):
+    fs.check_creation_allowed(0)
+    fs.device.reserve_all_free()
+    with pytest.raises(FsError) as excinfo:
+        fs.check_creation_allowed(0)
+    assert excinfo.value.errno == ENOSPC
+
+
+def test_check_creation_quota(fs, sc):
+    make_file(sc, "/hog", size=4096)
+    fs.set_quota(0, 1)
+    with pytest.raises(FsError) as excinfo:
+        fs.check_creation_allowed(0)
+    assert excinfo.value.errno == EDQUOT
+
+
+def test_release_inode_space_credits_quota(fs, sc):
+    make_file(sc, "/f", size=2 * 4096)
+    fs.set_quota(0, 10)
+    inode = fs.lookup("/f")
+    fs.release_inode_space(inode)
+    assert fs._quota_for(0).blocks_used == 0
+    assert fs.device.owner_blocks(inode.ino) == 0
+
+
+def test_text_busy_tracking(fs, sc):
+    make_file(sc, "/bin", size=10)
+    inode = fs.lookup("/bin")
+    fs.mark_text_busy(inode.ino)
+    with pytest.raises(FsError):
+        fs.require_not_text_busy(inode)
+    fs.clear_text_busy(inode.ino)
+    fs.require_not_text_busy(inode)
+
+
+def test_tick_is_monotonic(fs):
+    values = [fs.tick() for _ in range(5)]
+    assert values == sorted(values)
+    assert len(set(values)) == 5

@@ -1,0 +1,228 @@
+"""Unit tests for path resolution: lookup, symlinks, limits, permissions."""
+
+import pytest
+
+from repro.vfs import constants
+from repro.vfs.errors import (
+    EACCES,
+    EINVAL,
+    ELOOP,
+    ENAMETOOLONG,
+    ENOENT,
+    ENOTDIR,
+    FsError,
+)
+from repro.vfs.inode import InodeTable
+from repro.vfs.path import (
+    MAY_EXEC,
+    MAY_READ,
+    MAY_WRITE,
+    Credentials,
+    PathResolver,
+    check_permission,
+)
+
+ROOT_CREDS = Credentials()
+USER_CREDS = Credentials(uid=1000, gid=1000)
+
+
+@pytest.fixture
+def world():
+    """A small tree: /a/b/file, /a/link -> b, /a/loop -> loop."""
+    table = InodeTable()
+    root = table.new_dir(mode=0o755)
+    a = table.new_dir(mode=0o755, parent_ino=root.ino)
+    b = table.new_dir(mode=0o755, parent_ino=a.ino)
+    f = table.new_file(mode=0o644)
+    root.link("a", a.ino)
+    a.link("b", b.ino)
+    b.link("file", f.ino)
+    link = table.new_symlink("b")
+    a.link("link", link.ino)
+    loop = table.new_symlink("loop")
+    a.link("loop", loop.ino)
+    resolver = PathResolver(table, root.ino)
+    return table, resolver, root, a, b, f
+
+
+def test_resolve_absolute(world):
+    table, resolver, root, a, b, f = world
+    result = resolver.resolve("/a/b/file", root.ino, ROOT_CREDS)
+    assert result.inode is f
+    assert result.parent is b
+    assert result.name == "file"
+
+
+def test_resolve_relative_from_cwd(world):
+    table, resolver, root, a, b, f = world
+    result = resolver.resolve("b/file", a.ino, ROOT_CREDS)
+    assert result.inode is f
+
+
+def test_resolve_dot_and_dotdot(world):
+    table, resolver, root, a, b, f = world
+    assert resolver.resolve("/a/./b/../b/file", root.ino, ROOT_CREDS).inode is f
+    assert resolver.resolve("..", b.ino, ROOT_CREDS).inode is a
+    # ".." at the root stays at the root.
+    assert resolver.resolve("/..", root.ino, ROOT_CREDS).inode is root
+
+
+def test_resolve_root_path(world):
+    table, resolver, root, *_ = world
+    result = resolver.resolve("/", root.ino, ROOT_CREDS)
+    assert result.inode is root
+    assert result.parent is None
+
+
+def test_missing_final_component(world):
+    table, resolver, root, a, b, f = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/b/nope", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ENOENT
+    result = resolver.resolve("/a/b/nope", root.ino, ROOT_CREDS, must_exist=False)
+    assert result.inode is None
+    assert result.parent is b
+    assert result.name == "nope"
+
+
+def test_missing_intermediate_always_enoent(world):
+    table, resolver, root, *_ = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/nope/child", root.ino, ROOT_CREDS, must_exist=False)
+    assert excinfo.value.errno == ENOENT
+
+
+def test_file_as_intermediate_is_enotdir(world):
+    table, resolver, root, *_ = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/b/file/deeper", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ENOTDIR
+
+
+def test_symlink_followed_in_middle(world):
+    table, resolver, root, a, b, f = world
+    assert resolver.resolve("/a/link/file", root.ino, ROOT_CREDS).inode is f
+
+
+def test_final_symlink_follow_toggle(world):
+    table, resolver, root, a, b, f = world
+    followed = resolver.resolve("/a/link", root.ino, ROOT_CREDS, follow_final=True)
+    assert followed.inode is b
+    raw = resolver.resolve("/a/link", root.ino, ROOT_CREDS, follow_final=False)
+    assert raw.inode is not None and raw.inode.is_symlink()
+
+
+def test_symlink_loop_is_eloop(world):
+    table, resolver, root, *_ = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/loop", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ELOOP
+
+
+def test_mutual_symlink_loop_is_eloop(world):
+    table, resolver, root, a, *_ = world
+    x = table.new_symlink("y")
+    y = table.new_symlink("x")
+    a.link("x", x.ino)
+    a.link("y", y.ino)
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/x", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ELOOP
+
+
+def test_forbid_symlinks_rejects_any_symlink(world):
+    table, resolver, root, a, b, f = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/link/file", root.ino, ROOT_CREDS, forbid_symlinks=True)
+    assert excinfo.value.errno == ELOOP
+    # Plain paths still resolve.
+    assert (
+        resolver.resolve("/a/b/file", root.ino, ROOT_CREDS, forbid_symlinks=True).inode
+        is f
+    )
+
+
+def test_dangling_symlink_is_enoent(world):
+    table, resolver, root, a, *_ = world
+    dangling = table.new_symlink("missing_target")
+    a.link("dang", dangling.ino)
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/dang", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ENOENT
+
+
+def test_name_too_long(world):
+    table, resolver, root, *_ = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/" + "n" * (constants.NAME_MAX + 1), root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ENAMETOOLONG
+
+
+def test_path_too_long(world):
+    table, resolver, root, *_ = world
+    long_path = "/" + "/".join(["d"] * (constants.PATH_MAX // 2 + 10))
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve(long_path, root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ENAMETOOLONG
+
+
+def test_empty_path_is_enoent(world):
+    table, resolver, root, *_ = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == ENOENT
+
+
+def test_embedded_nul_is_einval(world):
+    table, resolver, root, *_ = world
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/\0b", root.ino, ROOT_CREDS)
+    assert excinfo.value.errno == EINVAL
+
+
+def test_traversal_needs_exec_permission(world):
+    table, resolver, root, a, b, f = world
+    b.set_permissions(0o600)  # no exec for anyone but checks apply to user
+    with pytest.raises(FsError) as excinfo:
+        resolver.resolve("/a/b/file", root.ino, USER_CREDS)
+    assert excinfo.value.errno == EACCES
+    # Root bypasses directory search permission.
+    assert resolver.resolve("/a/b/file", root.ino, ROOT_CREDS).inode is f
+
+
+# -- check_permission ------------------------------------------------------
+
+
+def test_owner_uses_owner_bits(world):
+    table, *_ = world
+    inode = table.new_file(mode=0o700)
+    inode.uid = 1000
+    check_permission(inode, USER_CREDS, MAY_READ | MAY_WRITE | MAY_EXEC)
+
+
+def test_group_uses_group_bits(world):
+    table, *_ = world
+    inode = table.new_file(mode=0o040)
+    inode.uid, inode.gid = 1, 1000
+    check_permission(inode, USER_CREDS, MAY_READ)
+    with pytest.raises(FsError):
+        check_permission(inode, USER_CREDS, MAY_WRITE)
+
+
+def test_other_uses_other_bits(world):
+    table, *_ = world
+    inode = table.new_file(mode=0o004)
+    inode.uid, inode.gid = 1, 1
+    check_permission(inode, USER_CREDS, MAY_READ)
+    with pytest.raises(FsError):
+        check_permission(inode, USER_CREDS, MAY_EXEC)
+
+
+def test_root_bypasses_rw_but_not_exec_on_files(world):
+    table, *_ = world
+    inode = table.new_file(mode=0o000)
+    check_permission(inode, ROOT_CREDS, MAY_READ | MAY_WRITE)
+    with pytest.raises(FsError):
+        check_permission(inode, ROOT_CREDS, MAY_EXEC)
+    inode.set_permissions(0o100)
+    check_permission(inode, ROOT_CREDS, MAY_EXEC)

@@ -1,0 +1,132 @@
+"""dup/dup2 and multi-process sharing semantics."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import EBADF
+from repro.vfs.fd import FdTable, Process, SystemFileTable
+from repro.vfs.path import Credentials
+from repro.vfs.syscalls import SyscallInterface
+
+
+def test_dup_shares_offset(sc, mkfile):
+    mkfile("/f", size=100)
+    fd = sc.open("/f", C.O_RDONLY).retval
+    dup = sc.dup(fd)
+    assert dup.ok and dup.retval != fd
+    sc.lseek(fd, 40, C.SEEK_SET)
+    # The duplicate sees the moved offset (shared description).
+    assert sc.lseek(dup.retval, 0, C.SEEK_CUR).retval == 40
+    got = sc.read(dup.retval, 10)
+    assert got.retval == 10
+    assert sc.lseek(fd, 0, C.SEEK_CUR).retval == 50
+
+
+def test_dup_bad_fd_is_ebadf(sc):
+    assert sc.dup(999).errno == EBADF
+
+
+def test_dup2_lands_on_requested_number(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.dup2(fd, 42).retval == 42
+    assert sc.fstat(42).ok
+    assert sc.close(42).ok
+    assert sc.close(fd).ok
+
+
+def test_dup2_closes_existing_target(sc, mkfile):
+    mkfile("/a", size=10)
+    mkfile("/b", size=20)
+    fd_a = sc.open("/a", C.O_RDONLY).retval
+    fd_b = sc.open("/b", C.O_RDONLY).retval
+    assert sc.dup2(fd_a, fd_b).retval == fd_b
+    # fd_b now reads /a's content.
+    assert sc.read(fd_b, 100).retval == 10
+
+
+def test_dup2_same_fd_is_noop(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.dup2(fd, fd).retval == fd
+    assert sc.fstat(fd).ok
+
+
+def test_dup2_invalid_target_is_ebadf(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.dup2(fd, -1).errno == EBADF
+    assert sc.dup2(fd, 10**6).errno == EBADF
+
+
+def test_close_one_dup_keeps_the_other(sc, mkfile):
+    mkfile("/f", size=8)
+    fd = sc.open("/f", C.O_RDONLY).retval
+    dup = sc.dup(fd).retval
+    assert sc.close(fd).ok
+    assert sc.read(dup, 8).retval == 8  # description survives
+    assert sc.close(dup).ok
+
+
+# -- multi-process sharing -----------------------------------------------------
+
+
+def test_two_processes_share_filesystem(fs):
+    fs.root.set_permissions(0o777)
+    system = SystemFileTable()
+    writer = SyscallInterface(
+        fs,
+        Process(Credentials(uid=1), FdTable(system), fs.root_ino, pid=1, comm="w"),
+    )
+    reader = SyscallInterface(
+        fs,
+        Process(Credentials(uid=2), FdTable(system), fs.root_ino, pid=2, comm="r"),
+    )
+    fd = writer.open("/shared", C.O_CREAT | C.O_WRONLY, 0o644).retval
+    writer.write(fd, b"cross-process")
+    writer.close(fd)
+    fd = reader.open("/shared", C.O_RDONLY).retval
+    assert reader.read(fd, 64).data == b"cross-process"
+    reader.close(fd)
+
+
+def test_fd_tables_are_per_process(fs):
+    fs.root.set_permissions(0o777)
+    system = SystemFileTable()
+    a = SyscallInterface(
+        fs, Process(Credentials(), FdTable(system), fs.root_ino, pid=1)
+    )
+    b = SyscallInterface(
+        fs, Process(Credentials(), FdTable(system), fs.root_ino, pid=2)
+    )
+    fd = a.open("/f", C.O_CREAT | C.O_RDWR, 0o644).retval
+    assert b.read(fd, 4).errno == EBADF  # not b's descriptor
+
+
+def test_system_file_table_shared_across_processes(fs):
+    system = SystemFileTable(max_open=1)
+    a = SyscallInterface(
+        fs, Process(Credentials(), FdTable(system), fs.root_ino, pid=1)
+    )
+    b = SyscallInterface(
+        fs, Process(Credentials(), FdTable(system), fs.root_ino, pid=2)
+    )
+    assert a.open("/f", C.O_CREAT | C.O_RDWR, 0o644).ok
+    from repro.vfs.errors import ENFILE
+
+    assert b.open("/f", C.O_RDONLY).errno == ENFILE
+
+
+def test_filter_tracks_dup_chains():
+    from repro.core.filter import TraceFilter
+    from repro.trace.events import make_event
+
+    flt = TraceFilter.for_mount_point("/mnt/test")
+    assert flt.admit(make_event("open", {"pathname": "/mnt/test/f", "flags": 0}, 3, pid=1))
+    assert flt.admit(make_event("dup", {"fildes": 3}, 7, pid=1))
+    assert flt.admit(make_event("read", {"fd": 7, "count": 10}, 10, pid=1))
+    assert flt.admit(make_event("dup2", {"oldfd": 7, "newfd": 9}, 9, pid=1))
+    assert flt.admit(make_event("close", {"fd": 9}, 0, pid=1))
+    # dup of a foreign fd stays foreign.
+    assert not flt.admit(make_event("dup", {"fildes": 55}, 56, pid=1))
+    assert not flt.admit(make_event("read", {"fd": 56, "count": 4}, 4, pid=1))

@@ -1,0 +1,180 @@
+"""mkdir/mkdirat, chmod family, chdir family."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import (
+    EACCES,
+    EBADF,
+    EDQUOT,
+    EEXIST,
+    EINVAL,
+    ENOENT,
+    ENOSPC,
+    ENOTDIR,
+    EOPNOTSUPP,
+    EPERM,
+    EROFS,
+)
+
+
+def test_mkdir_creates_directory(sc):
+    assert sc.mkdir("/d", 0o755).ok
+    assert sc.fs.lookup("/d").is_directory()
+
+
+def test_mkdir_mode_honours_umask(sc):
+    sc.process.umask = 0o022
+    sc.mkdir("/d", 0o777)
+    assert sc.fs.lookup("/d").permissions == 0o755
+
+
+def test_mkdir_existing_is_eexist(sc):
+    sc.mkdir("/d", 0o755)
+    assert sc.mkdir("/d", 0o755).errno == EEXIST
+
+
+def test_mkdir_missing_parent_is_enoent(sc):
+    assert sc.mkdir("/no/deep", 0o755).errno == ENOENT
+
+
+def test_mkdir_through_file_is_enotdir(sc, mkfile):
+    mkfile("/f")
+    assert sc.mkdir("/f/d", 0o755).errno == ENOTDIR
+
+
+def test_mkdir_readonly_fs_is_erofs(sc):
+    sc.fs.read_only = True
+    assert sc.mkdir("/d", 0o755).errno == EROFS
+
+
+def test_mkdir_full_device_is_enospc(sc):
+    sc.fs.device.reserve_all_free()
+    assert sc.mkdir("/d", 0o755).errno == ENOSPC
+
+
+def test_mkdir_parent_nlink_increments(sc):
+    root_nlink = sc.fs.root.nlink
+    sc.mkdir("/d", 0o755)
+    assert sc.fs.root.nlink == root_nlink + 1
+
+
+def test_mkdir_needs_parent_write_permission(sc, user_sc):
+    sc.mkdir("/locked", 0o755)  # root-owned, not writable by user
+    assert user_sc.mkdir("/locked/sub", 0o755).errno == EACCES
+
+
+def test_mkdirat_relative(sc):
+    sc.mkdir("/d", 0o755)
+    dirfd = sc.open("/d", C.O_RDONLY | C.O_DIRECTORY).retval
+    assert sc.mkdirat(dirfd, "sub", 0o755).ok
+    assert sc.fs.lookup("/d/sub").is_directory()
+    assert sc.mkdirat(C.AT_FDCWD, "top", 0o755).ok
+    sc.close(dirfd)
+
+
+def test_mkdir_charges_quota(fs, user_sc):
+    fs.root.set_permissions(0o777)
+    fs.set_quota(1000, 1)
+    assert user_sc.mkdir("/d1", 0o755).ok
+    assert user_sc.mkdir("/d2", 0o755).errno == EDQUOT
+
+
+# -- chmod ------------------------------------------------------------------
+
+
+def test_chmod_sets_permissions(sc, mkfile):
+    mkfile("/f", mode=0o644)
+    assert sc.chmod("/f", 0o600).ok
+    assert sc.fs.lookup("/f").permissions == 0o600
+
+
+def test_chmod_special_bits(sc, mkfile):
+    mkfile("/f")
+    sc.chmod("/f", 0o4755)
+    assert sc.fs.lookup("/f").permissions == 0o4755
+
+
+def test_chmod_missing_is_enoent(sc):
+    assert sc.chmod("/nope", 0o600).errno == ENOENT
+
+
+def test_chmod_non_owner_is_eperm(sc, user_sc, mkfile):
+    mkfile("/f")  # root-owned
+    assert user_sc.chmod("/f", 0o777).errno == EPERM
+
+
+def test_chmod_owner_allowed(fs, user_sc):
+    fd = user_sc.open("/mine", C.O_CREAT | C.O_WRONLY, 0o644).retval
+    user_sc.close(fd)
+    assert user_sc.chmod("/mine", 0o600).ok
+
+
+def test_chmod_readonly_fs_is_erofs(sc, mkfile):
+    mkfile("/f")
+    sc.fs.read_only = True
+    assert sc.chmod("/f", 0o600).errno == EROFS
+
+
+def test_fchmod_via_fd(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.fchmod(fd, 0o640).ok
+    assert sc.fs.lookup("/f").permissions == 0o640
+    sc.close(fd)
+
+
+def test_fchmod_bad_fd_is_ebadf(sc):
+    assert sc.fchmod(999, 0o600).errno == EBADF
+
+
+def test_fchmodat_basic_and_flags(sc, mkfile):
+    mkfile("/f")
+    assert sc.fchmodat(C.AT_FDCWD, "/f", 0o640, 0).ok
+    assert sc.fchmodat(C.AT_FDCWD, "/f", 0o640, C.AT_SYMLINK_NOFOLLOW).errno == EOPNOTSUPP
+    assert sc.fchmodat(C.AT_FDCWD, "/f", 0o640, 0x8000).errno == EINVAL
+
+
+# -- chdir ------------------------------------------------------------------
+
+
+def test_chdir_changes_cwd(sc):
+    sc.mkdir("/d", 0o755)
+    assert sc.chdir("/d").ok
+    fd = sc.open("f", C.O_CREAT | C.O_WRONLY, 0o644)
+    assert fd.ok
+    sc.close(fd.retval)
+    assert sc.fs.lookup("/d/f").is_regular()
+
+
+def test_chdir_to_file_is_enotdir(sc, mkfile):
+    mkfile("/f")
+    assert sc.chdir("/f").errno == ENOTDIR
+
+
+def test_chdir_missing_is_enoent(sc):
+    assert sc.chdir("/nope").errno == ENOENT
+
+
+def test_chdir_needs_search_permission(sc, user_sc):
+    sc.mkdir("/locked", 0o700)
+    assert user_sc.chdir("/locked").errno == EACCES
+
+
+def test_fchdir_via_fd(sc):
+    sc.mkdir("/d", 0o755)
+    fd = sc.open("/d", C.O_RDONLY | C.O_DIRECTORY).retval
+    assert sc.fchdir(fd).ok
+    assert sc.process.cwd_ino == sc.fs.lookup("/d").ino
+    sc.close(fd)
+
+
+def test_fchdir_on_file_is_enotdir(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.fchdir(fd).errno == ENOTDIR
+    sc.close(fd)
+
+
+def test_fchdir_bad_fd_is_ebadf(sc):
+    assert sc.fchdir(31337).errno == EBADF

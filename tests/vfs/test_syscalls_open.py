@@ -1,0 +1,271 @@
+"""open/openat/openat2/creat/close semantics, including every errno
+partition Figure 4 tracks that the VFS can reach mechanically."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import (
+    EACCES,
+    EBADF,
+    EBUSY,
+    EDQUOT,
+    EEXIST,
+    EFAULT,
+    EINVAL,
+    EISDIR,
+    ELOOP,
+    EMFILE,
+    ENAMETOOLONG,
+    ENFILE,
+    ENOENT,
+    ENOSPC,
+    ENOTDIR,
+    EROFS,
+    ETXTBSY,
+)
+from tests.conftest import make_file
+
+
+def test_open_creates_with_o_creat(sc):
+    result = sc.open("/f", C.O_CREAT | C.O_WRONLY, 0o644)
+    assert result.ok
+    assert sc.fs.lookup("/f").is_regular()
+
+
+def test_open_without_o_creat_missing_is_enoent(sc):
+    result = sc.open("/missing", C.O_RDONLY)
+    assert result.errno == ENOENT
+    assert result.retval == -ENOENT
+
+
+def test_open_mode_honours_umask(sc):
+    sc.process.umask = 0o027
+    sc.open("/f", C.O_CREAT | C.O_WRONLY, 0o666)
+    assert sc.fs.lookup("/f").permissions == 0o640
+
+
+def test_o_excl_on_existing_is_eexist(sc, mkfile):
+    mkfile("/f")
+    result = sc.open("/f", C.O_CREAT | C.O_EXCL | C.O_WRONLY, 0o644)
+    assert result.errno == EEXIST
+
+
+def test_o_excl_without_collision_creates(sc):
+    assert sc.open("/fresh", C.O_CREAT | C.O_EXCL | C.O_RDWR, 0o644).ok
+
+
+def test_create_with_unreadable_mode_still_opens(fs, user_sc):
+    """Linux skips permission checks on a just-created file:
+    creat(path, 0444) returns a writable fd."""
+    result = user_sc.open("/ro_new", C.O_CREAT | C.O_WRONLY, 0o444)
+    assert result.ok
+    assert user_sc.write(result.retval, b"works").retval == 5
+    user_sc.close(result.retval)
+    # Re-opening for write now honours the 0444 mode.
+    assert user_sc.open("/ro_new", C.O_WRONLY).errno == EACCES
+
+
+def test_o_trunc_empties_file_and_frees_space(sc, mkfile):
+    mkfile("/f", size=8192)
+    before = sc.fs.device.free_blocks
+    result = sc.open("/f", C.O_WRONLY | C.O_TRUNC)
+    assert result.ok
+    assert sc.fs.lookup("/f").size == 0
+    assert sc.fs.device.free_blocks == before + 2
+
+
+def test_o_trunc_readonly_access_does_not_truncate(sc, mkfile):
+    mkfile("/f", size=4096)
+    result = sc.open("/f", C.O_RDONLY | C.O_TRUNC)
+    assert result.ok
+    assert sc.fs.lookup("/f").size == 4096
+
+
+def test_open_directory_for_write_is_eisdir(sc):
+    sc.mkdir("/d", 0o755)
+    assert sc.open("/d", C.O_WRONLY).errno == EISDIR
+    assert sc.open("/d", C.O_RDWR).errno == EISDIR
+    assert sc.open("/d", C.O_RDONLY).ok
+
+
+def test_o_directory_on_file_is_enotdir(sc, mkfile):
+    mkfile("/f")
+    assert sc.open("/f", C.O_RDONLY | C.O_DIRECTORY).errno == ENOTDIR
+
+
+def test_component_through_file_is_enotdir(sc, mkfile):
+    mkfile("/f")
+    assert sc.open("/f/below", C.O_RDONLY).errno == ENOTDIR
+
+
+def test_invalid_access_mode_is_einval(sc, mkfile):
+    mkfile("/f")
+    assert sc.open("/f", C.O_ACCMODE).errno == EINVAL
+
+
+def test_o_nofollow_on_symlink_is_eloop(sc, mkfile):
+    mkfile("/real")
+    sc.symlink("/real", "/ln")
+    assert sc.open("/ln", C.O_RDONLY | C.O_NOFOLLOW).errno == ELOOP
+    assert sc.open("/ln", C.O_RDONLY).ok  # followed without the flag
+
+
+def test_symlink_cycle_is_eloop(sc):
+    sc.symlink("/b", "/a")
+    sc.symlink("/a", "/b")
+    assert sc.open("/a", C.O_RDONLY).errno == ELOOP
+
+
+def test_long_name_is_enametoolong(sc):
+    assert sc.open("/" + "x" * 300, C.O_RDONLY).errno == ENAMETOOLONG
+
+
+def test_null_path_is_efault(sc):
+    assert sc.open(None, C.O_RDONLY).errno == EFAULT
+
+
+def test_open_readonly_fs_write_is_erofs(sc, mkfile):
+    mkfile("/f")
+    sc.fs.read_only = True
+    assert sc.open("/f", C.O_WRONLY).errno == EROFS
+    assert sc.open("/g", C.O_CREAT | C.O_WRONLY).errno == EROFS
+    assert sc.open("/f", C.O_RDONLY).ok
+
+
+def test_open_frozen_fs_write_is_ebusy(sc, mkfile):
+    mkfile("/f")
+    sc.fs.frozen = True
+    assert sc.open("/f", C.O_WRONLY).errno == EBUSY
+
+
+def test_open_text_busy_write_is_etxtbsy(sc, mkfile):
+    mkfile("/bin", size=64)
+    sc.fs.mark_text_busy(sc.fs.lookup("/bin").ino)
+    assert sc.open("/bin", C.O_WRONLY).errno == ETXTBSY
+    assert sc.open("/bin", C.O_RDONLY).ok
+
+
+def test_open_create_full_device_is_enospc(sc):
+    sc.fs.device.reserve_all_free()
+    assert sc.open("/f", C.O_CREAT | C.O_WRONLY).errno == ENOSPC
+
+
+def test_open_create_over_quota_is_edquot(fs, user_sc):
+    # Charge one block to the user, then cap the quota at it.
+    result = user_sc.open("/hog", C.O_CREAT | C.O_WRONLY, 0o644)
+    assert result.ok
+    user_sc.write(result.retval, count=4096)
+    user_sc.close(result.retval)
+    fs.set_quota(1000, 1)
+    assert user_sc.open("/more", C.O_CREAT | C.O_WRONLY).errno == EDQUOT
+
+
+def test_open_emfile_at_fd_limit(sc, mkfile):
+    mkfile("/f")
+    sc.process.fd_table.max_fds = 1
+    first = sc.open("/f", C.O_RDONLY)
+    assert first.ok
+    assert sc.open("/f", C.O_RDONLY).errno == EMFILE
+
+
+def test_open_enfile_at_system_limit(sc, mkfile):
+    mkfile("/f")
+    sc.process.fd_table._system.max_open = 1
+    assert sc.open("/f", C.O_RDONLY).ok
+    assert sc.open("/f", C.O_RDONLY).errno == ENFILE
+
+
+def test_open_permission_denied_for_user(fs, sc, user_sc, mkfile):
+    mkfile("/secret", mode=0o600)  # root-owned
+    assert user_sc.open("/secret", C.O_RDONLY).errno == EACCES
+
+
+def test_creat_equivalent_to_open_trunc(sc, mkfile):
+    mkfile("/f", size=100)
+    result = sc.creat("/f", 0o644)
+    assert result.ok
+    assert sc.fs.lookup("/f").size == 0
+
+
+def test_openat_relative_to_dirfd(sc, mkfile):
+    sc.mkdir("/d", 0o755)
+    mkfile("/d/f", size=10)
+    dirfd = sc.open("/d", C.O_RDONLY | C.O_DIRECTORY).retval
+    result = sc.openat(dirfd, "f", C.O_RDONLY)
+    assert result.ok
+    assert sc.openat(dirfd, "missing", C.O_RDONLY).errno == ENOENT
+
+
+def test_openat_at_fdcwd_uses_cwd(sc, mkfile):
+    sc.mkdir("/d", 0o755)
+    mkfile("/d/f")
+    sc.chdir("/d")
+    assert sc.openat(C.AT_FDCWD, "f", C.O_RDONLY).ok
+
+
+def test_openat_on_non_directory_dirfd_is_enotdir(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.openat(fd, "x", C.O_RDONLY).errno == ENOTDIR
+
+
+def test_openat_bad_dirfd_is_ebadf(sc):
+    assert sc.openat(999, "x", C.O_RDONLY).errno == EBADF
+
+
+def test_openat2_unknown_resolve_bits_is_einval(sc, mkfile):
+    mkfile("/f")
+    assert sc.openat2(C.AT_FDCWD, "/f", C.O_RDONLY, 0o644, 0x1000).errno == EINVAL
+
+
+def test_openat2_resolve_no_symlinks(sc, mkfile):
+    sc.mkdir("/d", 0o755)
+    mkfile("/d/f")
+    sc.symlink("/d", "/dl")
+    result = sc.openat2(
+        C.AT_FDCWD, "/dl/f", C.O_RDONLY, 0o644, C.RESOLVE_NO_SYMLINKS
+    )
+    assert result.errno == ELOOP
+    assert sc.openat2(C.AT_FDCWD, "/d/f", C.O_RDONLY, 0o644, C.RESOLVE_NO_SYMLINKS).ok
+
+
+def test_o_tmpfile_creates_anonymous_file(sc):
+    sc.mkdir("/tmp", 0o777)
+    result = sc.open("/tmp", C.O_TMPFILE | C.O_RDWR, 0o600)
+    assert result.ok
+    assert sc.write(result.retval, b"anon").retval == 4
+    # The directory gained no entry.
+    assert list(sc.fs.lookup("/tmp").entries) == []
+
+
+def test_o_tmpfile_requires_write_access(sc):
+    sc.mkdir("/tmp", 0o777)
+    assert sc.open("/tmp", C.O_TMPFILE | C.O_RDONLY).errno == EINVAL
+
+
+def test_o_append_positions_at_eof(sc, mkfile):
+    mkfile("/f", size=100)
+    result = sc.open("/f", C.O_WRONLY | C.O_APPEND)
+    assert result.ok
+    ofd = sc.process.fd_table.get(result.retval)
+    assert ofd.offset == 100
+
+
+def test_close_twice_is_ebadf(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.close(fd).ok
+    assert sc.close(fd).errno == EBADF
+
+
+def test_close_never_opened_is_ebadf(sc):
+    assert sc.close(12345).errno == EBADF
+
+
+def test_fd_numbers_are_lowest_free(sc, mkfile):
+    mkfile("/f")
+    fd_a = sc.open("/f", C.O_RDONLY).retval
+    fd_b = sc.open("/f", C.O_RDONLY).retval
+    assert fd_b == fd_a + 1
+    sc.close(fd_a)
+    assert sc.open("/f", C.O_RDONLY).retval == fd_a

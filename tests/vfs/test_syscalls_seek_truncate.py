@@ -1,0 +1,167 @@
+"""lseek and truncate/ftruncate semantics."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import (
+    EACCES,
+    EBADF,
+    EFBIG,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENXIO,
+    EOVERFLOW,
+    EROFS,
+)
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.syscalls import SyscallInterface
+
+
+@pytest.fixture
+def seekable(sc, mkfile):
+    mkfile("/f", size=1000)
+    fd = sc.open("/f", C.O_RDWR).retval
+    yield sc, fd
+    sc.close(fd)
+
+
+def test_seek_set(seekable):
+    sc, fd = seekable
+    assert sc.lseek(fd, 42, C.SEEK_SET).retval == 42
+
+
+def test_seek_cur(seekable):
+    sc, fd = seekable
+    sc.lseek(fd, 100, C.SEEK_SET)
+    assert sc.lseek(fd, 10, C.SEEK_CUR).retval == 110
+    assert sc.lseek(fd, -20, C.SEEK_CUR).retval == 90
+
+
+def test_seek_end(seekable):
+    sc, fd = seekable
+    assert sc.lseek(fd, 0, C.SEEK_END).retval == 1000
+    assert sc.lseek(fd, -1000, C.SEEK_END).retval == 0
+    assert sc.lseek(fd, 24, C.SEEK_END).retval == 1024  # beyond EOF is fine
+
+
+def test_seek_negative_result_is_einval(seekable):
+    sc, fd = seekable
+    assert sc.lseek(fd, -1, C.SEEK_SET).errno == EINVAL
+    assert sc.lseek(fd, -1001, C.SEEK_END).errno == EINVAL
+
+
+def test_seek_bad_whence_is_einval(seekable):
+    sc, fd = seekable
+    assert sc.lseek(fd, 0, 99).errno == EINVAL
+
+
+def test_seek_overflow_is_eoverflow(seekable):
+    sc, fd = seekable
+    huge = C.MAX_OFFSET
+    assert sc.lseek(fd, huge, C.SEEK_SET).retval == huge
+    assert sc.lseek(fd, 1, C.SEEK_CUR).errno == EOVERFLOW
+
+
+def test_seek_data_and_hole(seekable):
+    sc, fd = seekable
+    assert sc.lseek(fd, 10, C.SEEK_DATA).retval == 10
+    assert sc.lseek(fd, 10, C.SEEK_HOLE).retval == 1000
+    assert sc.lseek(fd, 1000, C.SEEK_DATA).errno == ENXIO
+    assert sc.lseek(fd, 5000, C.SEEK_HOLE).errno == ENXIO
+
+
+def test_seek_bad_fd_is_ebadf(sc):
+    assert sc.lseek(99, 0, C.SEEK_SET).errno == EBADF
+
+
+def test_seek_does_not_change_size(seekable):
+    sc, fd = seekable
+    sc.lseek(fd, 5000, C.SEEK_SET)
+    assert sc.fs.lookup("/f").size == 1000
+
+
+# -- truncate ------------------------------------------------------------
+
+
+def test_truncate_shrinks_and_grows(sc, mkfile):
+    mkfile("/f", size=1000)
+    assert sc.truncate("/f", 100).ok
+    assert sc.fs.lookup("/f").size == 100
+    assert sc.truncate("/f", 5000).ok
+    assert sc.fs.lookup("/f").size == 5000
+
+
+def test_truncate_grow_zero_fills(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDWR).retval
+    sc.write(fd, b"abc")
+    sc.truncate("/f", 6)
+    assert sc.pread64(fd, 6, 0).data == b"abc\0\0\0"
+    sc.close(fd)
+
+
+def test_truncate_negative_is_einval(sc, mkfile):
+    mkfile("/f")
+    assert sc.truncate("/f", -1).errno == EINVAL
+
+
+def test_truncate_missing_is_enoent(sc):
+    assert sc.truncate("/nope", 0).errno == ENOENT
+
+
+def test_truncate_directory_is_eisdir(sc):
+    sc.mkdir("/d", 0o755)
+    assert sc.truncate("/d", 0).errno == EISDIR
+
+
+def test_truncate_readonly_fs_is_erofs(sc, mkfile):
+    mkfile("/f", size=10)
+    sc.fs.read_only = True
+    assert sc.truncate("/f", 0).errno == EROFS
+
+
+def test_truncate_past_max_file_size_is_efbig():
+    fs = FileSystem(max_file_size=4096)
+    sc = SyscallInterface(fs)
+    fd = sc.open("/f", C.O_CREAT | C.O_WRONLY, 0o644).retval
+    sc.close(fd)
+    assert sc.truncate("/f", 8192).errno == EFBIG
+
+
+def test_truncate_needs_write_permission(user_sc, sc, mkfile):
+    mkfile("/f", size=10, mode=0o644)  # root-owned
+    assert user_sc.truncate("/f", 0).errno == EACCES
+
+
+def test_truncate_releases_blocks(sc, mkfile):
+    mkfile("/f", size=16 * 4096)
+    before = sc.fs.device.free_blocks
+    sc.truncate("/f", 0)
+    assert sc.fs.device.free_blocks == before + 16
+
+
+def test_ftruncate_basic(sc, mkfile):
+    mkfile("/f", size=100)
+    fd = sc.open("/f", C.O_RDWR).retval
+    assert sc.ftruncate(fd, 10).ok
+    assert sc.fs.lookup("/f").size == 10
+    sc.close(fd)
+
+
+def test_ftruncate_readonly_fd_is_einval(sc, mkfile):
+    mkfile("/f", size=10)
+    fd = sc.open("/f", C.O_RDONLY).retval
+    assert sc.ftruncate(fd, 0).errno == EINVAL
+    sc.close(fd)
+
+
+def test_ftruncate_bad_fd_is_ebadf(sc):
+    assert sc.ftruncate(7777, 0).errno == EBADF
+
+
+def test_ftruncate_negative_is_einval(sc, mkfile):
+    mkfile("/f")
+    fd = sc.open("/f", C.O_RDWR).retval
+    assert sc.ftruncate(fd, -5).errno == EINVAL
+    sc.close(fd)

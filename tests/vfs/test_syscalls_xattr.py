@@ -1,0 +1,145 @@
+"""setxattr/getxattr families, including the Figure 1 boundary area."""
+
+import pytest
+
+from repro.vfs import constants as C
+from repro.vfs.errors import (
+    E2BIG,
+    EBADF,
+    EEXIST,
+    EFAULT,
+    EINVAL,
+    ENAMETOOLONG,
+    ENODATA,
+    ENOENT,
+    ENOSPC,
+    EOPNOTSUPP,
+    EPERM,
+    ERANGE,
+    EROFS,
+)
+
+
+@pytest.fixture
+def xfile(sc, mkfile):
+    mkfile("/f")
+    return "/f"
+
+
+def test_setxattr_getxattr_roundtrip(sc, xfile):
+    assert sc.setxattr(xfile, "user.k", b"value").ok
+    got = sc.getxattr(xfile, "user.k", 64)
+    assert got.retval == 5 and got.data == b"value"
+
+
+def test_getxattr_probe_with_size_zero(sc, xfile):
+    sc.setxattr(xfile, "user.k", b"12345678")
+    probe = sc.getxattr(xfile, "user.k", 0)
+    assert probe.retval == 8 and probe.data is None
+
+
+def test_getxattr_small_buffer_is_erange(sc, xfile):
+    sc.setxattr(xfile, "user.k", b"12345678")
+    assert sc.getxattr(xfile, "user.k", 4).errno == ERANGE
+
+
+def test_getxattr_missing_is_enodata(sc, xfile):
+    assert sc.getxattr(xfile, "user.none", 16).errno == ENODATA
+
+
+def test_xattr_create_replace_flags(sc, xfile):
+    assert sc.setxattr(xfile, "user.k", b"1", flags=C.XATTR_CREATE).ok
+    assert sc.setxattr(xfile, "user.k", b"2", flags=C.XATTR_CREATE).errno == EEXIST
+    assert sc.setxattr(xfile, "user.k", b"3", flags=C.XATTR_REPLACE).ok
+    assert sc.setxattr(xfile, "user.x", b"4", flags=C.XATTR_REPLACE).errno == ENODATA
+
+
+def test_xattr_both_flags_is_einval(sc, xfile):
+    flags = C.XATTR_CREATE | C.XATTR_REPLACE
+    assert sc.setxattr(xfile, "user.k", b"v", flags=flags).errno == EINVAL
+
+
+def test_xattr_unknown_flags_is_einval(sc, xfile):
+    assert sc.setxattr(xfile, "user.k", b"v", flags=0x10).errno == EINVAL
+
+
+def test_xattr_bad_namespace_is_eopnotsupp(sc, xfile):
+    assert sc.setxattr(xfile, "weird.k", b"v").errno == EOPNOTSUPP
+    assert sc.getxattr(xfile, "weird.k", 8).errno == EOPNOTSUPP
+
+
+def test_xattr_empty_name_is_einval(sc, xfile):
+    assert sc.setxattr(xfile, "", b"v").errno == EINVAL
+    assert sc.getxattr(xfile, "", 8).errno == EINVAL
+
+
+def test_xattr_name_too_long(sc, xfile):
+    name = "user." + "k" * C.XATTR_NAME_MAX
+    assert sc.setxattr(xfile, name, b"v").errno == ENAMETOOLONG
+
+
+def test_xattr_value_too_big_is_e2big(sc, xfile):
+    assert sc.setxattr(xfile, "user.k", b"", size=C.XATTR_SIZE_MAX + 1).errno == E2BIG
+    assert sc.setxattr(xfile, "user.k", b"", size=-1).errno == E2BIG
+
+
+def test_xattr_ibody_exhaustion_is_enospc(sc, xfile):
+    """The Figure 1 behaviour: in-inode xattr space is finite and the
+    *correct* kernel rejects the overflowing set with ENOSPC."""
+    assert sc.setxattr(xfile, "user.fill", b"x" * 60).ok
+    assert sc.setxattr(xfile, "user.more", b"y" * 60).errno == ENOSPC
+
+
+def test_setxattr_missing_file_is_enoent(sc):
+    assert sc.setxattr("/nope", "user.k", b"v").errno == ENOENT
+
+
+def test_setxattr_readonly_fs_is_erofs(sc, xfile):
+    sc.fs.read_only = True
+    assert sc.setxattr(xfile, "user.k", b"v").errno == EROFS
+
+
+def test_setxattr_faulty_buffer_is_efault(sc, xfile):
+    assert sc.setxattr(xfile, "user.k", b"v", buf_faulty=True).errno == EFAULT
+
+
+def test_lsetxattr_on_symlink_user_ns_is_eperm(sc, xfile):
+    sc.symlink(xfile, "/ln")
+    assert sc.lsetxattr("/ln", "user.k", b"v").errno == EPERM
+    # trusted namespace is allowed on symlinks (for root).
+    assert sc.lsetxattr("/ln", "trusted.k", b"v").ok
+
+
+def test_setxattr_follows_symlink(sc, xfile):
+    sc.symlink(xfile, "/ln")
+    assert sc.setxattr("/ln", "user.k", b"v").ok
+    assert sc.getxattr(xfile, "user.k", 8).retval == 1
+
+
+def test_lgetxattr_does_not_follow(sc, xfile):
+    sc.setxattr(xfile, "user.k", b"v")
+    sc.symlink(xfile, "/ln")
+    assert sc.getxattr("/ln", "user.k", 8).ok
+    assert sc.lgetxattr("/ln", "user.k", 8).errno == ENODATA
+
+
+def test_fsetxattr_fgetxattr_via_fd(sc, xfile):
+    fd = sc.open(xfile, C.O_RDWR).retval
+    assert sc.fsetxattr(fd, "user.k", b"val").ok
+    got = sc.fgetxattr(fd, "user.k", 16)
+    assert got.data == b"val"
+    sc.close(fd)
+    assert sc.fsetxattr(fd, "user.k", b"v").errno == EBADF
+    assert sc.fgetxattr(fd, "user.k", 16).errno == EBADF
+
+
+def test_setxattr_size_truncates_or_pads_value(sc, xfile):
+    assert sc.setxattr(xfile, "user.k", b"abcdef", size=3).ok
+    assert sc.getxattr(xfile, "user.k", 16).data == b"abc"
+    assert sc.setxattr(xfile, "user.p", b"ab", size=4).ok
+    assert sc.getxattr(xfile, "user.p", 16).data == b"ab\0\0"
+
+
+def test_setxattr_needs_write_permission(sc, user_sc, mkfile):
+    mkfile("/rooted", mode=0o644)
+    assert user_sc.setxattr("/rooted", "user.k", b"v").errno in (EPERM, 13)  # EACCES
