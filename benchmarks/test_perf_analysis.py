@@ -1,0 +1,71 @@
+"""Static-analysis perf smoke: the whole lint+predict pass stays cheap.
+
+``repro lint`` gates CI, so the full static pipeline — spec lint,
+errno reachability over the VFS sources, and both suite predictions —
+must cost well under the budget of a single test module.  The
+calibrated-run checks then pin the predictor's soundness contract at
+the reference scales the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import lint_registry
+from repro.analysis.predict import StaticPredictor, compare_with_dynamic
+from repro.analysis.reachability import analyze_repo
+from repro.core import IOCov
+
+from .conftest import CM_SCALE, XF_SCALE
+
+#: Wall-clock budget for one full lint + predict pipeline, seconds.
+ANALYSIS_BUDGET_S = 2.0
+
+
+def full_pipeline():
+    speclint = lint_registry()
+    reachability = analyze_repo()
+    predictor = StaticPredictor()
+    preds = [predictor.predict(name) for name in ("crashmonkey", "xfstests")]
+    return speclint, reachability, preds
+
+
+def test_perf_lint_predict_under_budget():
+    start = time.perf_counter()
+    speclint, reachability, preds = full_pipeline()
+    elapsed = time.perf_counter() - start
+    assert elapsed < ANALYSIS_BUDGET_S, f"lint+predict took {elapsed:.2f}s"
+    assert speclint.exit_code() == 0
+    assert reachability.exit_code() == 0
+    assert all(p.call_sites > 0 for p in preds)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_lint_predict_throughput(benchmark):
+    speclint, reachability, preds = benchmark(full_pipeline)
+    assert len(preds) == 2
+
+
+@pytest.mark.parametrize("suite,scale_name", [
+    ("crashmonkey", "cm"),
+    ("xfstests", "xf"),
+])
+def test_prediction_superset_at_calibrated_scale(
+    suite, scale_name, cm_run, xf_run
+):
+    """The acceptance bar: static prediction ⊇ dynamic partitions at
+    the calibrated reference scales (CrashMonkey 1.0, xfstests 0.01)."""
+    run = cm_run if scale_name == "cm" else xf_run
+    prediction = StaticPredictor().predict(suite)
+    coverage = IOCov(mount_point="/mnt/test").consume(run.events)
+    report = compare_with_dynamic(prediction, coverage.input)
+    assert report.errors == [], report.render_text()
+    assert report.stats["violations"] == 0
+
+
+def test_calibrated_scales_unchanged():
+    # The superset claim above is only the paper's claim at these scales.
+    assert CM_SCALE == 1.0
+    assert XF_SCALE == 0.01

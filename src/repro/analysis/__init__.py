@@ -1,0 +1,33 @@
+"""Static analysis over the IOCov spec and its implementations.
+
+Three passes, none of which executes a single traced syscall:
+
+* :mod:`repro.analysis.speclint` — pure consistency checks over the
+  syscall registry, the partitioners, and the variant table;
+* :mod:`repro.analysis.reachability` — an AST walk of the VFS that
+  extracts the errno set actually raisable from each syscall
+  implementation and diffs it against the registry's declared output
+  partitions;
+* :mod:`repro.analysis.predict` — an AST walk of the workload
+  generators with constant folding that upper-bounds the input
+  partitions each suite can exercise, comparable against a real
+  traced run.
+
+All passes report through :class:`repro.analysis.findings.AnalysisReport`.
+"""
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.predict import StaticPredictor, predict_repo
+from repro.analysis.reachability import ReachabilityAnalysis, analyze_repo
+from repro.analysis.speclint import lint_registry
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "lint_registry",
+    "ReachabilityAnalysis",
+    "analyze_repo",
+    "StaticPredictor",
+    "predict_repo",
+]

@@ -1,0 +1,96 @@
+"""Finding and report types shared by every analysis pass.
+
+A *finding* is one detected defect: a defect-class slug (stable,
+kebab-case — the CLI and tests key on these), a severity, a location
+("open.flags", "vfs/syscalls.py:chdir"), and a human message.
+A report is an ordered collection of findings plus pass-specific
+summary statistics; errors drive the exit code, warnings do not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors fail the lint, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected defect."""
+
+    defect: str
+    severity: Severity
+    location: str
+    message: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "defect": self.defect,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.severity.value.upper():7s} {self.defect:28s} {self.location}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis pass."""
+
+    tool: str
+    findings: list[Finding] = field(default_factory=list)
+    stats: dict[str, object] = field(default_factory=dict)
+
+    def add(
+        self, defect: str, severity: Severity, location: str, message: str
+    ) -> None:
+        self.findings.append(Finding(defect, severity, location, message))
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.findings.extend(other.findings)
+        self.stats.update(other.stats)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def defect_classes(self) -> list[str]:
+        """Distinct defect-class slugs present, in first-seen order."""
+        seen: set[str] = set()
+        return [
+            f.defect
+            for f in self.findings
+            if not (f.defect in seen or seen.add(f.defect))
+        ]
+
+    def exit_code(self) -> int:
+        """0 when clean (warnings allowed), 1 when any error finding."""
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "tool": self.tool,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+            "stats": self.stats,
+        }
+
+    def render_text(self) -> str:
+        lines = [f"{self.tool}: {len(self.errors)} errors, {len(self.warnings)} warnings"]
+        lines.extend("  " + f.render() for f in self.findings)
+        for key, value in sorted(self.stats.items()):
+            lines.append(f"  [{key}] {value}")
+        return "\n".join(lines)

@@ -1,0 +1,1005 @@
+"""Static coverage prediction: what CAN a suite's generators exercise?
+
+Dynamic coverage (run the suite, trace it, classify every argument)
+tells you what a test suite *did*; this pass bounds what it *could
+possibly do* without running a single workload.  It walks the workload
+generators in :mod:`repro.testsuites` with :mod:`ast`, folds constant
+expressions into finite value sets, routes them through the exact same
+partitioners the dynamic analyzer uses, and reports the set of input
+partitions each suite can reach — a sound upper bound, so a real
+traced run must always cover a subset of the prediction
+(:func:`compare_with_dynamic` checks exactly that).
+
+Folding is deliberately simple but union-based everywhere the suites
+branch: ``x if cond else y`` folds to both arms, ``modes[i % 4]`` with
+an unknown ``i`` folds to every element, ``1 << (index % 17)`` folds
+to all seventeen powers of two.  Anything the folder cannot bound —
+runtime file descriptors, paths built from f-strings — becomes TOP and
+predicts the argument's full partition domain (reported as an
+``unbounded-argument`` warning, since an unbounded generator argument
+is itself a finding: the spec cannot promise anything about it).
+
+Calls to known helpers (``ctx.ensure_file``, ``self._setup_file``) are
+followed with the caller's folded arguments bound to the callee's
+parameters, so fixture modes and sizes stay precise instead of
+collapsing to TOP.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Any, Callable
+
+from repro.core.argspec import BASE_SYSCALLS
+from repro.core.partition import make_input_partitioner
+from repro.core.variants import CREAT_IMPLIED_FLAGS
+
+from repro.analysis.findings import AnalysisReport, Severity
+
+UNBOUNDED_ARGUMENT = "unbounded-argument"
+PREDICTION_VIOLATION = "prediction-violation"
+
+#: Sentinel: the folder could not bound this expression.
+TOP = object()
+
+#: Cap on folded value-set size; anything larger degrades to TOP.
+MAX_SET = 512
+
+#: Analysis-module sets per suite.  base and calibration are shared:
+#: both suites mount through SuiteRunner and top up through
+#: CalibrationDriver, so their call sites belong to every prediction.
+SUITE_MODULES: dict[str, tuple[str, ...]] = {
+    "crashmonkey": (
+        "repro.testsuites.crashmonkey",
+        "repro.testsuites.calibration",
+        "repro.testsuites.base",
+    ),
+    "xfstests": (
+        "repro.testsuites.xfstests",
+        "repro.testsuites.calibration",
+        "repro.testsuites.base",
+    ),
+}
+
+#: Profile constant bound to ``self.profile`` during each prediction.
+SUITE_PROFILES: dict[str, str] = {
+    "crashmonkey": "CRASHMONKEY_PROFILE",
+    "xfstests": "XFSTESTS_PROFILE",
+}
+
+#: Classes whose methods are *not* analysis entry points: they are
+#: fixtures reached through helper descent with real arguments, and
+#: entering them with TOP parameters would wash out that precision.
+HELPER_ONLY_CLASSES = frozenset({"SuiteContext"})
+
+#: Module-level functions executed for real on folded arguments
+#: (loop-accumulation like ``flags |= ...`` cannot be union-folded
+#: without losing the combined value).
+EXECUTED_FUNCTIONS = frozenset({"_combo_flags"})
+
+_MISSING = object()
+
+#: SyscallInterface signatures: parameter names in positional order
+#: (after self) with their defaults.  Only what the extractor needs.
+SYSCALL_SIGNATURES: dict[str, tuple[tuple[str, Any], ...]] = {
+    "open": (("path", _MISSING), ("flags", _MISSING), ("mode", 0o644)),
+    "openat": (("dirfd", _MISSING), ("path", _MISSING), ("flags", _MISSING), ("mode", 0o644)),
+    "openat2": (("dirfd", _MISSING), ("path", _MISSING), ("flags", _MISSING), ("mode", 0o644), ("resolve", 0)),
+    "creat": (("path", _MISSING), ("mode", 0o644)),
+    "read": (("fd", _MISSING), ("count", _MISSING)),
+    "pread64": (("fd", _MISSING), ("count", _MISSING), ("offset", _MISSING)),
+    "readv": (("fd", _MISSING), ("iov_lens", _MISSING)),
+    "write": (("fd", _MISSING), ("data", None), ("count", None)),
+    "pwrite64": (("fd", _MISSING), ("data", None), ("count", None), ("offset", 0)),
+    "writev": (("fd", _MISSING), ("buffers", _MISSING)),
+    "lseek": (("fd", _MISSING), ("offset", _MISSING), ("whence", _MISSING)),
+    "truncate": (("path", _MISSING), ("length", _MISSING)),
+    "ftruncate": (("fd", _MISSING), ("length", _MISSING)),
+    "mkdir": (("path", _MISSING), ("mode", 0o755)),
+    "mkdirat": (("dirfd", _MISSING), ("path", _MISSING), ("mode", 0o755)),
+    "chmod": (("path", _MISSING), ("mode", _MISSING)),
+    "fchmod": (("fd", _MISSING), ("mode", _MISSING)),
+    "fchmodat": (("dirfd", _MISSING), ("path", _MISSING), ("mode", _MISSING), ("flags", 0)),
+    "close": (("fd", _MISSING),),
+    "chdir": (("path", _MISSING),),
+    "fchdir": (("fd", _MISSING),),
+    "setxattr": (("path", _MISSING), ("name", _MISSING), ("value", _MISSING), ("size", None), ("flags", 0)),
+    "lsetxattr": (("path", _MISSING), ("name", _MISSING), ("value", _MISSING), ("size", None), ("flags", 0)),
+    "fsetxattr": (("fd", _MISSING), ("name", _MISSING), ("value", _MISSING), ("size", None), ("flags", 0)),
+    "getxattr": (("path", _MISSING), ("name", _MISSING), ("size", 0)),
+    "lgetxattr": (("path", _MISSING), ("name", _MISSING), ("size", 0)),
+    "fgetxattr": (("fd", _MISSING), ("name", _MISSING), ("size", 0)),
+}
+
+
+def _dedup(values: list) -> list:
+    out: list = []
+    for value in values:
+        try:
+            if value in out:
+                continue
+        except TypeError:
+            pass
+        out.append(value)
+    return out
+
+
+def _length_of(bound: dict, param: str) -> Any:
+    """Fold len(bound[param]) — the size of a written buffer."""
+    values = bound.get(param, TOP)
+    if values is TOP:
+        return TOP
+    out = []
+    for value in values:
+        try:
+            out.append(len(value))
+        except TypeError:
+            return TOP
+    return out
+
+
+def _size_or_len(bound: dict) -> Any:
+    """setxattr's ``size = len(value) if size is None else size``."""
+    sizes = bound.get("size", TOP)
+    if sizes is TOP:
+        return TOP
+    out: list = []
+    for size in sizes:
+        if size is None:
+            lens = _length_of(bound, "value")
+            if lens is TOP:
+                return TOP
+            out.extend(lens)
+        else:
+            out.append(size)
+    return out
+
+
+def _count_or_len(bound: dict) -> Any:
+    """write's ``count = len(data) if count is None else count``."""
+    counts = bound.get("count", TOP)
+    if counts is TOP:
+        return TOP
+    out: list = []
+    for count in counts:
+        if count is None:
+            lens = _length_of(bound, "data")
+            if lens is TOP:
+                return TOP
+            out.extend(lens)
+        else:
+            out.append(count)
+    return out
+
+
+def _sum_of(param: str, elem_len: bool) -> Callable[[dict], Any]:
+    """readv/writev: total byte count over the vector argument."""
+
+    def derive(bound: dict) -> Any:
+        vectors = bound.get(param, TOP)
+        if vectors is TOP:
+            return TOP
+        out = []
+        for vector in vectors:
+            try:
+                total = sum(len(e) for e in vector) if elem_len else sum(vector)
+            except TypeError:
+                return TOP
+            out.append(total)
+        return out
+
+    return derive
+
+
+def _param(name: str) -> Callable[[dict], Any]:
+    return lambda bound: bound.get(name, TOP)
+
+
+#: method -> [(base syscall, tracked arg, derivation over bound params)]
+EXTRACTION: dict[str, list[tuple[str, str, Callable[[dict], Any]]]] = {
+    "open": [("open", "flags", _param("flags")), ("open", "mode", _param("mode"))],
+    "openat": [("open", "flags", _param("flags")), ("open", "mode", _param("mode"))],
+    "openat2": [("open", "flags", _param("flags")), ("open", "mode", _param("mode"))],
+    "creat": [
+        ("open", "flags", lambda bound: [CREAT_IMPLIED_FLAGS]),
+        ("open", "mode", _param("mode")),
+    ],
+    "read": [("read", "count", _param("count"))],
+    "pread64": [("read", "count", _param("count"))],
+    "readv": [("read", "count", _sum_of("iov_lens", elem_len=False))],
+    "write": [("write", "count", _count_or_len)],
+    "pwrite64": [("write", "count", _count_or_len)],
+    "writev": [("write", "count", _sum_of("buffers", elem_len=True))],
+    "lseek": [
+        ("lseek", "offset", _param("offset")),
+        ("lseek", "whence", _param("whence")),
+    ],
+    "truncate": [("truncate", "length", _param("length"))],
+    "ftruncate": [("truncate", "length", _param("length"))],
+    "mkdir": [("mkdir", "mode", _param("mode"))],
+    "mkdirat": [("mkdir", "mode", _param("mode"))],
+    "chmod": [("chmod", "mode", _param("mode"))],
+    "fchmod": [("chmod", "mode", _param("mode"))],
+    "fchmodat": [("chmod", "mode", _param("mode"))],
+    "close": [("close", "fd", _param("fd"))],
+    # VariantHandler maps fchdir's fd into the filename slot.
+    "chdir": [("chdir", "filename", _param("path"))],
+    "fchdir": [("chdir", "filename", _param("fd"))],
+    "setxattr": [
+        ("setxattr", "size", _size_or_len),
+        ("setxattr", "flags", _param("flags")),
+    ],
+    "lsetxattr": [
+        ("setxattr", "size", _size_or_len),
+        ("setxattr", "flags", _param("flags")),
+    ],
+    "fsetxattr": [
+        ("setxattr", "size", _size_or_len),
+        ("setxattr", "flags", _param("flags")),
+    ],
+    "getxattr": [("getxattr", "size", _param("size"))],
+    "lgetxattr": [("getxattr", "size", _param("size"))],
+    "fgetxattr": [("getxattr", "size", _param("size"))],
+}
+
+_BINOPS = {
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitXor: lambda a, b: a ^ b,
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.Mod: lambda a, b: a % b,
+    ast.FloorDiv: lambda a, b: a // b,
+}
+
+_BUILTINS: dict[str, Callable] = {
+    "len": len,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "abs": abs,
+    "sorted": sorted,
+    "list": list,
+    "tuple": tuple,
+    "reversed": lambda seq: list(reversed(seq)),
+}
+
+
+@dataclass
+class Prediction:
+    """Static upper bound on a suite's reachable input partitions."""
+
+    suite: str
+    #: (base syscall, arg) -> predicted partition keys, domain order.
+    partitions: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    #: pairs whose value set degraded to TOP (full domain predicted).
+    unbounded: list[tuple[str, str]] = field(default_factory=list)
+    call_sites: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "suite": self.suite,
+            "call_sites": self.call_sites,
+            "unbounded": [f"{b}.{a}" for b, a in self.unbounded],
+            "partitions": {
+                f"{b}.{a}": keys for (b, a), keys in sorted(self.partitions.items())
+            },
+        }
+
+
+class _FunctionIndex:
+    """Defs across the analysis modules, addressable for descent."""
+
+    def __init__(self, module_names: tuple[str, ...]) -> None:
+        self.namespaces: dict[str, dict] = {}
+        #: method name -> [(class name, FunctionDef, module name)]
+        self.methods: dict[str, list[tuple[str, ast.FunctionDef, str]]] = {}
+        #: module-function name -> (FunctionDef, module name)
+        self.functions: dict[str, tuple[ast.FunctionDef, str]] = {}
+        #: entry points: (qualname, FunctionDef, module, class name or None)
+        self.entries: list[tuple[str, ast.FunctionDef, str, str | None]] = []
+        for module_name in module_names:
+            module = importlib.import_module(module_name)
+            self.namespaces[module_name] = vars(module)
+            with open(module.__file__) as handle:
+                tree = ast.parse(handle.read(), filename=module.__file__)
+            for node in tree.body:
+                if isinstance(node, ast.FunctionDef):
+                    self.functions.setdefault(node.name, (node, module_name))
+                    self.entries.append((node.name, node, module_name, None))
+                elif isinstance(node, ast.ClassDef):
+                    for item in node.body:
+                        if not isinstance(item, ast.FunctionDef):
+                            continue
+                        self.methods.setdefault(item.name, []).append(
+                            (node.name, item, module_name)
+                        )
+                        if node.name not in HELPER_ONLY_CLASSES:
+                            self.entries.append(
+                                (f"{node.name}.{item.name}", item, module_name, node.name)
+                            )
+
+
+class StaticPredictor:
+    """Folds suite generators into per-argument partition upper bounds."""
+
+    def __init__(self, max_depth: int = 8) -> None:
+        self.max_depth = max_depth
+
+    # -- public API ----------------------------------------------------
+
+    def predict(self, suite: str) -> Prediction:
+        """Predict the input partitions *suite* can reach."""
+        if suite not in SUITE_MODULES:
+            raise KeyError(f"unknown suite {suite!r}; have {sorted(SUITE_MODULES)}")
+        index = _FunctionIndex(SUITE_MODULES[suite])
+        profiles = importlib.import_module("repro.testsuites.profiles")
+        profile = getattr(profiles, SUITE_PROFILES[suite])
+        walker = _SuiteWalker(index, self_attrs={"profile": profile},
+                              max_depth=self.max_depth)
+        for qualname, node, module_name, class_name in index.entries:
+            walker.walk_entry(node, module_name, class_name)
+        return self._classify(suite, walker)
+
+    def _classify(self, suite: str, walker: "_SuiteWalker") -> Prediction:
+        prediction = Prediction(suite=suite, call_sites=walker.call_sites)
+        for base, spec in BASE_SYSCALLS.items():
+            for arg_spec in spec.tracked_args:
+                pair = (base, arg_spec.name)
+                partitioner = make_input_partitioner(arg_spec)
+                domain = partitioner.domain()
+                values = walker.values.get(pair)
+                if values is None:
+                    prediction.partitions[pair] = []
+                    continue
+                if values is TOP:
+                    prediction.partitions[pair] = list(domain)
+                    prediction.unbounded.append(pair)
+                    continue
+                keys: set[str] = set()
+                degraded = False
+                for value in values:
+                    try:
+                        keys.update(partitioner.classify(value))
+                    except Exception:
+                        degraded = True
+                if degraded:
+                    prediction.partitions[pair] = list(domain)
+                    prediction.unbounded.append(pair)
+                else:
+                    prediction.partitions[pair] = [k for k in domain if k in keys]
+        return prediction
+
+
+class _SuiteWalker:
+    """One-pass abstract interpreter over the analysis modules."""
+
+    def __init__(
+        self, index: _FunctionIndex, self_attrs: dict, max_depth: int
+    ) -> None:
+        self.index = index
+        self.self_obj = SimpleNamespace(**self_attrs)
+        self.max_depth = max_depth
+        #: (base, arg) -> list of folded values, or TOP
+        self.values: dict[tuple[str, str], Any] = {}
+        self.call_sites = 0
+        self._stack: list[str] = []
+
+    # -- accumulation --------------------------------------------------
+
+    def _record(self, base: str, arg: str, folded: Any) -> None:
+        pair = (base, arg)
+        if self.values.get(pair) is TOP:
+            return
+        if folded is TOP:
+            self.values[pair] = TOP
+            return
+        merged = _dedup(self.values.get(pair, []) + list(folded))
+        self.values[pair] = TOP if len(merged) > MAX_SET else merged
+
+    # -- entry ---------------------------------------------------------
+
+    def walk_entry(
+        self, node: ast.FunctionDef, module_name: str, class_name: str | None
+    ) -> None:
+        env: dict[str, Any] = {}
+        params = [a.arg for a in node.args.args]
+        for name in params:
+            env[name] = TOP
+        if class_name is not None and params and params[0] == "self":
+            env["self"] = [self.self_obj]
+        self._walk_function(node, env, module_name)
+
+    # -- interprocedural descent ---------------------------------------
+
+    def _descend(
+        self,
+        node: ast.FunctionDef,
+        module_name: str,
+        call: ast.Call,
+        env: dict[str, Any],
+        *,
+        skip_self: bool,
+    ) -> Any:
+        qual = f"{module_name}:{node.name}"
+        if qual in self._stack or len(self._stack) >= self.max_depth:
+            return TOP
+        params = [a.arg for a in node.args.args]
+        if skip_self and params and params[0] == "self":
+            params = params[1:]
+        callee_env: dict[str, Any] = {"self": [self.self_obj]}
+        defaults = node.args.defaults
+        default_by_param: dict[str, ast.expr] = {}
+        for param, default in zip(params[len(params) - len(defaults):], defaults):
+            default_by_param[param] = default
+        bound: dict[str, Any] = {}
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                break
+            bound[params[i]] = self._fold(arg, env, module_name)
+        for keyword in call.keywords:
+            if keyword.arg:
+                bound[keyword.arg] = self._fold(keyword.value, env, module_name)
+        for param in params:
+            if param in bound:
+                callee_env[param] = bound[param]
+            elif param in default_by_param:
+                callee_env[param] = self._fold(
+                    default_by_param[param], env, module_name
+                )
+            else:
+                callee_env[param] = TOP
+        self._stack.append(qual)
+        try:
+            return self._walk_function(node, callee_env, module_name)
+        finally:
+            self._stack.pop()
+
+    # -- statement walking ---------------------------------------------
+
+    def _walk_function(
+        self, node: ast.FunctionDef, env: dict[str, Any], module_name: str
+    ) -> Any:
+        returns: list[Any] = []
+        self._walk_body(node.body, env, module_name, returns)
+        if not returns:
+            return TOP
+        out: list = []
+        for folded in returns:
+            if folded is TOP:
+                return TOP
+            out.extend(folded)
+        return _dedup(out)
+
+    def _walk_body(
+        self, body: list[ast.stmt], env: dict, module_name: str, returns: list
+    ) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, env, module_name, returns)
+
+    def _walk_stmt(
+        self, stmt: ast.stmt, env: dict, module_name: str, returns: list
+    ) -> None:
+        fold = lambda e: self._fold(e, env, module_name)
+        if isinstance(stmt, ast.Assign):
+            value = fold(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, fold(stmt.value), env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = fold(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, TOP)
+                op = _BINOPS.get(type(stmt.op))
+                env[stmt.target.id] = self._apply_binop(op, current, value)
+        elif isinstance(stmt, ast.Expr):
+            fold(stmt.value)
+        elif isinstance(stmt, ast.Assert):
+            fold(stmt.test)
+        elif isinstance(stmt, ast.Return):
+            returns.append(fold(stmt.value) if stmt.value else [None])
+        elif isinstance(stmt, ast.If):
+            fold(stmt.test)
+            self._walk_branches(stmt.body, stmt.orelse, env, module_name, returns)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = fold(stmt.iter)
+            self._bind_loop_target(stmt.target, iterable, env)
+            self._walk_branches(stmt.body, stmt.orelse, env, module_name, returns)
+        elif isinstance(stmt, ast.While):
+            fold(stmt.test)
+            self._walk_branches(stmt.body, stmt.orelse, env, module_name, returns)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                fold(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, TOP, env)
+            self._walk_body(stmt.body, env, module_name, returns)
+        elif isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, env, module_name, returns)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = TOP
+                self._walk_body(handler.body, env, module_name, returns)
+            self._walk_body(stmt.orelse, env, module_name, returns)
+            self._walk_body(stmt.finalbody, env, module_name, returns)
+        elif isinstance(stmt, ast.FunctionDef):
+            # Nested closures (workload bodies): walk in place with the
+            # enclosing env visible and the closure's params TOP.
+            inner = dict(env)
+            for arg in stmt.args.args:
+                inner[arg.arg] = TOP
+            self._walk_body(stmt.body, inner, module_name, [])
+        # pass / raise / global / import / etc. carry no folded state.
+
+    def _walk_branches(
+        self,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+        env: dict,
+        module_name: str,
+        returns: list,
+    ) -> None:
+        env_a, env_b = dict(env), dict(env)
+        self._walk_body(body, env_a, module_name, returns)
+        self._walk_body(orelse, env_b, module_name, returns)
+        for name in set(env_a) | set(env_b):
+            values = []
+            for branch in (env_a, env_b):
+                folded = branch.get(name, env.get(name, TOP))
+                if folded is TOP:
+                    values = TOP
+                    break
+                values.extend(folded)
+            env[name] = values if values is TOP else _dedup(values)
+            if env[name] is not TOP and len(env[name]) > MAX_SET:
+                env[name] = TOP
+
+    def _bind_target(self, target: ast.expr, value: Any, env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names = target.elts
+            per_position: list[Any] = [[] for _ in names]
+            if value is TOP:
+                per_position = [TOP] * len(names)
+            else:
+                for item in value:
+                    if not isinstance(item, (tuple, list)) or len(item) != len(names):
+                        per_position = [TOP] * len(names)
+                        break
+                    for i, element in enumerate(item):
+                        if per_position[i] is not TOP:
+                            per_position[i].append(element)
+            for sub_target, folded in zip(names, per_position):
+                self._bind_target(
+                    sub_target,
+                    folded if folded is TOP else _dedup(folded),
+                    env,
+                )
+
+    def _bind_loop_target(self, target: ast.expr, iterable: Any, env: dict) -> None:
+        if iterable is TOP:
+            elements: Any = TOP
+        else:
+            elements = []
+            for value in iterable:
+                try:
+                    elements.extend(list(value))
+                except TypeError:
+                    elements = TOP
+                    break
+            if elements is not TOP:
+                elements = _dedup(elements)
+                if len(elements) > MAX_SET:
+                    elements = TOP
+        self._bind_target(target, elements, env)
+
+    # -- expression folding --------------------------------------------
+
+    def _fold(self, node: ast.expr, env: dict, module_name: str) -> Any:
+        if isinstance(node, ast.Constant):
+            return [node.value]
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            namespace = self.index.namespaces[module_name]
+            if node.id in namespace:
+                return [namespace[node.id]]
+            return TOP
+        if isinstance(node, ast.Attribute):
+            receiver = self._fold(node.value, env, module_name)
+            if receiver is TOP:
+                return TOP
+            out = []
+            for value in receiver:
+                try:
+                    out.append(getattr(value, node.attr))
+                except AttributeError:
+                    return TOP
+            return out
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                return TOP
+            left = self._fold(node.left, env, module_name)
+            right = self._fold(node.right, env, module_name)
+            return self._apply_binop(op, left, right, modulo=isinstance(node.op, ast.Mod))
+        if isinstance(node, ast.UnaryOp):
+            operand = self._fold(node.operand, env, module_name)
+            if operand is TOP:
+                return TOP
+            try:
+                if isinstance(node.op, ast.USub):
+                    return _dedup([-v for v in operand])
+                if isinstance(node.op, ast.Invert):
+                    return _dedup([~v for v in operand])
+                if isinstance(node.op, ast.Not):
+                    return _dedup([not v for v in operand])
+            except TypeError:
+                return TOP
+            return TOP
+        if isinstance(node, ast.BoolOp):
+            out = []
+            for operand in node.values:
+                folded = self._fold(operand, env, module_name)
+                if folded is TOP:
+                    return TOP
+                out.extend(folded)
+            return _dedup(out)
+        if isinstance(node, ast.IfExp):
+            self._fold(node.test, env, module_name)
+            body = self._fold(node.body, env, module_name)
+            orelse = self._fold(node.orelse, env, module_name)
+            if body is TOP or orelse is TOP:
+                return TOP
+            return _dedup(body + orelse)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            folded_elements = []
+            for element in node.elts:
+                folded = self._fold(element, env, module_name)
+                if folded is TOP:
+                    return TOP
+                folded_elements.append(folded)
+            combos: list[tuple] = [()]
+            for folded in folded_elements:
+                combos = [prefix + (v,) for prefix in combos for v in folded]
+                if len(combos) > MAX_SET:
+                    return TOP
+            if isinstance(node, ast.List):
+                return [list(combo) for combo in combos]
+            return combos
+        if isinstance(node, ast.Dict):
+            # Dicts fold only when every key and value is single-valued.
+            out_dict = {}
+            for key_node, value_node in zip(node.keys, node.values):
+                if key_node is None:
+                    return TOP
+                keys = self._fold(key_node, env, module_name)
+                values = self._fold(value_node, env, module_name)
+                if keys is TOP or values is TOP or len(keys) != 1 or len(values) != 1:
+                    return TOP
+                out_dict[keys[0]] = values[0]
+            return [out_dict]
+        if isinstance(node, ast.Subscript):
+            return self._fold_subscript(node, env, module_name)
+        if isinstance(node, ast.Compare):
+            self._fold(node.left, env, module_name)
+            for comparator in node.comparators:
+                self._fold(comparator, env, module_name)
+            return [True, False]
+        if isinstance(node, ast.Call):
+            return self._fold_call(node, env, module_name)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._fold(value.value, env, module_name)
+            return TOP
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            # Fold the iterables for syscall detection; the result is
+            # unbounded (sum(len(seg) ...) is handled by _sum_of).
+            for generator in node.generators:
+                self._fold(generator.iter, env, module_name)
+            return TOP
+        if isinstance(node, ast.Starred):
+            return TOP
+        if isinstance(node, ast.Lambda):
+            inner = dict(env)
+            for arg in node.args.args:
+                inner[arg.arg] = TOP
+            self._fold(node.body, inner, module_name)
+            return TOP
+        return TOP
+
+    def _apply_binop(self, op, left: Any, right: Any, *, modulo: bool = False) -> Any:
+        if op is None:
+            return TOP
+        if left is TOP and modulo and right is not TOP:
+            # unknown % n with a small constant n: the full residue set.
+            out = []
+            for divisor in right:
+                if not isinstance(divisor, int) or not 0 < divisor <= 64:
+                    return TOP
+                out.extend(range(divisor))
+            return _dedup(out)
+        if left is TOP or right is TOP:
+            return TOP
+        out = []
+        for a in left:
+            for b in right:
+                try:
+                    out.append(op(a, b))
+                except Exception:
+                    return TOP
+                if len(out) > MAX_SET:
+                    return TOP
+        return _dedup(out)
+
+    def _fold_subscript(self, node: ast.Subscript, env: dict, module_name: str) -> Any:
+        base = self._fold(node.value, env, module_name)
+        if isinstance(node.slice, ast.Slice):
+            return TOP
+        index = self._fold(node.slice, env, module_name)
+        if base is TOP:
+            return TOP
+        out = []
+        if index is TOP:
+            # Unknown index over a bounded container: every element.
+            for container in base:
+                try:
+                    if isinstance(container, dict):
+                        out.extend(container.values())
+                    else:
+                        out.extend(list(container))
+                except TypeError:
+                    return TOP
+        else:
+            for container in base:
+                for key in index:
+                    try:
+                        out.append(container[key])
+                    except Exception:
+                        return TOP
+        if len(out) > MAX_SET:
+            return TOP
+        return _dedup(out)
+
+    # -- call folding (where detection happens) ------------------------
+
+    def _fold_call(self, node: ast.Call, env: dict, module_name: str) -> Any:
+        func = node.func
+        # 1. Syscall site: <...>.sc.<method>(...) or sc.<method>(...).
+        if isinstance(func, ast.Attribute) and func.attr in EXTRACTION:
+            receiver = func.value
+            is_sc = (isinstance(receiver, ast.Name) and receiver.id == "sc") or (
+                isinstance(receiver, ast.Attribute) and receiver.attr == "sc"
+            )
+            if is_sc:
+                self._record_syscall(node, func.attr, env, module_name)
+                return TOP
+        # 2. Method-style helper: unique name across analysis classes.
+        if isinstance(func, ast.Attribute):
+            self._fold(func.value, env, module_name)
+            candidates = self.index.methods.get(func.attr, [])
+            if len(candidates) == 1:
+                _, target, target_module = candidates[0]
+                for arg in node.args:
+                    self._fold(arg, env, module_name)
+                return self._descend(
+                    target, target_module, node, env, skip_self=True
+                )
+            return self._fold_method_on_value(node, func, env, module_name)
+        # 3. Builtins and module-level functions.
+        if isinstance(func, ast.Name):
+            if func.id in _BUILTINS:
+                return self._apply_builtin(_BUILTINS[func.id], node, env, module_name)
+            if func.id == "range":
+                return self._fold_range(node, env, module_name)
+            if func.id in self.index.functions:
+                target, target_module = self.index.functions[func.id]
+                if func.id in EXECUTED_FUNCTIONS:
+                    return self._execute_function(
+                        target_module, func.id, node, env, module_name
+                    )
+                return self._descend(target, target_module, node, env, skip_self=False)
+        # Unknown callable: fold arguments for nested detection.
+        for arg in node.args:
+            self._fold(arg, env, module_name)
+        for keyword in node.keywords:
+            self._fold(keyword.value, env, module_name)
+        return TOP
+
+    def _fold_method_on_value(
+        self, node: ast.Call, func: ast.Attribute, env: dict, module_name: str
+    ) -> Any:
+        """dict.items()/keys()/values() over folded containers."""
+        receiver = self._fold(func.value, env, module_name)
+        for arg in node.args:
+            self._fold(arg, env, module_name)
+        if receiver is TOP or func.attr not in ("items", "keys", "values"):
+            return TOP
+        out = []
+        for container in receiver:
+            if not isinstance(container, dict):
+                return TOP
+            if func.attr == "items":
+                out.append([tuple(item) for item in container.items()])
+            elif func.attr == "keys":
+                out.append(list(container.keys()))
+            else:
+                out.append(list(container.values()))
+        return out
+
+    def _apply_builtin(
+        self, fn: Callable, node: ast.Call, env: dict, module_name: str
+    ) -> Any:
+        folded_args = [self._fold(arg, env, module_name) for arg in node.args]
+        kwargs = {}
+        for keyword in node.keywords:
+            folded = self._fold(keyword.value, env, module_name)
+            if folded is TOP or len(folded) != 1 or not keyword.arg:
+                return TOP
+            kwargs[keyword.arg] = folded[0]
+        if any(folded is TOP for folded in folded_args):
+            return TOP
+        combos: list[tuple] = [()]
+        for folded in folded_args:
+            combos = [prefix + (v,) for prefix in combos for v in folded]
+            if len(combos) > MAX_SET:
+                return TOP
+        out = []
+        for combo in combos:
+            try:
+                out.append(fn(*combo, **kwargs))
+            except Exception:
+                return TOP
+        return _dedup(out)
+
+    def _fold_range(self, node: ast.Call, env: dict, module_name: str) -> Any:
+        folded_args = [self._fold(arg, env, module_name) for arg in node.args]
+        if any(folded is TOP for folded in folded_args) or not folded_args:
+            return TOP
+        if any(len(folded) != 1 for folded in folded_args):
+            return TOP
+        try:
+            result = range(*[folded[0] for folded in folded_args])
+        except TypeError:
+            return TOP
+        if len(result) > MAX_SET:
+            return TOP
+        return [list(result)]
+
+    def _execute_function(
+        self,
+        target_module: str,
+        name: str,
+        node: ast.Call,
+        env: dict,
+        module_name: str,
+    ) -> Any:
+        """Run a whitelisted pure function on every folded argument."""
+        fn = self.index.namespaces[target_module].get(name)
+        folded_args = [self._fold(arg, env, module_name) for arg in node.args]
+        if fn is None or any(folded is TOP for folded in folded_args):
+            return TOP
+        combos: list[tuple] = [()]
+        for folded in folded_args:
+            combos = [prefix + (v,) for prefix in combos for v in folded]
+            if len(combos) > MAX_SET:
+                return TOP
+        out = []
+        for combo in combos:
+            try:
+                out.append(fn(*combo))
+            except Exception:
+                continue
+        return _dedup(out)
+
+    def _record_syscall(
+        self, node: ast.Call, method: str, env: dict, module_name: str
+    ) -> None:
+        self.call_sites += 1
+        signature = SYSCALL_SIGNATURES[method]
+        bound: dict[str, Any] = {}
+        for i, arg in enumerate(node.args):
+            folded = self._fold(arg, env, module_name)
+            if i < len(signature) and not isinstance(arg, ast.Starred):
+                bound[signature[i][0]] = folded
+        for keyword in node.keywords:
+            folded = self._fold(keyword.value, env, module_name)
+            if keyword.arg:
+                bound[keyword.arg] = folded
+        for param, default in signature:
+            if param not in bound:
+                bound[param] = TOP if default is _MISSING else [default]
+        for base, arg_name, derive in EXTRACTION[method]:
+            self._record(base, arg_name, derive(bound))
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def predictions(suites: tuple[str, ...] | None = None) -> list[Prediction]:
+    """Predictions for the requested (default: all) suites."""
+    predictor = StaticPredictor()
+    return [predictor.predict(s) for s in (suites or tuple(sorted(SUITE_MODULES)))]
+
+
+def report_from_predictions(preds: list[Prediction]) -> AnalysisReport:
+    """Wrap predictions in the common report envelope."""
+    report = AnalysisReport(tool="predict")
+    for prediction in preds:
+        covered = sum(len(keys) for keys in prediction.partitions.values())
+        total = sum(
+            len(make_input_partitioner(arg).domain())
+            for spec in BASE_SYSCALLS.values()
+            for arg in spec.tracked_args
+        )
+        report.stats[prediction.suite] = {
+            "call_sites": prediction.call_sites,
+            "predicted_partitions": covered,
+            "domain_partitions": total,
+            "unbounded_args": len(prediction.unbounded),
+        }
+        for base, arg in prediction.unbounded:
+            report.add(
+                UNBOUNDED_ARGUMENT,
+                Severity.WARNING,
+                f"{prediction.suite}:{base}.{arg}",
+                "generator argument could not be statically bounded; "
+                "predicting the full partition domain",
+            )
+    return report
+
+
+def predict_repo(suites: tuple[str, ...] | None = None) -> AnalysisReport:
+    """Static prediction report for the built-in suites."""
+    return report_from_predictions(predictions(suites))
+
+
+def compare_with_dynamic(prediction: Prediction, input_coverage) -> AnalysisReport:
+    """Check a traced run against the static upper bound.
+
+    Every dynamically tested partition must be statically predicted
+    (the bound is an over-approximation); a violation is an ERROR —
+    either the folder lost soundness or the suite changed underneath
+    the prediction.  The reverse direction (predicted but untraced) is
+    the *static-vs-dynamic gap* and lands in stats, not findings: an
+    upper bound is expected to be loose.
+    """
+    report = AnalysisReport(tool="predict-compare")
+    gap: dict[str, list[str]] = {}
+    violations = 0
+    for (base, arg), predicted in sorted(prediction.partitions.items()):
+        try:
+            dynamic = set(input_coverage.arg(base, arg).tested_partitions())
+        except KeyError:
+            continue
+        missing = dynamic - set(predicted)
+        for key in sorted(missing):
+            violations += 1
+            report.add(
+                PREDICTION_VIOLATION,
+                Severity.ERROR,
+                f"{prediction.suite}:{base}.{arg}",
+                f"traced partition {key!r} was not statically predicted "
+                f"(the upper bound is unsound for this argument)",
+            )
+        unexercised = [k for k in predicted if k not in dynamic]
+        if unexercised:
+            gap[f"{base}.{arg}"] = unexercised
+    report.stats.update(
+        suite=prediction.suite,
+        violations=violations,
+        gap={key: value for key, value in sorted(gap.items())},
+    )
+    return report

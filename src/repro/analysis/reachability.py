@@ -1,0 +1,325 @@
+"""Errno reachability: which errnos can each syscall actually raise?
+
+The registry declares each syscall's output space from its manpage;
+the VFS in :mod:`repro.vfs` raises :class:`FsError` from concrete code
+paths.  This pass walks the VFS sources with :mod:`ast`, builds a
+call graph rooted at each syscall entry point, and closes over it to
+compute the errno set *reachable* from each implementation — without
+executing anything.  Diffing against the registry yields:
+
+* **undeclared-raisable-errno** (error): the implementation can raise
+  an errno the spec does not declare, so traced failures would land
+  outside the documented output domain and coverage would silently
+  leak into undocumented keys;
+* **unreachable-declared-errno** (warning): a declared partition no
+  organic code path produces.  These are *kept* in the registry — the
+  paper's output domain is the manpage list, and environmental errnos
+  (ENOMEM, EINTR, EIO, …) are produced via fault injection — but the
+  list is reported so dead partitions that skew TCD targets stay
+  visible.
+
+Call-edge resolution uses a receiver-binding table (``self.fs`` is the
+FileSystem, ``self.fs.resolver`` the PathResolver, and so on) plus a
+name-based fallback for helper methods whose name is unambiguous
+across the VFS helper classes.  Calls through ``self.faults`` are
+excluded: the fault injector can inject *any* errno by design, which
+would make every partition trivially reachable.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.argspec import BASE_SYSCALLS, SyscallSpec, VARIANT_TO_BASE
+from repro.vfs.errors import ERRNO_BY_NAME, errno_name
+
+from repro.analysis.findings import AnalysisReport, Severity
+
+UNDECLARED_RAISABLE = "undeclared-raisable-errno"
+UNREACHABLE_DECLARED = "unreachable-declared-errno"
+
+#: The VFS modules analyzed.  faults.py is deliberately absent.
+VFS_MODULES = (
+    "syscalls.py",
+    "filesystem.py",
+    "fd.py",
+    "path.py",
+    "inode.py",
+    "blockdev.py",
+)
+
+#: Attribute types: (class, attribute) -> class the attribute holds.
+#: None means "excluded from the call graph" (fault injection).
+ATTRIBUTE_TYPES: dict[tuple[str, str], str | None] = {
+    ("SyscallInterface", "fs"): "FileSystem",
+    ("SyscallInterface", "process"): "Process",
+    ("SyscallInterface", "faults"): None,
+    ("FileSystem", "resolver"): "PathResolver",
+    ("FileSystem", "inodes"): "InodeTable",
+    ("FileSystem", "device"): "BlockDevice",
+    ("PathResolver", "table"): "InodeTable",
+    ("Process", "fd_table"): "FdTable",
+    ("FdTable", "system"): "SystemFileTable",
+}
+
+#: Classes eligible for name-based fallback resolution.  The syscall
+#: entry class and the manager classes are excluded: their genuine
+#: call sites are all covered by precise receiver bindings, and a
+#: name-based match against them (e.g. ``parent.link`` hitting the
+#: ``link`` syscall) would wildly over-approximate.
+FALLBACK_CLASSES = frozenset(
+    {
+        "Inode", "FileInode", "DirInode", "SymlinkInode", "InodeTable",
+        "FdTable", "SystemFileTable", "OpenFileDescription",
+        "BlockDevice", "Quota", "ResolveResult",
+    }
+)
+
+#: Explicit single-inheritance links so method lookup can walk up.
+CLASS_BASES: dict[str, str] = {
+    "FileInode": "Inode",
+    "DirInode": "Inode",
+    "SymlinkInode": "Inode",
+}
+
+
+def _receiver_chain(node: ast.expr) -> list[str] | None:
+    """``self.fs.resolver`` -> ["self", "fs", "resolver"]; None if the
+    receiver is not a plain name/attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+class _FunctionInfo:
+    """Raises and outgoing calls of one function or method."""
+
+    def __init__(self, qualname: str) -> None:
+        self.qualname = qualname
+        self.raises: set[str] = set()
+        self.calls: list[tuple[list[str] | None, str]] = []  # (chain, attr)
+
+
+class _ModuleCollector(ast.NodeVisitor):
+    """Collect per-function raise sites and call sites for one module."""
+
+    def __init__(self, analysis: "ReachabilityAnalysis") -> None:
+        self.analysis = analysis
+        self._class_stack: list[str] = []
+        self._func_stack: list[_FunctionInfo] = []
+
+    # -- structure -----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                self.analysis.class_bases.setdefault(node.name, base.id)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _enter_function(self, node: ast.FunctionDef) -> None:
+        # Nested defs and lambdas accumulate into the enclosing method:
+        # syscall bodies are closures run by _run().
+        if self._func_stack:
+            self.generic_visit(node)
+            return
+        cls = self._class_stack[-1] if self._class_stack else None
+        qualname = f"{cls}.{node.name}" if cls else node.name
+        info = _FunctionInfo(qualname)
+        self.analysis.functions[qualname] = info
+        if cls:
+            self.analysis.methods.setdefault(node.name, set()).add(cls)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    # -- content -------------------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        info = self._func_stack[-1] if self._func_stack else None
+        exc = node.exc
+        if (
+            info is not None
+            and isinstance(exc, ast.Call)
+            and isinstance(exc.func, ast.Name)
+            and exc.func.id == "FsError"
+            and exc.args
+        ):
+            first = exc.args[0]
+            name: str | None = None
+            if isinstance(first, ast.Name):
+                name = first.id
+            elif isinstance(first, ast.Attribute):
+                name = first.attr
+            if name and name in ERRNO_BY_NAME:
+                info.raises.add(errno_name(ERRNO_BY_NAME[name]))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        info = self._func_stack[-1] if self._func_stack else None
+        if info is not None:
+            func = node.func
+            if isinstance(func, ast.Name):
+                info.calls.append((None, func.id))
+            elif isinstance(func, ast.Attribute):
+                chain = _receiver_chain(func.value)
+                info.calls.append((chain, func.attr))
+        self.generic_visit(node)
+
+
+class ReachabilityAnalysis:
+    """AST-derived errno reachability for the VFS syscall layer."""
+
+    def __init__(self, sources: Mapping[str, str] | None = None) -> None:
+        """Analyze *sources* (module name -> source text); defaults to
+        the installed :mod:`repro.vfs` package sources."""
+        self.functions: dict[str, _FunctionInfo] = {}
+        self.methods: dict[str, set[str]] = {}  # method name -> classes
+        self.class_bases: dict[str, str] = dict(CLASS_BASES)
+        self._closure: dict[str, set[str]] = {}
+        if sources is None:
+            sources = self._load_vfs_sources()
+        for module_name, text in sources.items():
+            tree = ast.parse(text, filename=module_name)
+            _ModuleCollector(self).visit(tree)
+
+    @staticmethod
+    def _load_vfs_sources() -> dict[str, str]:
+        import repro.vfs as vfs_pkg
+
+        root = Path(vfs_pkg.__file__).parent
+        return {name: (root / name).read_text() for name in VFS_MODULES}
+
+    # -- resolution ------------------------------------------------------
+
+    def _lookup_method(self, cls: str | None, attr: str) -> str | None:
+        """Resolve attr on cls, walking the (single) inheritance chain."""
+        while cls is not None:
+            qualname = f"{cls}.{attr}"
+            if qualname in self.functions:
+                return qualname
+            cls = self.class_bases.get(cls)
+        return None
+
+    def _resolve_call(
+        self, caller: str, chain: list[str] | None, attr: str
+    ) -> list[str]:
+        caller_class = caller.split(".")[0] if "." in caller else None
+        # Bare name: module-level function (check_permission).
+        if chain is None:
+            return [attr] if attr in self.functions else []
+        # self.<...>: walk the receiver chain through the binding table.
+        if chain[0] == "self" and caller_class is not None:
+            cls: str | None = caller_class
+            excluded = False
+            for step in chain[1:]:
+                key = (cls, step)
+                if key in ATTRIBUTE_TYPES:
+                    cls = ATTRIBUTE_TYPES[key]
+                    if cls is None:
+                        excluded = True
+                        break
+                else:
+                    cls = None
+                    break
+            if excluded:
+                return []
+            if cls is not None:
+                resolved = self._lookup_method(cls, attr)
+                if resolved is not None:
+                    return [resolved]
+        # Name-based fallback: unambiguous helper methods only.
+        owners = self.methods.get(attr, set()) & FALLBACK_CLASSES
+        if len(owners) == 1:
+            resolved = self._lookup_method(next(iter(owners)), attr)
+            return [resolved] if resolved else []
+        return []
+
+    # -- closure ---------------------------------------------------------
+
+    def reachable_from(self, qualname: str) -> set[str]:
+        """All errno names raisable from *qualname*, transitively."""
+        if qualname in self._closure:
+            return self._closure[qualname]
+        result: set[str] = set()
+        self._closure[qualname] = result  # cycle guard
+        info = self.functions.get(qualname)
+        if info is None:
+            return result
+        result |= info.raises
+        for chain, attr in info.calls:
+            for callee in self._resolve_call(qualname, chain, attr):
+                result |= self.reachable_from(callee)
+        return result
+
+    def syscall_errnos(
+        self,
+        registry: Mapping[str, SyscallSpec] | None = None,
+        variants: Mapping[str, str] | None = None,
+        entry_class: str = "SyscallInterface",
+    ) -> dict[str, set[str]]:
+        """Reachable errnos per *base* syscall (variants merged)."""
+        registry = BASE_SYSCALLS if registry is None else registry
+        variants = VARIANT_TO_BASE if variants is None else variants
+        merged: dict[str, set[str]] = {base: set() for base in registry}
+        for name in list(registry) + list(variants):
+            base = variants.get(name, name)
+            if base not in merged:
+                continue
+            qualname = f"{entry_class}.{name}"
+            merged[base] |= self.reachable_from(qualname)
+        return merged
+
+    # -- reporting -------------------------------------------------------
+
+    def analyze(
+        self,
+        registry: Mapping[str, SyscallSpec] | None = None,
+        variants: Mapping[str, str] | None = None,
+        entry_class: str = "SyscallInterface",
+    ) -> AnalysisReport:
+        registry = BASE_SYSCALLS if registry is None else registry
+        report = AnalysisReport(tool="reachability")
+        reachable = self.syscall_errnos(registry, variants, entry_class)
+        undeclared_total = 0
+        unreachable_total = 0
+        for base, spec in registry.items():
+            declared = set(spec.errnos)
+            raisable = reachable.get(base, set())
+            for name in sorted(raisable - declared):
+                undeclared_total += 1
+                report.add(
+                    UNDECLARED_RAISABLE, Severity.ERROR, base,
+                    f"implementation can raise {name}, but the registry "
+                    f"does not declare it; its failures would fall outside "
+                    f"the documented output domain",
+                )
+            for name in sorted(declared - raisable):
+                unreachable_total += 1
+                report.add(
+                    UNREACHABLE_DECLARED, Severity.WARNING, base,
+                    f"declared errno {name} has no organic code path "
+                    f"(manpage/fault-injection-only partition)",
+                )
+        report.stats.update(
+            functions=len(self.functions),
+            undeclared=undeclared_total,
+            unreachable=unreachable_total,
+        )
+        return report
+
+
+def analyze_repo() -> AnalysisReport:
+    """Reachability report for the live VFS and registry."""
+    return ReachabilityAnalysis().analyze()

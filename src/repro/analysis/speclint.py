@@ -1,0 +1,354 @@
+"""Spec linter: pure consistency checks over the syscall registry.
+
+Everything downstream — partition counting, TCD, suggestions, the
+calibrated suites — trusts the declarative registry in
+:mod:`repro.core.argspec` and the partitioners built from it.  This
+pass validates that trust without running a trace:
+
+* every errno a spec declares exists and uses the canonical spelling
+  (the one :func:`repro.vfs.errors.errno_name` emits at classification
+  time — a non-canonical alias would declare a partition no traced
+  event can ever land in);
+* bitmap decode tables are free of zero masks, duplicate masks, and
+  partial overlaps (composites like O_SYNC ⊃ O_DSYNC are allowed);
+* ``zero_name`` / ``access_mask`` / ``access_names`` are mutually
+  consistent;
+* input partitions are disjoint and exhaustive per argument, checked
+  by probing each partitioner with boundary values;
+* numeric size partitions are strictly monotone and contiguous;
+* the variant table maps onto registry bases and never shadows them.
+
+The registry, variant table, and partitioner factories are injectable
+so the seeded-defect tests can feed deliberately broken specs through
+the same code paths the real lint uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.argspec import (
+    ArgClass,
+    ArgSpec,
+    BASE_SYSCALLS,
+    SyscallSpec,
+    VARIANT_TO_BASE,
+)
+from repro.core.partition import OutputPartitioner, make_input_partitioner
+from repro.vfs import constants
+from repro.vfs.errors import ERRNO_BY_NAME, errno_name
+
+from repro.analysis.findings import AnalysisReport, Severity
+
+# Defect-class slugs (stable; tests and docs key on these).
+UNKNOWN_ERRNO = "unknown-errno"
+NONCANONICAL_ERRNO = "noncanonical-errno"
+DUPLICATE_ERRNO = "duplicate-errno"
+BITMAP_OVERLAP = "bitmap-overlap"
+BITMAP_ZERO_FLAG = "bitmap-zero-flag"
+BITMAP_DUPLICATE = "bitmap-duplicate"
+ZERO_NAME_CONFLICT = "zero-name-conflict"
+ACCESS_NAME_OUT_OF_MASK = "access-name-out-of-mask"
+CATEGORICAL_COLLISION = "categorical-collision"
+PARTITION_OVERLAP = "partition-overlap"
+PARTITION_GAP = "partition-gap"
+SIZE_PARTITION_ORDER = "size-partition-order"
+DANGLING_VARIANT = "dangling-variant"
+VARIANT_SHADOWS_BASE = "variant-shadows-base"
+
+#: Boundary probe values for numeric arguments: negatives, zero, the
+#: edges of several power-of-two buckets, and past-the-overflow values.
+NUMERIC_PROBES = (
+    -(1 << 70), -(1 << 31), -1, 0, 1, 2, 3, 4, 7, 8, 1023, 1024, 4095,
+    4096, (1 << 32) - 1, 1 << 32, (1 << 62), (1 << 63) - 1, 1 << 63,
+    (1 << 64) + 3, 1 << 70,
+)
+
+#: Probe values for identifier arguments (fds and paths).
+FD_PROBES = (constants.AT_FDCWD, -1, 0, 1, 2, 3, 63, 64, 1023, 1024, 1 << 20)
+PATH_PROBES = (
+    "", "/", "/a", "/a/b/c", ".", "..", "rel", "rel/deep",
+    "/" + "n" * constants.NAME_MAX, "/x" * (constants.PATH_MAX // 2 + 1),
+)
+
+
+def _canonical(name: str, catalog: Mapping[str, int]) -> str | None:
+    """The canonical spelling for *name*, or None if unknown."""
+    if name not in catalog:
+        return None
+    return errno_name(catalog[name])
+
+
+def _check_errno_tuple(
+    report: AnalysisReport,
+    location: str,
+    errnos: tuple[str, ...],
+    catalog: Mapping[str, int],
+) -> None:
+    seen: set[str] = set()
+    for name in errnos:
+        if name in seen:
+            report.add(
+                DUPLICATE_ERRNO, Severity.ERROR, location,
+                f"errno {name} declared more than once",
+            )
+        seen.add(name)
+        canonical = _canonical(name, catalog)
+        if canonical is None:
+            report.add(
+                UNKNOWN_ERRNO, Severity.ERROR, location,
+                f"errno {name} not present in the errno catalogue",
+            )
+        elif canonical != name:
+            report.add(
+                NONCANONICAL_ERRNO, Severity.ERROR, location,
+                f"errno {name} is an alias; traced events classify as "
+                f"{canonical}, so this partition can never be credited",
+            )
+
+
+def _check_bitmap(report: AnalysisReport, location: str, spec: ArgSpec) -> None:
+    bitmap = spec.bitmap or {}
+    masks: dict[str, int] = dict(bitmap)
+    # Zero and duplicate masks.
+    by_value: dict[int, str] = {}
+    for name, mask in masks.items():
+        if mask == 0 and name != spec.zero_name:
+            report.add(
+                BITMAP_ZERO_FLAG, Severity.ERROR, location,
+                f"flag {name} has mask 0; decode() can never credit it",
+            )
+        if mask in by_value and mask != 0:
+            report.add(
+                BITMAP_DUPLICATE, Severity.ERROR, location,
+                f"flags {by_value[mask]} and {name} share mask {mask:#o}",
+            )
+        else:
+            by_value.setdefault(mask, name)
+    # Partial overlaps: allowed only when one mask strictly contains
+    # the other (composite flags decoded longest-first).
+    names = sorted(masks)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            va, vb = masks[a], masks[b]
+            common = va & vb
+            if common and va != vb and common not in (va, vb):
+                report.add(
+                    BITMAP_OVERLAP, Severity.ERROR, location,
+                    f"flags {a} ({va:#o}) and {b} ({vb:#o}) overlap "
+                    f"without containment; decode order is ambiguous",
+                )
+    # The access-mode field must not collide with any modifier bit.
+    if spec.access_mask:
+        for name, mask in masks.items():
+            if mask & spec.access_mask:
+                report.add(
+                    BITMAP_OVERLAP, Severity.ERROR, location,
+                    f"flag {name} ({mask:#o}) intersects the access "
+                    f"mask {spec.access_mask:#o}",
+                )
+    # access_names values must fit inside the mask.
+    for value, name in (spec.access_names or {}).items():
+        if value & ~spec.access_mask:
+            report.add(
+                ACCESS_NAME_OUT_OF_MASK, Severity.ERROR, location,
+                f"access value {value:#o} ({name}) has bits outside "
+                f"access_mask {spec.access_mask:#o}",
+            )
+    # zero_name consistency: with an access field, the zero partition
+    # is access_names[0]; zero_name must agree.  Without one, zero_name
+    # must not collide with a nonzero flag.
+    if spec.access_names is not None:
+        zero_access = spec.access_names.get(0)
+        if spec.zero_name is not None and spec.zero_name != zero_access:
+            report.add(
+                ZERO_NAME_CONFLICT, Severity.ERROR, location,
+                f"zero_name {spec.zero_name} disagrees with "
+                f"access_names[0] = {zero_access}",
+            )
+    elif spec.zero_name is not None and masks.get(spec.zero_name, 0) != 0:
+        report.add(
+            ZERO_NAME_CONFLICT, Severity.ERROR, location,
+            f"zero_name {spec.zero_name} is also a nonzero flag "
+            f"({masks[spec.zero_name]:#o}); value 0 would be misattributed",
+        )
+
+
+def _check_categorical(report: AnalysisReport, location: str, spec: ArgSpec) -> None:
+    by_value: dict[int, str] = {}
+    for name, value in (spec.categories or {}).items():
+        if value in by_value:
+            report.add(
+                CATEGORICAL_COLLISION, Severity.ERROR, location,
+                f"categories {by_value[value]} and {name} share value {value}",
+            )
+        else:
+            by_value[value] = name
+
+
+def _size_keys_monotone(keys: list[str], prefix: str = "2^") -> str | None:
+    """Check strictly increasing, contiguous exponents; return an error
+    description or None."""
+    exponents = []
+    for key in keys:
+        if key.startswith(prefix):
+            tail = key[len(prefix):]
+            if tail.lstrip("-").isdigit():
+                exponents.append(int(tail))
+    for prev, cur in zip(exponents, exponents[1:]):
+        if cur <= prev:
+            return f"size partitions not strictly increasing: 2^{prev} then 2^{cur}"
+        if cur != prev + 1:
+            return f"size partitions skip a bucket between 2^{prev} and 2^{cur}"
+    return None
+
+
+def _probe_values(spec: ArgSpec) -> tuple:
+    if spec.arg_class is ArgClass.NUMERIC:
+        return NUMERIC_PROBES
+    if spec.arg_class is ArgClass.CATEGORICAL:
+        values = tuple((spec.categories or {}).values())
+        out_of_domain = (max(values, default=0) + 17,)
+        return values + out_of_domain
+    if spec.arg_class is ArgClass.IDENTIFIER:
+        return FD_PROBES + PATH_PROBES
+    # BITMAP: each single flag, the zero value, each access value, and
+    # a value with a bit outside every mask.
+    masks = tuple((spec.bitmap or {}).values())
+    access = tuple((spec.access_names or {}).keys())
+    covered = 0
+    for mask in masks:
+        covered |= mask
+    covered |= spec.access_mask
+    unknown_bit = 1
+    while unknown_bit & covered:
+        unknown_bit <<= 1
+    return (0,) + masks + access + (unknown_bit,)
+
+
+def _check_partitions(
+    report: AnalysisReport,
+    location: str,
+    spec: ArgSpec,
+    partitioner_factory: Callable[[ArgSpec], object],
+) -> int:
+    """Probe disjointness and exhaustiveness; returns probes run."""
+    try:
+        partitioner = partitioner_factory(spec)
+    except Exception as exc:
+        report.add(
+            PARTITION_GAP, Severity.ERROR, location,
+            f"partitioner construction failed: {exc!r}",
+        )
+        return 0
+    domain = list(partitioner.domain())
+    seen: set[str] = set()
+    for key in domain:
+        if key in seen:
+            report.add(
+                PARTITION_OVERLAP, Severity.ERROR, location,
+                f"domain key {key!r} appears twice",
+            )
+        seen.add(key)
+    order_error = _size_keys_monotone(domain)
+    if order_error:
+        report.add(SIZE_PARTITION_ORDER, Severity.ERROR, location, order_error)
+    probes = _probe_values(spec)
+    for value in probes:
+        keys = partitioner.classify(value)
+        if not keys:
+            report.add(
+                PARTITION_GAP, Severity.ERROR, location,
+                f"value {value!r} falls into no partition (non-exhaustive)",
+            )
+            continue
+        if spec.arg_class is not ArgClass.BITMAP and len(keys) > 1:
+            report.add(
+                PARTITION_OVERLAP, Severity.ERROR, location,
+                f"value {value!r} falls into {len(keys)} partitions: {keys}",
+            )
+        for key in keys:
+            if key not in seen:
+                report.add(
+                    PARTITION_GAP, Severity.ERROR, location,
+                    f"value {value!r} classified into {key!r}, which is "
+                    f"outside the declared domain",
+                )
+    return len(probes)
+
+
+def _check_output_domain(
+    report: AnalysisReport,
+    spec: SyscallSpec,
+    catalog: Mapping[str, int],
+    output_factory: Callable[[SyscallSpec], object],
+) -> None:
+    location = f"{spec.name}.errnos"
+    _check_errno_tuple(report, location, spec.errnos, catalog)
+    try:
+        partitioner = output_factory(spec)
+    except Exception as exc:
+        report.add(
+            PARTITION_GAP, Severity.ERROR, location,
+            f"output partitioner construction failed: {exc!r}",
+        )
+        return
+    domain = list(partitioner.domain())
+    order_error = _size_keys_monotone(domain, prefix="OK:2^")
+    if order_error:
+        report.add(SIZE_PARTITION_ORDER, Severity.ERROR, location, order_error)
+
+
+def _check_variants(
+    report: AnalysisReport,
+    registry: Mapping[str, SyscallSpec],
+    variants: Mapping[str, str],
+) -> None:
+    for variant, base in variants.items():
+        if base not in registry:
+            report.add(
+                DANGLING_VARIANT, Severity.ERROR, f"variants.{variant}",
+                f"variant {variant} merges into {base!r}, which is not a "
+                f"registered base syscall",
+            )
+        if variant in registry:
+            report.add(
+                VARIANT_SHADOWS_BASE, Severity.ERROR, f"variants.{variant}",
+                f"variant {variant} is also a registry key; its events "
+                f"would be double-counted",
+            )
+
+
+def lint_registry(
+    registry: Mapping[str, SyscallSpec] | None = None,
+    variants: Mapping[str, str] | None = None,
+    *,
+    partitioner_factory: Callable[[ArgSpec], object] = make_input_partitioner,
+    output_factory: Callable[[SyscallSpec], object] = OutputPartitioner,
+    errno_catalog: Mapping[str, int] | None = None,
+) -> AnalysisReport:
+    """Lint a syscall registry; defaults to the repo's live registry."""
+    registry = dict(BASE_SYSCALLS) if registry is None else dict(registry)
+    variants = dict(VARIANT_TO_BASE) if variants is None else dict(variants)
+    catalog = ERRNO_BY_NAME if errno_catalog is None else errno_catalog
+    report = AnalysisReport(tool="speclint")
+    probes = 0
+    args_checked = 0
+    for name, spec in registry.items():
+        for arg in spec.tracked_args:
+            location = f"{name}.{arg.name}"
+            args_checked += 1
+            if arg.arg_class is ArgClass.BITMAP:
+                _check_bitmap(report, location, arg)
+            elif arg.arg_class is ArgClass.CATEGORICAL:
+                _check_categorical(report, location, arg)
+            probes += _check_partitions(report, location, arg, partitioner_factory)
+        _check_output_domain(report, spec, catalog, output_factory)
+    _check_variants(report, registry, variants)
+    report.stats.update(
+        syscalls=len(registry),
+        variants=len(variants),
+        args_checked=args_checked,
+        probes=probes,
+    )
+    return report

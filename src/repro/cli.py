@@ -10,6 +10,17 @@ Subcommands:
 * ``bugstudy`` — print the Section 2 bug-study table.
 * ``difftest`` — run the coverage-guided differential tester against
   the built-in faulty kernel model.
+* ``replay`` — replay a trace against a fresh VFS.
+* ``lint`` — static consistency checks over the syscall spec and the
+  VFS implementation (no trace needed).
+* ``predict`` — static upper bound on the input partitions each
+  built-in suite can reach, optionally checked against a live run.
+
+Exit codes are uniform across subcommands: 0 = clean, 1 = findings
+(coverage gaps, lint errors, divergences, unexposed bugs), 2 = usage
+or internal error.  Every subcommand accepts ``--json``; the output is
+a single object carrying ``command``, ``status``, and ``exit_code``
+alongside the subcommand's payload.
 
 Examples::
 
@@ -19,16 +30,24 @@ Examples::
     python -m repro suites --suite crashmonkey --scale 1.0
     python -m repro bugstudy
     python -m repro difftest --rounds 6
+    python -m repro lint --json
+    python -m repro predict --suite xfstests --compare --scale 0.002
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.core import IOCov, SuiteComparison
 from repro.core.report import CoverageReport
+
+#: Uniform exit codes (see module docstring).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
 
 _FORMAT_READERS = {
     "lttng": "consume_lttng_file",
@@ -53,14 +72,24 @@ def _load_report(path: str, fmt: str | None, mount: str | None, name: str) -> Co
     return iocov.report()
 
 
+def _emit_json(command: str, exit_code: int, payload: dict) -> int:
+    """Print the uniform JSON envelope: payload keys stay top-level."""
+    status = {EXIT_CLEAN: "clean", EXIT_FINDINGS: "findings"}.get(exit_code, "error")
+    document = dict(payload)
+    document["command"] = command
+    document["status"] = status
+    document["exit_code"] = exit_code
+    print(json.dumps(document, indent=2, default=str))
+    return exit_code
+
+
 # -- subcommand handlers --------------------------------------------------------
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     report = _load_report(args.trace, args.format, args.mount, args.name or args.trace)
     if args.json:
-        print(report.to_json())
-        return 0
+        return _emit_json("analyze", EXIT_CLEAN, report.to_dict())
     print(report.render_text())
     if args.syscall:
         print()
@@ -73,7 +102,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
         print()
         print(render_suggestions(report, limit=args.suggest))
-    return 0
+    return EXIT_CLEAN
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -81,54 +110,93 @@ def cmd_compare(args: argparse.Namespace) -> int:
     report_b = _load_report(args.trace_b, args.format, args.mount, args.trace_b)
     comparison = SuiteComparison(report_a, report_b)
     syscall = args.syscall or "open"
+    only_a, only_b = comparison.only_covered_by(syscall, args.arg or "flags")
+    if args.json:
+        return _emit_json(
+            "compare",
+            EXIT_CLEAN,
+            {
+                "suite_a": report_a.suite_name,
+                "suite_b": report_b.suite_name,
+                "syscall": syscall,
+                "arg": args.arg or "flags",
+                "only_a": only_a,
+                "only_b": only_b,
+            },
+        )
     if args.arg:
         print(comparison.render_text(syscall, args.arg))
     print()
     print(comparison.render_text(syscall))
-    only_a, only_b = comparison.only_covered_by(syscall, args.arg or "flags")
     print(f"\nonly {report_a.suite_name}: {only_a or 'none'}")
     print(f"only {report_b.suite_name}: {only_b or 'none'}")
-    return 0
+    return EXIT_CLEAN
 
 
 def cmd_suites(args: argparse.Namespace) -> int:
     from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
 
+    runs = []
     if args.suite in ("crashmonkey", "both"):
-        scale = args.scale if args.scale is not None else 1.0
-        run = SuiteRunner(CrashMonkeySuite(scale=scale)).run()
-        report = (
-            IOCov(mount_point=run.mount_point, suite_name="CrashMonkey")
-            .consume(run.events)
-            .report()
-        )
-        print(f"CrashMonkey: {run.event_count():,} events, scale {scale}")
-        print(report.render_text())
-        print()
+        runs.append(("CrashMonkey", CrashMonkeySuite, args.scale if args.scale is not None else 1.0))
     if args.suite in ("xfstests", "both"):
-        scale = args.scale if args.scale is not None else 0.01
-        run = SuiteRunner(XfstestsSuite(scale=scale)).run()
+        runs.append(("xfstests", XfstestsSuite, args.scale if args.scale is not None else 0.01))
+    payload_runs = []
+    for label, suite_cls, scale in runs:
+        run = SuiteRunner(suite_cls(scale=scale)).run()
         report = (
-            IOCov(mount_point=run.mount_point, suite_name="xfstests")
+            IOCov(mount_point=run.mount_point, suite_name=label)
             .consume(run.events)
             .report()
         )
-        print(f"xfstests: {run.event_count():,} events, scale {scale}")
-        print(report.render_text())
-    return 0
+        if args.json:
+            payload_runs.append(
+                {
+                    "suite": label,
+                    "scale": scale,
+                    "events": run.event_count(),
+                    "coverage": report.to_dict(),
+                }
+            )
+        else:
+            print(f"{label}: {run.event_count():,} events, scale {scale}")
+            print(report.render_text())
+            print()
+    if args.json:
+        return _emit_json("suites", EXIT_CLEAN, {"runs": payload_runs})
+    return EXIT_CLEAN
 
 
 def cmd_bugstudy(args: argparse.Namespace) -> int:
     from repro.bugstudy import BugStudy
 
     study = BugStudy()
-    print(study.render_text())
     deviations = study.verify_paper_statistics()
+    exit_code = EXIT_FINDINGS if deviations else EXIT_CLEAN
+    if args.json:
+        return _emit_json(
+            "bugstudy",
+            exit_code,
+            {
+                "statistics": [
+                    {
+                        "name": stat.name,
+                        "count": stat.count,
+                        "total": stat.total,
+                        "percent": stat.percent,
+                        "paper_percent": stat.paper_percent,
+                    }
+                    for stat in study.statistics()
+                ],
+                "deviations": deviations,
+            },
+        )
+    print(study.render_text())
     if deviations:
         print(f"DEVIATIONS from the paper: {deviations}")
-        return 1
+        return exit_code
     print("\nall aggregates match the paper.")
-    return 0
+    return exit_code
 
 
 def cmd_difftest(args: argparse.Namespace) -> int:
@@ -139,10 +207,21 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     under_test = make_faulty(FileSystem(total_blocks=4096))
     tester = DifferentialTester(reference, under_test)
     report = tester.run(rounds=args.rounds, max_ops_per_round=args.ops)
-    print(report.render_text())
     exposed = sorted({bug_id for bug_id, _ in under_test.corruptions_applied})
+    exit_code = EXIT_CLEAN if report.found_bugs else EXIT_FINDINGS
+    if args.json:
+        return _emit_json(
+            "difftest",
+            exit_code,
+            {
+                "found_bugs": report.found_bugs,
+                "divergences": [d.describe() for d in report.divergences],
+                "exposed": exposed,
+            },
+        )
+    print(report.render_text())
     print(f"\ninjected bugs exposed: {exposed}")
-    return 0 if report.found_bugs else 1
+    return exit_code
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -162,8 +241,100 @@ def cmd_replay(args: argparse.Namespace) -> int:
     events = parser.parse_file(args.trace)
     target = SyscallInterface(FileSystem(total_blocks=args.blocks))
     report = TraceReplayer(target).replay(events)
+    exit_code = EXIT_CLEAN if report.faithful else EXIT_FINDINGS
+    if args.json:
+        return _emit_json(
+            "replay",
+            exit_code,
+            {
+                "faithful": report.faithful,
+                "replayed": report.replayed,
+                "skipped": report.skipped,
+                "divergences": [d.describe() for d in report.divergences],
+            },
+        )
     print(report.render_text())
-    return 0 if report.faithful else 1
+    return exit_code
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_registry
+    from repro.analysis.reachability import analyze_repo
+
+    speclint = lint_registry()
+    reachability = analyze_repo()
+    exit_code = max(speclint.exit_code(), reachability.exit_code())
+    if args.json:
+        return _emit_json(
+            "lint",
+            exit_code,
+            {
+                "errors": len(speclint.errors) + len(reachability.errors),
+                "warnings": len(speclint.warnings) + len(reachability.warnings),
+                "reports": {
+                    "speclint": speclint.to_dict(),
+                    "reachability": reachability.to_dict(),
+                },
+            },
+        )
+    print(speclint.render_text())
+    print()
+    print(reachability.render_text())
+    return exit_code
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analysis.predict import (
+        StaticPredictor,
+        compare_with_dynamic,
+        report_from_predictions,
+    )
+
+    suites = (
+        ("crashmonkey", "xfstests") if args.suite == "both" else (args.suite,)
+    )
+    predictor = StaticPredictor()
+    preds = [predictor.predict(name) for name in suites]
+    report = report_from_predictions(preds)
+    comparisons = []
+    if args.compare:
+        from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
+
+        suite_classes = {"crashmonkey": CrashMonkeySuite, "xfstests": XfstestsSuite}
+        default_scales = {"crashmonkey": 1.0, "xfstests": 0.01}
+        for prediction in preds:
+            scale = args.scale if args.scale is not None else default_scales[prediction.suite]
+            suite = suite_classes[prediction.suite](scale=scale)
+            run = SuiteRunner(suite).run()
+            coverage = IOCov(
+                mount_point=run.mount_point, suite_name=prediction.suite
+            ).consume(run.events)
+            comparison = compare_with_dynamic(prediction, coverage.input)
+            comparisons.append(comparison)
+            report.findings.extend(comparison.findings)
+    exit_code = report.exit_code()
+    if args.json:
+        return _emit_json(
+            "predict",
+            exit_code,
+            {
+                "predictions": [p.to_dict() for p in preds],
+                "comparisons": [c.to_dict() for c in comparisons],
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+            },
+        )
+    print(report.render_text())
+    for prediction in preds:
+        print()
+        print(f"{prediction.suite}: {prediction.call_sites} syscall sites")
+        for (base, arg), keys in sorted(prediction.partitions.items()):
+            bound = "unbounded" if (base, arg) in prediction.unbounded else "bounded"
+            print(f"  {base}.{arg}: {len(keys)} partitions predicted ({bound})")
+    for comparison in comparisons:
+        print()
+        print(comparison.render_text())
+    return exit_code
 
 
 # -- parser -----------------------------------------------------------------
@@ -201,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--mount")
     compare.add_argument("--syscall", default="open")
     compare.add_argument("--arg", default="flags")
+    compare.add_argument("--json", action="store_true", help="dump JSON")
     compare.set_defaults(handler=cmd_compare)
 
     suites = sub.add_parser("suites", help="run the simulated testers")
@@ -208,14 +380,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", choices=("crashmonkey", "xfstests", "both"), default="both"
     )
     suites.add_argument("--scale", type=float, default=None)
+    suites.add_argument("--json", action="store_true", help="dump JSON")
     suites.set_defaults(handler=cmd_suites)
 
     bugstudy = sub.add_parser("bugstudy", help="the Section 2 table")
+    bugstudy.add_argument("--json", action="store_true", help="dump JSON")
     bugstudy.set_defaults(handler=cmd_bugstudy)
 
     difftest = sub.add_parser("difftest", help="coverage-guided differential run")
     difftest.add_argument("--rounds", type=int, default=8)
     difftest.add_argument("--ops", type=int, default=80)
+    difftest.add_argument("--json", action="store_true", help="dump JSON")
     difftest.set_defaults(handler=cmd_difftest)
 
     replay = sub.add_parser("replay", help="replay a trace against a fresh VFS")
@@ -224,14 +399,50 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--blocks", type=int, default=262144, help="target device size in 4K blocks"
     )
+    replay.add_argument("--json", action="store_true", help="dump JSON")
     replay.set_defaults(handler=cmd_replay)
+
+    lint = sub.add_parser(
+        "lint", help="static spec/implementation consistency checks"
+    )
+    lint.add_argument("--json", action="store_true", help="dump JSON")
+    lint.set_defaults(handler=cmd_lint)
+
+    predict = sub.add_parser(
+        "predict", help="static upper bound on per-suite input partitions"
+    )
+    predict.add_argument(
+        "--suite", choices=("crashmonkey", "xfstests", "both"), default="both"
+    )
+    predict.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the suite(s) and check the traced coverage is a "
+        "subset of the prediction",
+    )
+    predict.add_argument(
+        "--scale", type=float, default=None, help="suite scale for --compare"
+    )
+    predict.add_argument("--json", action="store_true", help="dump JSON")
+    predict.set_defaults(handler=cmd_predict)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 0 for --help and 2 for usage errors; keep the
+        # convention but always *return* so callers get an int.
+        return exc.code if isinstance(exc.code, int) else EXIT_ERROR
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        raise
+    except Exception as exc:  # internal error -> 2, message on stderr
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

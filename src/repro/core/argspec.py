@@ -166,32 +166,37 @@ READ_ERRNOS = ("EAGAIN", "EBADF", "EFAULT", "EINTR", "EINVAL", "EIO", "EISDIR")
 WRITE_ERRNOS = (
     "EAGAIN", "EBADF", "EDQUOT", "EFAULT", "EFBIG", "EINTR", "EINVAL",
     "EIO", "ENOSPC", "EPERM", "EPIPE",
+    # The substrate can freeze/remount-ro between open and write, so a
+    # write through an already-open fd can fail with EBUSY/EROFS.
+    "EBUSY", "EROFS",
 )
 LSEEK_ERRNOS = ("EBADF", "EINVAL", "ENXIO", "EOVERFLOW", "ESPIPE")
 TRUNCATE_ERRNOS = (
     "EACCES", "EFAULT", "EFBIG", "EINTR", "EINVAL", "EIO", "EISDIR",
     "ELOOP", "ENAMETOOLONG", "ENOENT", "ENOTDIR", "EPERM", "EROFS",
-    "ETXTBSY", "EBADF", "EDQUOT", "ENOSPC",
+    "ETXTBSY", "EBADF", "EDQUOT", "ENOSPC", "EBUSY",
 )
 MKDIR_ERRNOS = (
     "EACCES", "EDQUOT", "EEXIST", "EFAULT", "EINVAL", "ELOOP", "EMLINK",
     "ENAMETOOLONG", "ENOENT", "ENOMEM", "ENOSPC", "ENOTDIR", "EPERM",
-    "EROFS", "EBADF",
+    "EROFS", "EBADF", "EBUSY",
 )
 CHMOD_ERRNOS = (
     "EACCES", "EFAULT", "EIO", "ELOOP", "ENAMETOOLONG", "ENOENT",
     "ENOMEM", "ENOTDIR", "EPERM", "EROFS", "EBADF", "EINVAL",
-    "EOPNOTSUPP",
+    "EOPNOTSUPP", "EBUSY",
 )
 CLOSE_ERRNOS = ("EBADF", "EINTR", "EIO", "ENOSPC", "EDQUOT")
 CHDIR_ERRNOS = (
     "EACCES", "EFAULT", "EIO", "ELOOP", "ENAMETOOLONG", "ENOENT",
     "ENOMEM", "ENOTDIR", "EBADF",
+    # Embedded-NUL paths are rejected by the resolver with EINVAL.
+    "EINVAL",
 )
 SETXATTR_ERRNOS = (
     "EDQUOT", "EEXIST", "ENODATA", "ENOSPC", "ENOTSUP", "EPERM", "ERANGE",
     "EACCES", "EFAULT", "EINVAL", "ELOOP", "ENAMETOOLONG", "ENOENT",
-    "ENOTDIR", "E2BIG", "EROFS", "EBADF",
+    "ENOTDIR", "E2BIG", "EROFS", "EBADF", "EBUSY",
 )
 GETXATTR_ERRNOS = (
     "E2BIG", "ENODATA", "ENOTSUP", "ERANGE", "EACCES", "EFAULT", "EINVAL",

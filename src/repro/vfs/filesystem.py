@@ -156,6 +156,20 @@ class FileSystem:
             raise FsError(EFBIG, f"size {new_size} > limit {self.max_file_size}")
         if materialized is None:
             materialized = new_size
+        self.charge_blocks(inode, materialized)
+
+    def charge_blocks(self, inode: Inode, materialized: int) -> None:
+        """Account *materialized* backed bytes against space and quota.
+
+        The block-allocation half of :meth:`charge_file_size`: no EFBIG
+        check, because the caller is not changing a logical file size
+        (directory blocks, metadata).  Device and quota move together
+        or not at all.
+
+        Raises:
+            FsError(ENOSPC): the device is out of blocks.
+            FsError(EDQUOT): the owner's quota is exceeded.
+        """
         old_blocks = self.device.owner_blocks(inode.ino)
         new_blocks = self.device.blocks_for(materialized)
         quota = self._quota_for(inode.uid)

@@ -740,7 +740,7 @@ class SyscallInterface:
             parent_ino=result.parent.ino,
         )
         try:
-            self.fs.charge_file_size(new_dir, self.fs.device.block_size)
+            self.fs.charge_blocks(new_dir, self.fs.device.block_size)
         except FsError:
             self.fs.inodes.remove(new_dir.ino)
             raise

@@ -1,0 +1,183 @@
+"""Static coverage predictor: bounds, soundness, and suite comparisons.
+
+The predictor promises an *upper bound*: every input partition a suite
+reaches dynamically must appear in its static prediction.  The
+superset tests here run the real suites at reduced scale and check the
+guarantee through :func:`compare_with_dynamic` — the same path
+``repro predict --compare`` uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.predict import (
+    PREDICTION_VIOLATION,
+    UNBOUNDED_ARGUMENT,
+    Prediction,
+    StaticPredictor,
+    compare_with_dynamic,
+    predict_repo,
+    report_from_predictions,
+)
+from repro.core import IOCov
+from repro.core.argspec import BASE_SYSCALLS
+from repro.core.partition import make_input_partitioner
+from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return StaticPredictor()
+
+
+@pytest.fixture(scope="module")
+def cm_prediction(predictor):
+    return predictor.predict("crashmonkey")
+
+
+@pytest.fixture(scope="module")
+def xf_prediction(predictor):
+    return predictor.predict("xfstests")
+
+
+def domain_of(base, arg):
+    spec = next(
+        a for a in BASE_SYSCALLS[base].tracked_args if a.name == arg
+    )
+    return set(make_input_partitioner(spec).domain())
+
+
+def test_all_tracked_args_predicted(cm_prediction, xf_prediction):
+    tracked = {
+        (base, arg.name)
+        for base, spec in BASE_SYSCALLS.items()
+        for arg in spec.tracked_args
+    }
+    assert set(cm_prediction.partitions) == tracked
+    assert set(xf_prediction.partitions) == tracked
+
+
+def test_predictions_stay_inside_domains(cm_prediction, xf_prediction):
+    for prediction in (cm_prediction, xf_prediction):
+        for (base, arg), keys in prediction.partitions.items():
+            assert set(keys) <= domain_of(base, arg), (base, arg)
+            assert len(keys) == len(set(keys)), (base, arg)
+
+
+def test_unbounded_args_get_full_domain(cm_prediction):
+    assert set(cm_prediction.unbounded) == {
+        ("write", "count"), ("truncate", "length"),
+        ("close", "fd"), ("chdir", "filename"),
+    }
+    for base, arg in cm_prediction.unbounded:
+        assert set(cm_prediction.partitions[(base, arg)]) == domain_of(base, arg)
+
+
+def test_xfstests_bounds_truncate_length(xf_prediction):
+    # xfstests derives truncate lengths from profile constants, so the
+    # predictor pins them; only runtime-valued args stay unbounded.
+    assert set(xf_prediction.unbounded) == {
+        ("write", "count"), ("close", "fd"), ("chdir", "filename"),
+    }
+
+
+def test_categorical_precision(cm_prediction, xf_prediction):
+    # Every lseek whence appears in both generators.
+    assert set(cm_prediction.partitions[("lseek", "whence")]) == {
+        "SEEK_SET", "SEEK_CUR", "SEEK_END", "SEEK_DATA", "SEEK_HOLE",
+    }
+    # setxattr flags differ between the suites: the prediction is
+    # per-suite, not a blanket domain.
+    assert set(cm_prediction.partitions[("setxattr", "flags")]) == {
+        "0", "XATTR_REPLACE",
+    }
+    assert set(xf_prediction.partitions[("setxattr", "flags")]) == {
+        "0", "XATTR_CREATE", "XATTR_REPLACE",
+    }
+
+
+def test_open_flags_bounded_and_suite_specific(cm_prediction, xf_prediction):
+    cm_flags = set(cm_prediction.partitions[("open", "flags")])
+    xf_flags = set(xf_prediction.partitions[("open", "flags")])
+    assert ("open", "flags") not in cm_prediction.unbounded
+    assert ("open", "flags") not in xf_prediction.unbounded
+    assert "O_CREAT" in cm_flags
+    # xfstests' profile flag combos (O_NOATIME etc.) exceed CrashMonkey.
+    assert len(xf_flags) > len(cm_flags)
+
+
+def test_call_sites_counted(cm_prediction, xf_prediction):
+    assert cm_prediction.call_sites > 100
+    assert xf_prediction.call_sites > cm_prediction.call_sites
+
+
+def test_prediction_to_dict_roundtrips(cm_prediction):
+    data = cm_prediction.to_dict()
+    assert data["suite"] == "crashmonkey"
+    assert data["partitions"]["lseek.whence"] == list(
+        cm_prediction.partitions[("lseek", "whence")]
+    )
+    assert "write.count" in data["unbounded"]
+
+
+def test_report_from_predictions_warns_per_unbounded(cm_prediction):
+    report = report_from_predictions([cm_prediction])
+    assert report.errors == []
+    assert {f.defect for f in report.warnings} == {UNBOUNDED_ARGUMENT}
+    assert len(report.warnings) == len(cm_prediction.unbounded)
+    assert report.exit_code() == 0
+
+
+def test_predict_repo_merges_both_suites():
+    report = predict_repo()
+    assert set(report.stats) >= {"crashmonkey", "xfstests"}
+    assert report.exit_code() == 0
+
+
+def test_violation_reported_for_impossible_prediction():
+    # A prediction claiming nothing is reachable must flag every traced
+    # partition as a violation.
+    empty = Prediction(
+        suite="crashmonkey",
+        partitions={(b, a.name): [] for b, s in BASE_SYSCALLS.items()
+                    for a in s.tracked_args},
+        unbounded=[],
+        call_sites=0,
+    )
+    run = SuiteRunner(CrashMonkeySuite(scale=0.05)).run()
+    coverage = IOCov(mount_point=run.mount_point).consume(run.events)
+    report = compare_with_dynamic(empty, coverage.input)
+    assert report.exit_code() == 1
+    assert {f.defect for f in report.errors} == {PREDICTION_VIOLATION}
+
+
+# -- the acceptance criterion: static is a superset of dynamic ---------------
+
+
+@pytest.mark.parametrize(
+    "suite_cls,name,scale",
+    [
+        (CrashMonkeySuite, "crashmonkey", 0.2),
+        (XfstestsSuite, "xfstests", 0.005),
+    ],
+)
+def test_static_prediction_covers_dynamic_trace(
+    predictor, suite_cls, name, scale
+):
+    prediction = predictor.predict(name)
+    run = SuiteRunner(suite_cls(scale=scale)).run()
+    coverage = IOCov(mount_point=run.mount_point).consume(run.events)
+    report = compare_with_dynamic(prediction, coverage.input)
+    assert report.errors == [], report.render_text()
+    assert report.stats["violations"] == 0
+    # The bound is not vacuous: something was actually traced and the
+    # static side genuinely over-approximates (a nonzero gap).
+    traced_total = sum(
+        len(coverage.input.arg(base, arg).tested_partitions())
+        for base, spec in BASE_SYSCALLS.items()
+        for arg in (a.name for a in spec.tracked_args)
+    )
+    assert traced_total > 0
+    gap_total = sum(len(keys) for keys in report.stats["gap"].values())
+    assert gap_total > 0

@@ -1,0 +1,174 @@
+"""Errno-reachability pass: synthetic-source corpus + live-repo checks.
+
+The synthetic tests feed small hand-written "VFS" sources through
+:class:`ReachabilityAnalysis` so each resolution rule (direct raises,
+receiver-chain bindings, name-based fallback, fault-injection
+exclusion, variant merging, errno canonicalization) is pinned
+independently of the real implementation.  The live-repo tests then
+assert the real VFS and registry agree: zero undeclared-raisable
+errors, and only the known manpage/fault-injection-only warnings.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reachability import (
+    UNDECLARED_RAISABLE,
+    UNREACHABLE_DECLARED,
+    ReachabilityAnalysis,
+    analyze_repo,
+)
+from repro.core.argspec import BASE_SYSCALLS, OutputKind, SyscallSpec
+
+
+def make_spec(name, errnos):
+    return SyscallSpec(
+        name=name, tracked_args=(), output_kind=OutputKind.FLAG,
+        errnos=tuple(errnos),
+    )
+
+
+SYNTHETIC = {
+    "syscalls.py": '''
+class SyscallInterface:
+    def open(self, path):
+        raise FsError(ENOENT, "missing")
+
+    def read(self, fd):
+        self.fs.pull(fd)
+
+    def write(self, fd):
+        self.faults.maybe_raise("write")
+
+    def chmod(self, path):
+        helper_check(path)
+
+    def truncate(self, path):
+        def _body():
+            raise FsError(EFBIG, "nested closure still counts")
+        return self._run(_body)
+
+    def ftruncate(self, fd):
+        raise FsError(EBADF, "variant-only errno")
+
+    def lseek(self, fd):
+        entry = ResolveResult()
+        entry.validate()
+
+    def close(self, fd):
+        raise FsError(EWOULDBLOCK, "alias spelling in the source")
+
+
+def helper_check(path):
+    raise FsError(EACCES, "module-level helper")
+''',
+    "filesystem.py": '''
+class FileSystem:
+    def pull(self, fd):
+        self.device.fetch(fd)
+''',
+    "blockdev.py": '''
+class BlockDevice:
+    def fetch(self, fd):
+        raise FsError(EIO, "device error")
+''',
+    "path.py": '''
+class ResolveResult:
+    def validate(self):
+        raise FsError(ELOOP, "cycle")
+''',
+}
+
+
+def analysis():
+    return ReachabilityAnalysis(sources=SYNTHETIC)
+
+
+def test_direct_raise_reachable():
+    assert analysis().reachable_from("SyscallInterface.open") == {"ENOENT"}
+
+
+def test_receiver_chain_binding():
+    # open -> self.fs (FileSystem) -> self.device (BlockDevice) -> EIO.
+    assert analysis().reachable_from("SyscallInterface.read") == {"EIO"}
+
+
+def test_fault_injection_excluded():
+    # self.faults can inject anything by design; counting it would make
+    # every partition trivially reachable.
+    assert analysis().reachable_from("SyscallInterface.write") == set()
+
+
+def test_module_level_helper_resolved():
+    assert analysis().reachable_from("SyscallInterface.chmod") == {"EACCES"}
+
+
+def test_nested_closure_accumulates_into_method():
+    # Syscall bodies are closures run by _run(); their raises belong to
+    # the enclosing method.
+    assert analysis().reachable_from("SyscallInterface.truncate") == {"EFBIG"}
+
+
+def test_name_fallback_for_unique_helper():
+    # ResolveResult.validate is name-unique among FALLBACK_CLASSES.
+    assert analysis().reachable_from("SyscallInterface.lseek") == {"ELOOP"}
+
+
+def test_errno_spelling_canonicalized():
+    # The source spells EWOULDBLOCK; classification uses errno_name,
+    # which emits EAGAIN for that value.
+    assert analysis().reachable_from("SyscallInterface.close") == {"EAGAIN"}
+
+
+def test_variant_errnos_merge_into_base():
+    registry = {"truncate": make_spec("truncate", ["EFBIG", "EBADF"])}
+    variants = {"ftruncate": "truncate"}
+    merged = analysis().syscall_errnos(registry, variants)
+    assert merged["truncate"] == {"EFBIG", "EBADF"}
+
+
+def test_undeclared_raisable_is_error():
+    registry = {"open": make_spec("open", [])}  # ENOENT raisable, undeclared
+    report = analysis().analyze(registry, variants={})
+    assert UNDECLARED_RAISABLE in report.defect_classes()
+    assert report.exit_code() == 1
+    assert any("ENOENT" in f.message for f in report.errors)
+
+
+def test_unreachable_declared_is_warning_only():
+    registry = {"open": make_spec("open", ["ENOENT", "ENOMEM"])}
+    report = analysis().analyze(registry, variants={})
+    assert UNREACHABLE_DECLARED in report.defect_classes()
+    assert report.errors == []
+    assert report.exit_code() == 0
+    assert any("ENOMEM" in f.message for f in report.warnings)
+
+
+# -- live repo ---------------------------------------------------------------
+
+
+def test_live_vfs_has_no_undeclared_errnos():
+    report = analyze_repo()
+    assert report.errors == [], report.render_text()
+    assert report.exit_code() == 0
+    assert report.stats["undeclared"] == 0
+
+
+def test_live_vfs_warning_set_is_stable():
+    # Declared-but-unreachable partitions are environmental errnos the
+    # fault injector provides; the set should only change deliberately.
+    report = analyze_repo()
+    warned = {(f.location, f.message.split()[2]) for f in report.warnings}
+    assert ("open", "ENOMEM") in warned
+    assert ("lseek", "ESPIPE") in warned
+    assert report.stats["unreachable"] == len(report.warnings) == 34
+
+
+def test_live_reachable_sets_spot_checks():
+    merged = ReachabilityAnalysis().syscall_errnos()
+    # The freeze/remount-ro substrate makes write fail EBUSY/EROFS even
+    # through an already-open fd (registry satellite fix).
+    assert {"EBUSY", "EROFS"} <= merged["write"]
+    assert "ETXTBSY" in merged["open"]
+    # Every reachable errno is declared (the analyze() error condition).
+    for base, spec in BASE_SYSCALLS.items():
+        assert merged[base] <= set(spec.errnos), base

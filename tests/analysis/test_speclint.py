@@ -1,0 +1,281 @@
+"""Seeded-defect corpus for the spec linter.
+
+Each test constructs a deliberately broken :class:`SyscallSpec` (or
+variant table, or partitioner) and asserts the linter reports exactly
+the targeted defect class.  The final test is the clean-repo
+regression: the live registry must lint clean so ``repro lint`` can
+gate CI at exit code 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_registry
+from repro.analysis.speclint import (
+    ACCESS_NAME_OUT_OF_MASK,
+    BITMAP_DUPLICATE,
+    BITMAP_OVERLAP,
+    BITMAP_ZERO_FLAG,
+    CATEGORICAL_COLLISION,
+    DANGLING_VARIANT,
+    DUPLICATE_ERRNO,
+    NONCANONICAL_ERRNO,
+    PARTITION_GAP,
+    PARTITION_OVERLAP,
+    SIZE_PARTITION_ORDER,
+    UNKNOWN_ERRNO,
+    VARIANT_SHADOWS_BASE,
+    ZERO_NAME_CONFLICT,
+)
+from repro.core.argspec import ArgClass, ArgSpec, OutputKind, SyscallSpec
+
+
+def make_spec(name="fake", args=(), errnos=("ENOENT",)):
+    return SyscallSpec(
+        name=name,
+        tracked_args=tuple(args),
+        output_kind=OutputKind.FLAG,
+        errnos=tuple(errnos),
+    )
+
+
+def lint_one(spec, **kwargs):
+    return lint_registry({spec.name: spec}, variants={}, **kwargs)
+
+
+def assert_defect(report, slug):
+    classes = report.defect_classes()
+    assert slug in classes, (
+        f"expected {slug!r} among {sorted(classes)}:\n{report.render_text()}"
+    )
+    assert report.exit_code() == 1
+
+
+# -- output-domain defects -----------------------------------------------------
+
+
+def test_unknown_errno_detected():
+    report = lint_one(make_spec(errnos=("ENOENT", "EWOBBLE")))
+    assert_defect(report, UNKNOWN_ERRNO)
+
+
+def test_noncanonical_errno_detected():
+    # EALIAS shares errno 2 with ENOENT; errno_name(2) == "ENOENT", so a
+    # spec declaring EALIAS names a partition no traced event can reach.
+    catalog = {"ENOENT": 2, "EALIAS": 2}
+    report = lint_one(
+        make_spec(errnos=("EALIAS",)), errno_catalog=catalog
+    )
+    assert_defect(report, NONCANONICAL_ERRNO)
+
+
+def test_duplicate_errno_detected():
+    report = lint_one(make_spec(errnos=("ENOENT", "EACCES", "ENOENT")))
+    assert_defect(report, DUPLICATE_ERRNO)
+
+
+# -- bitmap defects -----------------------------------------------------------
+
+
+def test_bitmap_zero_flag_detected():
+    arg = ArgSpec("flags", ArgClass.BITMAP, bitmap={"F_NOP": 0, "F_A": 1})
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, BITMAP_ZERO_FLAG)
+
+
+def test_bitmap_duplicate_mask_detected():
+    arg = ArgSpec("flags", ArgClass.BITMAP, bitmap={"F_A": 4, "F_B": 4})
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, BITMAP_DUPLICATE)
+
+
+def test_bitmap_partial_overlap_detected():
+    # 0b011 and 0b110 intersect without containment: decode ambiguous.
+    arg = ArgSpec("flags", ArgClass.BITMAP, bitmap={"F_A": 0b011, "F_B": 0b110})
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, BITMAP_OVERLAP)
+
+
+def test_bitmap_containment_allowed():
+    # O_SYNC ⊃ O_DSYNC style composites are legitimate.
+    arg = ArgSpec("flags", ArgClass.BITMAP, bitmap={"F_D": 0b01, "F_S": 0b11})
+    report = lint_one(make_spec(args=[arg]))
+    assert BITMAP_OVERLAP not in report.defect_classes()
+
+
+def test_flag_colliding_with_access_mask_detected():
+    arg = ArgSpec(
+        "flags",
+        ArgClass.BITMAP,
+        bitmap={"F_A": 0b10},
+        access_mask=0b11,
+        access_names={0: "RD", 1: "WR", 2: "RW"},
+        zero_name="RD",
+    )
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, BITMAP_OVERLAP)
+
+
+def test_access_name_out_of_mask_detected():
+    arg = ArgSpec(
+        "flags",
+        ArgClass.BITMAP,
+        bitmap={"F_A": 8},
+        access_mask=0b11,
+        access_names={0: "RD", 4: "BAD"},
+        zero_name="RD",
+    )
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, ACCESS_NAME_OUT_OF_MASK)
+
+
+def test_zero_name_conflict_detected():
+    # zero_name also carries a nonzero mask: value 0 would be
+    # misattributed.
+    arg = ArgSpec(
+        "flags", ArgClass.BITMAP, bitmap={"F_A": 4}, zero_name="F_A"
+    )
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, ZERO_NAME_CONFLICT)
+
+
+def test_zero_name_disagrees_with_access_names():
+    arg = ArgSpec(
+        "flags",
+        ArgClass.BITMAP,
+        bitmap={"F_A": 4},
+        access_mask=0b11,
+        access_names={0: "RD", 1: "WR"},
+        zero_name="NOT_RD",
+    )
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, ZERO_NAME_CONFLICT)
+
+
+# -- categorical defects ------------------------------------------------------
+
+
+def test_categorical_collision_detected():
+    arg = ArgSpec(
+        "whence", ArgClass.CATEGORICAL, categories={"SEEK_A": 0, "SEEK_B": 0}
+    )
+    report = lint_one(make_spec(args=[arg]))
+    assert_defect(report, CATEGORICAL_COLLISION)
+
+
+# -- partition probing defects ------------------------------------------------
+
+
+class _FakePartitioner:
+    def __init__(self, domain_keys, classify_fn):
+        self._domain = domain_keys
+        self._classify = classify_fn
+
+    def domain(self):
+        return list(self._domain)
+
+    def classify(self, value):
+        return self._classify(value)
+
+
+def test_partition_gap_detected():
+    # A partitioner that drops negatives: probes include -1.
+    arg = ArgSpec("count", ArgClass.NUMERIC)
+    factory = lambda spec: _FakePartitioner(
+        ["neg", "other"], lambda v: [] if v < 0 else ["other"]
+    )
+    report = lint_one(make_spec(args=[arg]), partitioner_factory=factory)
+    assert_defect(report, PARTITION_GAP)
+
+
+def test_partition_out_of_domain_key_detected():
+    # classify() emits a key domain() never declared.
+    arg = ArgSpec("count", ArgClass.NUMERIC)
+    factory = lambda spec: _FakePartitioner(
+        ["declared"], lambda v: ["declared"] if v >= 0 else ["surprise"]
+    )
+    report = lint_one(make_spec(args=[arg]), partitioner_factory=factory)
+    assert_defect(report, PARTITION_GAP)
+
+
+def test_partition_overlap_detected():
+    # Non-bitmap values must land in exactly one partition.
+    arg = ArgSpec("count", ArgClass.NUMERIC)
+    factory = lambda spec: _FakePartitioner(
+        ["a", "b"], lambda v: ["a", "b"]
+    )
+    report = lint_one(make_spec(args=[arg]), partitioner_factory=factory)
+    assert_defect(report, PARTITION_OVERLAP)
+
+
+def test_duplicate_domain_key_detected():
+    arg = ArgSpec("count", ArgClass.NUMERIC)
+    factory = lambda spec: _FakePartitioner(
+        ["a", "a"], lambda v: ["a"]
+    )
+    report = lint_one(make_spec(args=[arg]), partitioner_factory=factory)
+    assert_defect(report, PARTITION_OVERLAP)
+
+
+def test_size_partition_order_detected():
+    # Buckets 2^3 then 2^5 skip 2^4: a traced size in [16, 32) would
+    # fall between partitions.
+    arg = ArgSpec("count", ArgClass.NUMERIC)
+    factory = lambda spec: _FakePartitioner(
+        ["neg", "0", "2^3", "2^5"], lambda v: ["0"]
+    )
+    report = lint_one(make_spec(args=[arg]), partitioner_factory=factory)
+    assert_defect(report, SIZE_PARTITION_ORDER)
+
+
+def test_broken_partitioner_construction_reported():
+    def factory(spec):
+        raise RuntimeError("boom")
+
+    arg = ArgSpec("count", ArgClass.NUMERIC)
+    report = lint_one(make_spec(args=[arg]), partitioner_factory=factory)
+    assert_defect(report, PARTITION_GAP)
+
+
+# -- variant-table defects ----------------------------------------------------
+
+
+def test_dangling_variant_detected():
+    report = lint_registry(
+        {"fake": make_spec()}, variants={"fakeat": "not_registered"}
+    )
+    assert_defect(report, DANGLING_VARIANT)
+
+
+def test_variant_shadows_base_detected():
+    report = lint_registry(
+        {"fake": make_spec()}, variants={"fake": "fake"}
+    )
+    assert_defect(report, VARIANT_SHADOWS_BASE)
+
+
+# -- clean-repo regression ----------------------------------------------------
+
+
+def test_live_registry_lints_clean():
+    report = lint_registry()
+    assert report.errors == [], report.render_text()
+    assert report.warnings == []
+    assert report.exit_code() == 0
+    assert report.stats["syscalls"] == 11
+    assert report.stats["variants"] == 16
+    assert report.stats["args_checked"] == 14
+    assert report.stats["probes"] > 0
+
+
+def test_defect_classes_are_distinct():
+    """The ISSUE acceptance bar: >= 8 distinct detectable classes."""
+    slugs = {
+        UNKNOWN_ERRNO, NONCANONICAL_ERRNO, DUPLICATE_ERRNO,
+        BITMAP_OVERLAP, BITMAP_ZERO_FLAG, BITMAP_DUPLICATE,
+        ZERO_NAME_CONFLICT, ACCESS_NAME_OUT_OF_MASK,
+        CATEGORICAL_COLLISION, PARTITION_OVERLAP, PARTITION_GAP,
+        SIZE_PARTITION_ORDER, DANGLING_VARIANT, VARIANT_SHADOWS_BASE,
+    }
+    assert len(slugs) == 14

@@ -118,3 +118,137 @@ def test_suites_crashmonkey_small(capsys):
     assert main(["suites", "--suite", "crashmonkey", "--scale", "0.02"]) == 0
     out = capsys.readouterr().out
     assert "CrashMonkey" in out and "events" in out
+
+
+# -- uniform exit codes and JSON envelope -------------------------------------
+
+
+def envelope(capsys):
+    data = json.loads(capsys.readouterr().out)
+    assert {"command", "status", "exit_code"} <= set(data)
+    return data
+
+
+def test_usage_error_exits_2(capsys):
+    assert main(["no-such-subcommand"]) == 2
+    assert main([]) == 2
+    capsys.readouterr()
+
+
+def test_help_exits_0(capsys):
+    assert main(["--help"]) == 0
+    capsys.readouterr()
+
+
+def test_internal_error_exits_2(capsys):
+    assert main(["analyze", "/nonexistent/trace.txt"]) == 2
+    err = capsys.readouterr().err
+    assert "repro analyze: error:" in err
+
+
+def test_analyze_json_envelope(trace_file, capsys):
+    assert main(["analyze", trace_file, "--mount", "/mnt/test", "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "analyze"
+    assert data["status"] == "clean"
+    assert data["exit_code"] == 0
+    # Payload keys stay top-level (backward compatibility).
+    assert "input_coverage" in data and "output_coverage" in data
+
+
+def test_compare_json_envelope(trace_file, capsys):
+    assert main(["compare", trace_file, trace_file, "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "compare"
+    assert data["only_a"] == [] and data["only_b"] == []
+
+
+def test_bugstudy_json_envelope(capsys):
+    assert main(["bugstudy", "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "bugstudy"
+    assert data["deviations"] == []
+    assert all(
+        {"name", "count", "total", "percent"} <= set(stat)
+        for stat in data["statistics"]
+    )
+
+
+def test_difftest_json_envelope(capsys):
+    code = main(["difftest", "--rounds", "4", "--ops", "40", "--json"])
+    data = envelope(capsys)
+    assert data["command"] == "difftest"
+    assert code == (0 if data["found_bugs"] else 1)
+    assert data["status"] == ("clean" if code == 0 else "findings")
+
+
+def test_replay_json_envelope(trace_file, capsys):
+    assert main(["replay", trace_file, "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "replay"
+    assert data["faithful"] is True
+    assert data["replayed"] > 0
+
+
+def test_suites_json_envelope(capsys):
+    assert main(["suites", "--suite", "crashmonkey", "--scale", "0.02", "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "suites"
+    (run,) = data["runs"]
+    assert run["suite"] == "CrashMonkey"
+    assert run["events"] > 0
+    assert "input_coverage" in run["coverage"]
+
+
+# -- the static-analysis subcommands ------------------------------------------
+
+
+def test_lint_clean_repo_exits_0(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "speclint: 0 errors" in out
+    assert "reachability: 0 errors" in out
+
+
+def test_lint_json_envelope(capsys):
+    assert main(["lint", "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "lint"
+    assert data["errors"] == 0
+    assert data["warnings"] > 0  # manpage-only errno partitions
+    assert set(data["reports"]) == {"speclint", "reachability"}
+    assert data["reports"]["speclint"]["tool"] == "speclint"
+
+
+def test_predict_text_output(capsys):
+    assert main(["predict", "--suite", "crashmonkey"]) == 0
+    out = capsys.readouterr().out
+    assert "syscall sites" in out
+    assert "open.flags" in out
+    assert "unbounded" in out
+
+
+def test_predict_json_envelope(capsys):
+    assert main(["predict", "--suite", "xfstests", "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "predict"
+    (prediction,) = data["predictions"]
+    assert prediction["suite"] == "xfstests"
+    assert "open.flags" in prediction["partitions"]
+    assert data["comparisons"] == []
+
+
+def test_predict_compare_holds_on_live_suite(capsys):
+    assert (
+        main(
+            [
+                "predict", "--suite", "crashmonkey",
+                "--compare", "--scale", "0.1", "--json",
+            ]
+        )
+        == 0
+    )
+    data = envelope(capsys)
+    (comparison,) = data["comparisons"]
+    assert comparison["errors"] == 0
+    assert comparison["stats"]["violations"] == 0

@@ -144,6 +144,8 @@ class SimWorld:
                 return False, result.errno
             got = sc.read(result.retval, size)
             sc.close(result.retval)
+            if not got.ok:
+                return False, got.errno
             return True, got.retval
         mapping = {
             "truncate": lambda: sc.truncate(path, size),
