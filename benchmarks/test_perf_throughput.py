@@ -3,16 +3,146 @@
 Not a paper artifact — these quantify the reproduction's own costs so
 regressions in the hot paths (event classification, trace parsing,
 syscall dispatch) are visible.
+
+The ``pipeline`` group additionally persists its measurements to
+``BENCH_pipeline.json`` at the repo root (single-thread events/sec,
+parse throughput, per-jobs scaling, streaming peak memory) so CI can
+archive the numbers per commit.
 """
+
+import json
+import os
+import time
+import tracemalloc
 
 import pytest
 
 from repro.core import IOCov
+from repro.parallel import run_sharded
+from repro.trace.events import make_event
 from repro.trace.lttng import LttngParser, LttngWriter
 from repro.trace.strace import StraceParser
 from repro.vfs import constants as C
 from repro.vfs.filesystem import FileSystem
 from repro.vfs.syscalls import SyscallInterface
+
+#: Where the pipeline measurements land (repo root, CI-archived).
+BENCH_FILE = os.path.join(os.path.dirname(__file__), "..", "BENCH_pipeline.json")
+
+#: Pre-PR single-thread analyzer throughput on this benchmark's event
+#: mix (events/sec, reference machine) — kept for historical context;
+#: the enforced bound is the same-run legacy-vs-current ratio below.
+PRE_PR_REFERENCE_EPS = 249_876
+
+
+def _record_bench(key: str, payload: dict) -> None:
+    """Merge one measurement into BENCH_pipeline.json."""
+    document = {}
+    if os.path.exists(BENCH_FILE):
+        with open(BENCH_FILE) as handle:
+            try:
+                document = json.load(handle)
+            except ValueError:
+                document = {}
+    document[key] = payload
+    document["pre_pr_reference_events_per_sec"] = PRE_PR_REFERENCE_EPS
+    with open(BENCH_FILE, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _synthetic_events(count: int):
+    """A 200k-class analyzer workload with a realistic op mix."""
+    events = []
+    flags = (0, 1, 2, 64, 577, 66, 1089)
+    sizes = (0, 1, 511, 4096, 65536, 1_000_000)
+    for i in range(count):
+        op = i % 10
+        pid = 1 + (i % 4)
+        if op < 3:
+            events.append(
+                make_event(
+                    "openat",
+                    {
+                        "dfd": -100,
+                        "pathname": f"/mnt/test/d{i % 13}/f{i % 97}",
+                        "flags": flags[i % len(flags)],
+                        "mode": 0o644,
+                    },
+                    3 + (i % 61),
+                    pid=pid,
+                )
+            )
+        elif op < 6:
+            events.append(
+                make_event(
+                    "write",
+                    {"fd": 3 + (i % 61), "count": sizes[i % len(sizes)]},
+                    sizes[i % len(sizes)],
+                    pid=pid,
+                )
+            )
+        elif op < 8:
+            events.append(
+                make_event(
+                    "read", {"fd": 3 + (i % 61), "count": 4096}, 4096, pid=pid
+                )
+            )
+        elif op == 8:
+            events.append(make_event("close", {"fd": 3 + (i % 61)}, 0, pid=pid))
+        else:
+            events.append(
+                make_event(
+                    "lseek",
+                    {"fd": 3 + (i % 61), "offset": i % 7, "whence": i % 3},
+                    0,
+                    pid=pid,
+                )
+            )
+    return events
+
+
+def _legacy_consume(iocov: IOCov, events) -> None:
+    """The pre-optimization analysis loop, faithfully reproduced.
+
+    Per-event variant normalization (dict copy + plumbing pops),
+    per-record registry lookups, and uncached classification — the
+    algorithm this PR's dispatch tables and memos replaced.  Driving
+    it through the *same* current data structures gives a
+    machine-independent before/after ratio.
+    """
+    filt = iocov.filter
+    filt.path_in_scope = filt._match_path  # defeat the scope memo
+    admit = filt.admit
+    variants = iocov.variants
+    inp, out = iocov.input, iocov.output
+    for event in events:
+        iocov.events_processed += 1
+        if not admit(event):
+            continue
+        iocov.events_admitted += 1
+        normalized = variants.normalize(event)
+        if normalized is None:
+            iocov.untracked[event.name] += 1
+            continue
+        base, args = normalized
+        spec = inp.registry.get(base)
+        if spec is not None:
+            for arg_spec in spec.tracked_args:
+                if arg_spec.name in args:
+                    cov = inp.arg(base, arg_spec.name)
+                    keys = tuple(cov.partitioner.classify(args[arg_spec.name]))
+                    if not keys:
+                        cov.unclassified += 1
+                        continue
+                    for key in keys:
+                        cov.counts[key] += 1
+                    if cov._is_bitmap:
+                        cov.combinations[frozenset(keys)] += 1
+        sout = out._syscalls.get(base)
+        if sout is not None:
+            for key in sout.partitioner.classify(event.retval, event.errno):
+                sout.counts[key] += 1
 
 
 @pytest.mark.benchmark(group="perf")
@@ -57,6 +187,136 @@ def test_perf_strace_parse(benchmark):
 
     events = benchmark(parse)
     assert len(events) == 5000
+
+
+# -- pipeline group: persisted to BENCH_pipeline.json --------------------------
+
+
+@pytest.fixture(scope="module")
+def pipeline_events():
+    return _synthetic_events(200_000)
+
+
+@pytest.fixture(scope="module")
+def pipeline_trace(pipeline_events, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pipeline") / "pipeline.lttng.txt"
+    with open(path, "w") as fh:
+        LttngWriter().write(pipeline_events, fh)
+    return str(path)
+
+
+def test_pipeline_single_thread_speedup(pipeline_events):
+    """Current analysis loop vs the faithful pre-PR loop, same run.
+
+    Acceptance bar: >= 2x on a 200k-event stream.
+    """
+    legacy_iocov = IOCov(mount_point="/mnt/test", suite_name="legacy")
+    start = time.perf_counter()
+    _legacy_consume(legacy_iocov, pipeline_events)
+    legacy_secs = time.perf_counter() - start
+
+    current_iocov = IOCov(mount_point="/mnt/test", suite_name="current")
+    start = time.perf_counter()
+    current_iocov.consume(pipeline_events)
+    current_secs = time.perf_counter() - start
+
+    # same verdicts and tallies, only faster
+    assert current_iocov.events_admitted == legacy_iocov.events_admitted
+    assert (
+        current_iocov.input.arg("open", "flags").counts
+        == legacy_iocov.input.arg("open", "flags").counts
+    )
+
+    count = len(pipeline_events)
+    speedup = legacy_secs / current_secs
+    _record_bench(
+        "single_thread",
+        {
+            "events": count,
+            "legacy_events_per_sec": round(count / legacy_secs),
+            "current_events_per_sec": round(count / current_secs),
+            "speedup_vs_legacy": round(speedup, 2),
+        },
+    )
+    assert speedup >= 2.0, f"single-thread speedup {speedup:.2f}x < 2x"
+
+
+def test_pipeline_parse_throughput(pipeline_trace):
+    start = time.perf_counter()
+    parsed = sum(1 for _ in LttngParser().iter_parse_file(pipeline_trace))
+    secs = time.perf_counter() - start
+    _record_bench(
+        "parse",
+        {"events": parsed, "events_per_sec": round(parsed / secs)},
+    )
+    assert parsed == 200_000
+
+
+def test_pipeline_jobs_scaling(pipeline_trace):
+    """Wall-clock per jobs count; ratios asserted only with >= 4 CPUs.
+
+    Process-pool speedups are meaningless on starved CI runners, so
+    the scaling numbers always land in BENCH_pipeline.json but the
+    2.5x bound is enforced only where the hardware can deliver it.
+    """
+    timings = {}
+    reports = {}
+    for jobs in (1, 2, 4):
+        start = time.perf_counter()
+        reports[jobs] = run_sharded(
+            pipeline_trace,
+            fmt="lttng",
+            jobs=jobs,
+            mount_point="/mnt/test",
+            suite_name="scaling",
+        )
+        timings[jobs] = time.perf_counter() - start
+    # parity across jobs counts, always
+    assert reports[2].to_dict() == reports[1].to_dict()
+    assert reports[4].to_dict() == reports[1].to_dict()
+    cpus = os.cpu_count() or 1
+    _record_bench(
+        "jobs_scaling",
+        {
+            "cpus": cpus,
+            "events": 200_000,
+            "seconds_by_jobs": {str(j): round(t, 3) for j, t in timings.items()},
+            "speedup_4_vs_1": round(timings[1] / timings[4], 2),
+        },
+    )
+    if cpus >= 4:
+        assert timings[1] / timings[4] >= 2.5, (
+            f"--jobs 4 speedup {timings[1] / timings[4]:.2f}x < 2.5x"
+        )
+
+
+def test_pipeline_streaming_memory(pipeline_trace):
+    """Streaming ingestion keeps peak memory O(chunk), not O(trace)."""
+    tracemalloc.start()
+    materialized = LttngParser().parse_file(pipeline_trace)
+    _, eager_peak = tracemalloc.get_traced_memory()
+    del materialized
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    IOCov(mount_point="/mnt/test").consume_stream(
+        LttngParser().iter_parse_file(pipeline_trace), chunk_size=4096
+    )
+    _, streaming_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    _record_bench(
+        "streaming_memory",
+        {
+            "events": 200_000,
+            "chunk_size": 4096,
+            "materialized_peak_bytes": eager_peak,
+            "streaming_peak_bytes": streaming_peak,
+        },
+    )
+    assert streaming_peak < eager_peak / 4, (
+        f"streaming peak {streaming_peak} not O(chunk) vs {eager_peak}"
+    )
 
 
 @pytest.mark.benchmark(group="perf")

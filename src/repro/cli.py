@@ -87,7 +87,19 @@ def _emit_json(command: str, exit_code: int, payload: dict) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    report = _load_report(args.trace, args.format, args.mount, args.name or args.trace)
+    name = args.name or args.trace
+    if args.jobs is not None:
+        from repro.parallel import run_sharded
+
+        report = run_sharded(
+            args.trace,
+            fmt=args.format or _guess_format(args.trace),
+            jobs=args.jobs or None,  # 0 = auto (one worker per CPU)
+            mount_point=args.mount,
+            suite_name=name,
+        )
+    else:
+        report = _load_report(args.trace, args.format, args.mount, name)
     if args.json:
         return _emit_json("analyze", EXIT_CLEAN, report.to_dict())
     print(report.render_text())
@@ -352,6 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--format", choices=sorted(_FORMAT_READERS))
     analyze.add_argument("--mount", help="tester mount point (scoping filter)")
     analyze.add_argument("--name", help="suite label for the report")
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze with N parallel shard workers (results are "
+        "bit-identical to the serial path); 0 = one per CPU",
+    )
     analyze.add_argument("--json", action="store_true", help="dump JSON")
     analyze.add_argument("--syscall", help="print one syscall's tables")
     analyze.add_argument("--arg", help="input argument for --syscall")

@@ -18,23 +18,66 @@ Typical use::
 
 The only per-tester setting is the mount-point regex, exactly as the
 paper claims for the prototype.
+
+Two properties matter for scale (see :mod:`repro.parallel`):
+
+* **streaming** — :meth:`IOCov.consume` pulls from any iterable, and
+  the ``consume_*_file`` readers feed it a parser *generator*, so a
+  multi-GB trace never materializes in memory; :meth:`consume_stream`
+  adds chunked progress reporting on top.
+* **mergeability** — :meth:`IOCov.merge` folds the state of another
+  analyzer in exactly (all underlying tallies are sums), so N shards
+  consumed independently combine into a result bit-identical to one
+  sequential pass.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Mapping
+from itertools import islice
+from typing import Any, Callable, Iterable, Mapping
 
-from repro.core.argspec import BASE_SYSCALLS, SyscallSpec
+from repro.core.argspec import BASE_SYSCALLS, SyscallSpec, TRACKED_SYSCALLS, base_name
 from repro.core.filter import AcceptAllFilter, TraceFilter
 from repro.core.input_coverage import InputCoverage
 from repro.core.output_coverage import OutputCoverage
 from repro.core.report import CoverageReport
-from repro.core.variants import VariantHandler
+from repro.core.variants import CREAT_IMPLIED_FLAGS, VariantHandler
 from repro.trace.events import SyscallEvent
 from repro.trace.lttng import LttngParser
 from repro.trace.strace import StraceParser
 from repro.trace.syzkaller import SyzkallerParser
+
+#: Default chunk size for :meth:`IOCov.consume_stream`.
+DEFAULT_CHUNK_SIZE = 65536
+
+_MISSING = object()
+
+
+def _prep_creat(args: Mapping[str, Any]) -> Mapping[str, Any]:
+    if "flags" in args:
+        return args
+    prepped = dict(args)
+    prepped["flags"] = CREAT_IMPLIED_FLAGS
+    return prepped
+
+
+def _prep_fchdir(args: Mapping[str, Any]) -> Mapping[str, Any]:
+    # The fd stands in for the path identifier.
+    if "fd" not in args or "filename" in args:
+        return args
+    prepped = dict(args)
+    prepped["filename"] = prepped.pop("fd")
+    return prepped
+
+
+#: Variant-specific argument fixups (everything else passes through;
+#: variant plumbing names never collide with tracked argument names,
+#: so dropping them is unnecessary for counting).
+_ARG_PREP: dict[str, Callable[[Mapping[str, Any]], Mapping[str, Any]]] = {
+    "creat": _prep_creat,
+    "fchdir": _prep_fchdir,
+}
 
 
 class IOCov:
@@ -74,6 +117,35 @@ class IOCov:
         self.untracked: Counter = Counter()
         self.events_processed = 0
         self.events_admitted = 0
+        self._build_dispatch()
+
+    def _build_dispatch(self) -> None:
+        """Precompute the per-syscall counting plan.
+
+        One dict lookup per event replaces the per-event variant
+        normalization (dict copy + plumbing pops) and the per-record
+        registry lookups of the naive path.  Dispatch covers exactly
+        the 27 traced names; a name missing from the table is counted
+        ``untracked``, mirroring :class:`VariantHandler` returning None.
+        """
+        self._dispatch: dict[str, tuple] = {}
+        input_registry = self.input.registry
+        for name in TRACKED_SYSCALLS:
+            base = base_name(name)
+            spec = input_registry.get(base)
+            if spec is not None:
+                pairs = tuple(
+                    (arg.name, self.input.arg(base, arg.name).record)
+                    for arg in spec.tracked_args
+                )
+                out_record = self.output.syscall(base).record
+            else:
+                # Variant of a base outside a custom registry: admitted
+                # and normalized but contributes no counts (and is not
+                # "untracked" — it is one of the 27 tracked names).
+                pairs = ()
+                out_record = None
+            self._dispatch[name] = (_ARG_PREP.get(name), pairs, out_record)
 
     # -- ingestion ------------------------------------------------------------
 
@@ -82,33 +154,127 @@ class IOCov:
         self.events_processed += 1
         if not prefiltered and not self.filter.admit(event):
             return
+        self.count_admitted(event)
+
+    def count_admitted(self, event: SyscallEvent) -> None:
+        """Count one event that already passed (or bypassed) the filter.
+
+        Increments ``events_admitted`` but not ``events_processed`` —
+        the entry point the sharded fixup replay uses for deferred
+        events whose processing was already tallied by a worker.
+        """
         self.events_admitted += 1
-        normalized = self.variants.normalize(event)
-        if normalized is None:
+        entry = self._dispatch.get(event.name)
+        if entry is None:
             self.untracked[event.name] += 1
             return
-        base, args = normalized
-        self.input.record(base, args)
-        self.output.record(base, event.retval, event.errno)
+        prep, pairs, out_record = entry
+        args = event.args if prep is None else prep(event.args)
+        for arg_name, arg_record in pairs:
+            value = args.get(arg_name, _MISSING)
+            if value is not _MISSING:
+                arg_record(value)
+        if out_record is not None:
+            out_record(event.retval, event.errno)
+
+    def _ingest(self, events: Iterable[SyscallEvent]) -> None:
+        """Hot loop: filter + dispatch-table counting, no reset."""
+        admit = self.filter.admit
+        dispatch_get = self._dispatch.get
+        untracked = self.untracked
+        processed = 0
+        admitted = 0
+        for event in events:
+            processed += 1
+            if not admit(event):
+                continue
+            admitted += 1
+            entry = dispatch_get(event.name)
+            if entry is None:
+                untracked[event.name] += 1
+                continue
+            prep, pairs, out_record = entry
+            args = event.args if prep is None else prep(event.args)
+            for arg_name, arg_record in pairs:
+                value = args.get(arg_name, _MISSING)
+                if value is not _MISSING:
+                    arg_record(value)
+            if out_record is not None:
+                out_record(event.retval, event.errno)
+        self.events_processed += processed
+        self.events_admitted += admitted
 
     def consume(self, events: Iterable[SyscallEvent]) -> "IOCov":
-        """Feed many events; returns self for chaining."""
+        """Feed many events; returns self for chaining.
+
+        *events* may be any iterable, including a lazy parser
+        generator — it is consumed strictly one event at a time.
+        """
         self.filter.reset()
-        for event in events:
-            self.consume_event(event)
+        self._ingest(events)
+        return self
+
+    def consume_stream(
+        self,
+        events: Iterable[SyscallEvent],
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        progress: Callable[[int], None] | None = None,
+    ) -> "IOCov":
+        """Chunked streaming ingestion with optional progress callbacks.
+
+        Identical results to :meth:`consume`; at most *chunk_size*
+        events are materialized at any moment, so peak memory stays
+        O(chunk) regardless of trace size.  *progress* (if given) is
+        called with the running ``events_processed`` after each chunk.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.filter.reset()
+        iterator = iter(events)
+        while True:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                break
+            self._ingest(chunk)
+            if progress is not None:
+                progress(self.events_processed)
         return self
 
     def consume_lttng_file(self, path: str) -> "IOCov":
-        """Ingest a babeltrace-style text trace from disk."""
-        return self.consume(LttngParser().parse_file(path))
+        """Ingest a babeltrace-style text trace from disk (streaming)."""
+        return self.consume(LttngParser().iter_parse_file(path))
 
     def consume_strace_file(self, path: str) -> "IOCov":
-        """Ingest an strace text capture from disk."""
-        return self.consume(StraceParser().parse_file(path))
+        """Ingest an strace text capture from disk (streaming)."""
+        return self.consume(StraceParser().iter_parse_file(path))
 
     def consume_syzkaller_file(self, path: str) -> "IOCov":
         """Ingest a syzkaller program log (input coverage only)."""
-        return self.consume(SyzkallerParser().parse_file(path))
+        return self.consume(SyzkallerParser().iter_parse_file(path))
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "IOCov") -> "IOCov":
+        """Fold another analyzer's coverage state into this one.
+
+        Exact: every underlying tally is a sum (partition counts, flag
+        combinations, unclassified, untracked, event counters), so
+        merging N independently-consumed shards is bit-identical to one
+        sequential pass over the concatenated stream — *provided* the
+        shards were filtered equivalently (see :mod:`repro.parallel`
+        for the machinery that guarantees this for stateful mount-point
+        filters).  Filter state itself is not merged.
+
+        Raises:
+            ValueError: the analyzers use different registries.
+        """
+        self.input.merge(other.input)
+        self.output.merge(other.output)
+        self.untracked.update(other.untracked)
+        self.events_processed += other.events_processed
+        self.events_admitted += other.events_admitted
+        return self
 
     # -- results ------------------------------------------------------------
 

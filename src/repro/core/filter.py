@@ -28,6 +28,9 @@ _OPEN_LIKE = {"open": "pathname", "openat": "pathname", "openat2": "pathname", "
 #: Events that carry an fd and inherit relevance from the fd's origin.
 _FD_ARGS = ("fd", "dfd")
 
+#: Argument names a path can travel under for non-open syscalls.
+_PATH_KEYS = ("pathname", "path", "filename", "oldpath", "linkpath")
+
 #: Events with neither path nor fd (sync covers the whole system).
 _GLOBAL_EVENTS = frozenset({"sync"})
 
@@ -45,6 +48,9 @@ class TraceFilter:
             a relevant input/output record; default True.
     """
 
+    #: Cap on the path -> in-scope decision memo (paths repeat heavily).
+    SCOPE_CACHE_CAP = 65536
+
     def __init__(
         self,
         include: str | Pattern[str],
@@ -58,6 +64,7 @@ class TraceFilter:
         self.keep_global = keep_global
         self.keep_failed_opens = keep_failed_opens
         self._live_fds: dict[int, set[int]] = {}
+        self._scope_cache: dict[str, bool] = {}
         self.dropped = 0
 
     @classmethod
@@ -68,10 +75,29 @@ class TraceFilter:
 
     # -- path matching -----------------------------------------------------
 
-    def path_in_scope(self, path: str) -> bool:
+    def _match_path(self, path: str) -> bool:
+        """Uncached regex decision (the pure function the memo caches)."""
         if self.exclude is not None and self.exclude.search(path):
             return False
         return bool(self.include.search(path))
+
+    def path_in_scope(self, path: str) -> bool:
+        cached = self._scope_cache.get(path)
+        if cached is None:
+            cached = self._match_path(path)
+            if len(self._scope_cache) < self.SCOPE_CACHE_CAP:
+                self._scope_cache[path] = cached
+        return cached
+
+    # -- fd-table introspection (used by the sharded fixup replay) -----------
+
+    def register_fd(self, pid: int, fd: int) -> None:
+        """Mark *fd* live for *pid*, as a matching open would."""
+        self._fds_for(pid).add(fd)
+
+    def retire_fd(self, pid: int, fd: int) -> None:
+        """Drop *fd* from *pid*'s live table, as a tracked close would."""
+        self._fds_for(pid).discard(fd)
 
     # -- event filtering ----------------------------------------------------
 
@@ -80,50 +106,53 @@ class TraceFilter:
 
     def admit(self, event: SyscallEvent) -> bool:
         """Decide one event, updating fd-tracking state."""
-        fds = self._fds_for(event.pid)
+        name = event.name
+        args = event.args
+        fds = self._live_fds.setdefault(event.pid, set())
 
-        if event.name in _OPEN_LIKE:
-            path = event.arg(_OPEN_LIKE[event.name])
-            if path is None and not event.ok:
+        path_arg = _OPEN_LIKE.get(name)
+        if path_arg is not None:
+            path = args.get(path_arg)
+            if path is None and event.retval < 0:
                 # NULL-pointer path (EFAULT): the record carries no path
                 # to scope by, so it cannot be attributed away from the
                 # tester; keep it like any other failed open.
                 return self.keep_failed_opens
             relevant = isinstance(path, str) and self.path_in_scope(path)
-            if relevant and event.ok:
+            if relevant and event.retval >= 0:
                 fds.add(event.retval)
-            if relevant and not event.ok:
+            if relevant and event.retval < 0:
                 return self.keep_failed_opens
             return relevant
 
-        if event.name == "close":
-            fd = event.arg("fd")
+        if name == "close":
+            fd = args.get("fd")
             if isinstance(fd, int) and fd in fds:
                 fds.discard(fd)
                 return True
             return False
 
-        if event.name in ("dup", "dup2"):
+        if name in ("dup", "dup2"):
             # A duplicate of a tracked fd is itself tracked.
-            source = event.arg("fildes" if event.name == "dup" else "oldfd")
+            source = args.get("fildes" if name == "dup" else "oldfd")
             if isinstance(source, int) and source in fds:
-                if event.ok:
+                if event.retval >= 0:
                     fds.add(event.retval)
                 return True
             return False
 
         # chdir-style: path argument under other names.
-        for key in ("pathname", "path", "filename", "oldpath", "linkpath"):
-            value = event.arg(key)
+        for key in _PATH_KEYS:
+            value = args.get(key)
             if isinstance(value, str):
                 return self.path_in_scope(value)
 
         for key in _FD_ARGS:
-            fd = event.arg(key)
+            fd = args.get(key)
             if isinstance(fd, int):
                 return fd in fds
 
-        if event.name in _GLOBAL_EVENTS:
+        if name in _GLOBAL_EVENTS:
             return self.keep_global
         return False
 

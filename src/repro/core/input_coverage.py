@@ -18,6 +18,16 @@ from repro.core.argspec import ArgClass, ArgSpec, BASE_SYSCALLS, SyscallSpec
 from repro.core.partition import BitmapPartitioner, make_input_partitioner
 
 
+#: Cap on per-argument classification caches.  Flag words and size
+#: values repeat massively across a trace, so a memo on
+#: ``value -> partition keys`` eliminates most classify work; the cap
+#: bounds memory on adversarial traces (cache simply stops growing).
+CLASSIFY_CACHE_CAP = 65536
+
+#: Cache-miss sentinel (``None`` is a legitimate traced value).
+_MISS = object()
+
+
 @dataclass
 class ArgCoverage:
     """Coverage state for one (base syscall, argument) pair."""
@@ -31,16 +41,65 @@ class ArgCoverage:
     #: values that failed to classify (wrong type in a malformed trace)
     unclassified: int = 0
 
+    def __post_init__(self) -> None:
+        self._is_bitmap = isinstance(self.partitioner, BitmapPartitioner)
+        # value -> (keys, combo-or-None); keyed by (type, value) so that
+        # e.g. a stray 1.0 never aliases the int 1 entry.
+        self._classify_cache: dict = {}
+
+    def __getstate__(self) -> dict:
+        # The classify memo is derived state; shipping it between
+        # shard workers and the parent would waste IPC bandwidth.
+        state = self.__dict__.copy()
+        state["_classify_cache"] = {}
+        return state
+
+    def _classified(self, value: Any) -> tuple[tuple[str, ...], frozenset | None]:
+        """Classify *value*, memoized on hashable values."""
+        try:
+            cache_key = (value.__class__, value)
+            entry = self._classify_cache.get(cache_key, _MISS)
+        except TypeError:  # unhashable (iovec length lists) — no memo
+            keys = tuple(self.partitioner.classify(value))
+            combo = frozenset(keys) if (keys and self._is_bitmap) else None
+            return keys, combo
+        if entry is _MISS:
+            keys = tuple(self.partitioner.classify(value))
+            combo = frozenset(keys) if (keys and self._is_bitmap) else None
+            entry = (keys, combo)
+            if len(self._classify_cache) < CLASSIFY_CACHE_CAP:
+                self._classify_cache[cache_key] = entry
+        return entry
+
     def record(self, value: Any) -> None:
         """Credit *value*'s partitions with one occurrence."""
-        keys = self.partitioner.classify(value)
+        keys, combo = self._classified(value)
         if not keys:
             self.unclassified += 1
             return
+        counts = self.counts
         for key in keys:
-            self.counts[key] += 1
-        if isinstance(self.partitioner, BitmapPartitioner):
-            self.combinations[frozenset(keys)] += 1
+            counts[key] += 1
+        if combo is not None:
+            self.combinations[combo] += 1
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "ArgCoverage") -> "ArgCoverage":
+        """Fold another shard's state into this one (exact: counts add).
+
+        Raises:
+            ValueError: the two states track different arguments.
+        """
+        if (self.syscall, self.spec.name) != (other.syscall, other.spec.name):
+            raise ValueError(
+                f"cannot merge {other.syscall}.{other.spec.name} "
+                f"into {self.syscall}.{self.spec.name}"
+            )
+        self.counts.update(other.counts)
+        self.combinations.update(other.combinations)
+        self.unclassified += other.unclassified
+        return self
 
     # -- queries ------------------------------------------------------------
 
@@ -49,20 +108,30 @@ class ArgCoverage:
 
     def frequencies(self) -> dict[str, int]:
         """Count per domain partition (0 for untested), domain order."""
-        return {key: self.counts.get(key, 0) for key in self.domain()}
+        counts_get = self.counts.get
+        return {key: counts_get(key, 0) for key in self.domain()}
+
+    def partition_status(self) -> tuple[list[str], list[str]]:
+        """``(tested, untested)`` partition keys from one frequency pass."""
+        tested: list[str] = []
+        untested: list[str] = []
+        for key, count in self.frequencies().items():
+            (tested if count > 0 else untested).append(key)
+        return tested, untested
 
     def tested_partitions(self) -> list[str]:
-        return [key for key, count in self.frequencies().items() if count > 0]
+        return self.partition_status()[0]
 
     def untested_partitions(self) -> list[str]:
-        return [key for key, count in self.frequencies().items() if count == 0]
+        return self.partition_status()[1]
 
     def coverage_ratio(self) -> float:
         """Fraction of domain partitions exercised at least once."""
-        domain = self.domain()
-        if not domain:
+        tested, untested = self.partition_status()
+        total = len(tested) + len(untested)
+        if not total:
             return 1.0
-        return len(self.tested_partitions()) / len(domain)
+        return len(tested) / total
 
     @property
     def total_observations(self) -> int:
@@ -129,6 +198,26 @@ class InputCoverage:
             if arg_spec.name in args:
                 self._args[(base, arg_spec.name)].record(args[arg_spec.name])
 
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "InputCoverage") -> "InputCoverage":
+        """Fold another shard's input-coverage state into this one.
+
+        Exact by construction: per-partition counts, flag-combination
+        multisets, and unclassified tallies all add, so merging N
+        independently-consumed shards reproduces the single-pass state
+        bit for bit.
+
+        Raises:
+            ValueError: the two states track different (syscall, arg)
+                pairs (built from different registries).
+        """
+        if set(self._args) != set(other._args):
+            raise ValueError("cannot merge input coverage over different registries")
+        for pair, coverage in self._args.items():
+            coverage.merge(other._args[pair])
+        return self
+
     # -- queries ------------------------------------------------------------
 
     def arg(self, syscall: str, arg_name: str) -> ArgCoverage:
@@ -144,11 +233,12 @@ class InputCoverage:
 
     def all_untested(self) -> dict[tuple[str, str], list[str]]:
         """Untested input partitions for every tracked argument."""
-        return {
-            pair: coverage.untested_partitions()
-            for pair, coverage in sorted(self._args.items())
-            if coverage.untested_partitions()
-        }
+        result: dict[tuple[str, str], list[str]] = {}
+        for pair, coverage in sorted(self._args.items()):
+            untested = coverage.partition_status()[1]
+            if untested:
+                result[pair] = untested
+        return result
 
     def summary(self) -> dict[tuple[str, str], float]:
         """Coverage ratio per tracked argument."""

@@ -23,6 +23,11 @@ from repro.core.argspec import BASE_SYSCALLS, SyscallSpec
 from repro.core.partition import OK_KEY, OutputPartitioner
 
 
+#: Cap on the per-syscall (retval, errno) -> keys memo; retvals repeat
+#: heavily (fd numbers, common byte counts), so most records hit.
+_OUTPUT_CACHE_CAP = 65536
+
+
 @dataclass
 class SyscallOutputCoverage:
     """Output-coverage state for one base syscall."""
@@ -32,9 +37,34 @@ class SyscallOutputCoverage:
     partitioner: OutputPartitioner
     counts: Counter = field(default_factory=Counter)
 
+    def __post_init__(self) -> None:
+        self._classify_cache: dict[tuple[int, int], tuple[str, ...]] = {}
+
+    def __getstate__(self) -> dict:
+        # Derived state: don't ship the memo across process boundaries.
+        state = self.__dict__.copy()
+        state["_classify_cache"] = {}
+        return state
+
     def record(self, retval: int, errno: int = 0) -> None:
-        for key in self.partitioner.classify(retval, errno):
-            self.counts[key] += 1
+        cache_key = (retval, errno)
+        keys = self._classify_cache.get(cache_key)
+        if keys is None:
+            keys = tuple(self.partitioner.classify(retval, errno))
+            if len(self._classify_cache) < _OUTPUT_CACHE_CAP:
+                self._classify_cache[cache_key] = keys
+        counts = self.counts
+        for key in keys:
+            counts[key] += 1
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "SyscallOutputCoverage") -> "SyscallOutputCoverage":
+        """Fold another shard's state into this one (exact: counts add)."""
+        if self.syscall != other.syscall:
+            raise ValueError(f"cannot merge {other.syscall} into {self.syscall}")
+        self.counts.update(other.counts)
+        return self
 
     # -- queries ------------------------------------------------------------
 
@@ -106,6 +136,23 @@ class OutputCoverage:
         coverage = self._syscalls.get(base)
         if coverage is not None:
             coverage.record(retval, errno)
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "OutputCoverage") -> "OutputCoverage":
+        """Fold another shard's output-coverage state into this one.
+
+        Exact: per-partition counts add, so shard merges reproduce the
+        single-pass state bit for bit.
+
+        Raises:
+            ValueError: the two states track different syscalls.
+        """
+        if set(self._syscalls) != set(other._syscalls):
+            raise ValueError("cannot merge output coverage over different registries")
+        for name, coverage in self._syscalls.items():
+            coverage.merge(other._syscalls[name])
+        return self
 
     # -- queries ------------------------------------------------------------
 

@@ -141,7 +141,7 @@ class DifferentialTester:
             report.rounds += 1
             # What has the reference system's trace covered so far?
             iocov = IOCov(mount_point=self.mount_point, suite_name="difftest")
-            iocov.consume(self._recorder.events)
+            iocov.consume(self._recorder.iter_events())
             coverage = iocov.input
             before = sum(
                 len(gaps) for gaps in coverage.all_untested().values()
@@ -164,7 +164,7 @@ class DifferentialTester:
                         Divergence(op.target, ref_outcome, sut_outcome)
                     )
             iocov = IOCov(mount_point=self.mount_point, suite_name="difftest")
-            coverage = iocov.consume(self._recorder.events).input
+            coverage = iocov.consume(self._recorder.iter_events()).input
             after = sum(len(gaps) for gaps in coverage.all_untested().values())
             report.partitions_opened += max(0, before - after)
             if after == before:

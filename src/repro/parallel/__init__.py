@@ -1,0 +1,37 @@
+"""Parallel sharded trace analysis with exact sequential parity.
+
+The scale story for the analyzer: a trace file is split into
+line-aligned byte spans, each span is analyzed independently (own
+process, own parser, own shard-local filter), and the per-shard
+coverage states are stitched and merged into a report bit-identical
+to a single sequential pass — the merge is exact because every
+coverage tally is a sum, and the stateful parts (mount-point fd
+tracking, LTTng entry/exit pairing) are reconciled by a replay of the
+small cross-shard residue each worker reports.
+
+Entry points:
+
+* :func:`run_sharded` — file in, report out, ``jobs`` workers.
+* ``repro analyze --jobs N`` — the same, from the command line.
+"""
+
+from repro.parallel.executor import (
+    ShardAmbiguityError,
+    run_sharded,
+    tree_merge,
+)
+from repro.parallel.shardfilter import ShardFilter
+from repro.parallel.sharding import iter_span_lines, shard_spans
+from repro.parallel.worker import ShardResult, ShardTask, analyze_shard
+
+__all__ = [
+    "ShardAmbiguityError",
+    "ShardFilter",
+    "ShardResult",
+    "ShardTask",
+    "analyze_shard",
+    "iter_span_lines",
+    "run_sharded",
+    "shard_spans",
+    "tree_merge",
+]

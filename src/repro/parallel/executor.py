@@ -1,0 +1,266 @@
+"""Sharded trace analysis: fan out, stitch, merge — exactly.
+
+:func:`run_sharded` splits a trace file into line-aligned byte spans,
+analyzes each span in a worker process (parse → shard-local filter →
+count), then combines the shard states into a report **bit-identical**
+to a sequential pass.  Exactness rests on three mechanisms:
+
+1. **Counter merging** — every coverage tally is a sum, so shard
+   states fold together losslessly (:meth:`ShardResult.merge`,
+   tree-reduced).
+2. **Filter fixup replay** — events a shard could not decide locally
+   (they hinge on pre-shard fd state) were deferred; the parent
+   replays each shard's op log, deferred events, and boundary pairs in
+   stream order against a real :class:`TraceFilter`, reconstructing
+   the exact sequential fd table at every decision point.
+3. **LTTng boundary stitching** — exit lines orphaned by a shard cut
+   are paired with entry lines carried over from earlier shards.  When
+   shard-local pairing *might* have diverged from sequential FIFO
+   pairing (carried entries still queued when a shard paired locally),
+   the executor detects it and falls back to a sequential pass rather
+   than return an inexact result.
+
+The fallback path means the parity guarantee is unconditional; the
+fast path merely becomes the common case (real traces pair entry and
+exit lines adjacently, so carried queues drain immediately).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+from collections import defaultdict, deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.core.analyzer import IOCov
+from repro.core.report import CoverageReport
+from repro.parallel.shardfilter import OP_ADD
+from repro.parallel.sharding import DEFAULT_MIN_SHARD_BYTES, shard_spans
+from repro.parallel.worker import (
+    FORMATS,
+    ShardResult,
+    ShardTask,
+    analyze_shard,
+)
+from repro.trace.lttng import LttngParser, pair_event
+from repro.trace.strace import StraceParser
+from repro.trace.syzkaller import SyzkallerParser, scan_resource_bindings
+
+_PARSERS = {
+    "lttng": LttngParser,
+    "strace": StraceParser,
+    "syzkaller": SyzkallerParser,
+}
+
+
+class ShardAmbiguityError(RuntimeError):
+    """Shard-local LTTng pairing may differ from the sequential pairing.
+
+    Raised during the stitch phase when a shard paired an exit with a
+    local entry while entries carried over from earlier shards were
+    still queued for the same (pid, syscall) — sequential FIFO pairing
+    would have consumed the carried entry instead.  The executor
+    answers by re-running sequentially; results stay exact.
+    """
+
+
+def run_sharded(
+    path: str,
+    *,
+    fmt: str = "lttng",
+    jobs: int | None = None,
+    mount_point: str | None = None,
+    suite_name: str | None = None,
+    inline: bool = False,
+    min_shard_bytes: int = DEFAULT_MIN_SHARD_BYTES,
+) -> CoverageReport:
+    """Analyze *path* with up to *jobs* workers; exact parity guaranteed.
+
+    Args:
+        path: trace file (LTTng text, strace, or syzkaller format).
+        fmt: one of ``lttng`` / ``strace`` / ``syzkaller``.
+        jobs: worker count; defaults to the machine's CPU count.
+        mount_point: tester mount point for the scoping filter (same
+            meaning as :class:`IOCov`'s); None accepts everything.
+        suite_name: report label; defaults to *path*.
+        inline: run shards in-process instead of a process pool —
+            deterministic single-process mode for tests and debugging.
+        min_shard_bytes: floor on shard size; small files get fewer
+            shards rather than micro-shards.
+
+    Returns:
+        A :class:`CoverageReport` bit-identical to the sequential
+        ``IOCov(...).consume_<fmt>_file(path).report()``.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown trace format: {fmt!r}")
+    suite = suite_name if suite_name is not None else path
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    spans = shard_spans(path, jobs, min_shard_bytes=min_shard_bytes)
+    if len(spans) <= 1:
+        return _run_sequential(path, fmt, mount_point, suite)
+
+    if fmt == "syzkaller":
+        snapshots = _syzkaller_snapshots(path, [start for start, _ in spans])
+    else:
+        snapshots = [None] * len(spans)
+    tasks = [
+        ShardTask(
+            index=index,
+            path=path,
+            start=start,
+            end=end,
+            fmt=fmt,
+            mount_point=mount_point,
+            resources=snapshots[index],
+        )
+        for index, (start, end) in enumerate(spans)
+    ]
+
+    if inline:
+        results = [analyze_shard(task) for task in tasks]
+    else:
+        results = _run_pool(tasks)
+
+    try:
+        combined = _stitch_and_merge(results, mount_point, suite)
+    except ShardAmbiguityError:
+        return _run_sequential(path, fmt, mount_point, suite)
+    return combined.report()
+
+
+def _run_pool(tasks: list[ShardTask]) -> list[ShardResult]:
+    """Fan tasks out to a process pool; degrade to inline on failure.
+
+    Fork start is preferred (no re-import cost); environments that
+    forbid subprocesses entirely still work — the shards just run
+    in-process.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=len(tasks), mp_context=context
+        ) as pool:
+            return list(pool.map(analyze_shard, tasks))
+    except (OSError, PermissionError):
+        return [analyze_shard(task) for task in tasks]
+
+
+def _run_sequential(
+    path: str, fmt: str, mount_point: str | None, suite: str
+) -> CoverageReport:
+    """The reference path: one streaming pass (also the fallback)."""
+    iocov = IOCov(mount_point=mount_point, suite_name=suite)
+    parser = _PARSERS[fmt]()
+    return iocov.consume_stream(parser.iter_parse_file(path)).report()
+
+
+def _syzkaller_snapshots(path: str, starts: list[int]) -> list[dict[str, int]]:
+    """Resource table at each shard start, via one cheap text pre-scan.
+
+    Syzkaller's ``rN`` bindings allocate placeholder fds sequentially,
+    so a shard parsing mid-file needs the bindings every earlier line
+    established.  Scanning just the binding pattern is far cheaper
+    than full parsing and keeps the parallel speedup worthwhile.
+    """
+    snapshots: list[dict[str, int]] = [{}]
+    resources: dict[str, int] = {}
+    offset = 0
+    next_cut = 1
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if next_cut >= len(starts):
+                break
+            if offset >= starts[next_cut]:
+                snapshots.append(dict(resources))
+                next_cut += 1
+                if next_cut >= len(starts):
+                    break
+            scan_resource_bindings(raw.decode("utf-8"), resources)
+            offset += len(raw)
+    while len(snapshots) < len(starts):
+        snapshots.append(dict(resources))
+    return snapshots
+
+
+def tree_merge(results: list[ShardResult]) -> ShardResult:
+    """Pairwise-reduce shard results: O(log n) merge depth."""
+    items = list(results)
+    if not items:
+        raise ValueError("no shard results to merge")
+    while len(items) > 1:
+        merged: list[ShardResult] = []
+        for i in range(0, len(items) - 1, 2):
+            merged.append(items[i].merge(items[i + 1]))
+        if len(items) % 2:
+            merged.append(items[-1])
+        items = merged
+    return items[0]
+
+
+def _stitch_and_merge(
+    results: list[ShardResult], mount_point: str | None, suite: str
+) -> IOCov:
+    """Replay the cross-shard residue, then fold all tallies together.
+
+    The fixup analyzer's real filter is driven through the exact
+    sequence of fd-table mutations the sequential run would perform:
+    shard op logs, deferred-event decisions, and stitched boundary
+    events, interleaved in stream order by their sequence numbers.
+    """
+    fixup = IOCov(mount_point=mount_point, suite_name=suite)
+    real = fixup.filter
+    carried: dict[tuple[int, str], deque] = defaultdict(deque)
+
+    for result in sorted(results, key=lambda r: r.index):
+        # Prove shard-local pairing matched sequential FIFO pairing:
+        # every carried entry for a key must have been consumed by
+        # orphan exits before the shard's first local pair of that key.
+        for key, orphans_before in result.first_pair_orphans.items():
+            if len(carried[key]) > orphans_before:
+                raise ShardAmbiguityError(
+                    f"carried entries for {key} still queued at a local pair"
+                )
+
+        records = heapq.merge(
+            ((seq, 0, payload) for seq, *payload in result.ops),
+            ((seq, 1, payload) for seq, payload in result.orphans),
+            ((seq, 2, payload) for seq, payload in result.deferred),
+            key=lambda record: record[0],
+        )
+        for _seq, tag, payload in records:
+            if tag == 0:  # definite fd-table mutation from the shard
+                pid, op, fd = payload
+                if op == OP_ADD:
+                    real.register_fd(pid, fd)
+                else:
+                    real.retire_fd(pid, fd)
+            elif tag == 1:  # orphan exit: pair with a carried entry
+                ns, name, pid, comm, fields = payload
+                queue = carried[(pid, name)]
+                if queue:
+                    entry_ns, entry_comm, args = queue.popleft()
+                    event = pair_event(
+                        name, args, fields, pid, entry_comm or comm, entry_ns
+                    )
+                    fixup.consume_event(event)
+                # else: exit with no entry anywhere before it — the
+                # sequential parser skips it too.
+            else:  # deferred event: decide against the true fd state
+                if real.admit(payload):
+                    fixup.count_admitted(payload)
+
+        for key, entries in result.pending.items():
+            carried[key].extend(entries)
+
+    top = tree_merge(results)
+    fixup.input.merge(top.input)
+    fixup.output.merge(top.output)
+    fixup.untracked.update(top.untracked)
+    fixup.events_processed += top.events_processed
+    fixup.events_admitted += top.events_admitted
+    return fixup

@@ -1,0 +1,167 @@
+"""Per-shard analysis: parse → filter → count, with stitch residue.
+
+A worker consumes one byte span of the trace file and produces a
+:class:`ShardResult` — its coverage tallies plus everything the parent
+needs to make the combined result *bit-identical* to a sequential
+pass:
+
+* the :class:`~repro.parallel.shardfilter.ShardFilter` op log and
+  deferred events (stateful mount-point filtering across shards);
+* LTTng pairing residue: orphan exit lines (entry in an earlier
+  shard) and pending entry lines (exit in a later shard), plus the
+  per-key diagnostics the parent uses to prove local pairing was
+  position-exact.
+
+Every record in the shard gets a sequence number (``seq``) in stream
+order; ops, deferred events, and orphans all carry their seq so the
+parent can interleave its fixup replay at exactly the right points.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.analyzer import IOCov
+from repro.core.filter import TraceFilter
+from repro.core.input_coverage import InputCoverage
+from repro.core.output_coverage import OutputCoverage
+from repro.parallel.shardfilter import FdOp, ShardFilter
+from repro.parallel.sharding import iter_span_lines
+from repro.trace.events import SyscallEvent
+from repro.trace.lttng import LttngParser, OrphanExit
+from repro.trace.strace import StraceParser
+from repro.trace.syzkaller import SyzkallerParser
+
+#: Trace formats the sharded pipeline understands.
+FORMATS = ("lttng", "strace", "syzkaller")
+
+#: (pid, name) -> pending LTTng entries (ns, comm, args), stream order.
+PendingMap = dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs; must stay cheaply picklable."""
+
+    index: int
+    path: str
+    start: int
+    end: int
+    fmt: str
+    mount_point: str | None
+    #: syzkaller resource table at the shard's first line (from the
+    #: executor's sequential pre-scan); None for other formats.
+    resources: dict[str, int] | None = None
+
+
+@dataclass
+class ShardResult:
+    """One shard's tallies plus the residue the stitch phase consumes."""
+
+    index: int
+    input: InputCoverage
+    output: OutputCoverage
+    untracked: Counter
+    events_processed: int
+    events_admitted: int
+    #: definite fd-table mutations, (seq, pid, op, fd), stream order
+    ops: list[FdOp] = field(default_factory=list)
+    #: events whose filter verdict needs pre-shard fd state
+    deferred: list[tuple[int, SyscallEvent]] = field(default_factory=list)
+    #: LTTng exit lines whose entries live in an earlier shard
+    orphans: list[tuple[int, OrphanExit]] = field(default_factory=list)
+    #: LTTng entry lines whose exits live in a later shard
+    pending: PendingMap = field(default_factory=dict)
+    #: (pid, name) -> orphan exits seen before the first *local* pair
+    #: for that key; the parent proves local pairing exact by checking
+    #: the carried-over entry queue was drained by then.
+    first_pair_orphans: dict[tuple[int, str], int] = field(default_factory=dict)
+
+    def merge(self, other: "ShardResult") -> "ShardResult":
+        """Fold another shard's coverage tallies in (exact: sums).
+
+        Only the mergeable tallies combine — stitch residue (ops,
+        deferred, orphans, pending) is consumed separately by the
+        parent and is not carried through merges.
+        """
+        self.input.merge(other.input)
+        self.output.merge(other.output)
+        self.untracked.update(other.untracked)
+        self.events_processed += other.events_processed
+        self.events_admitted += other.events_admitted
+        return self
+
+
+def _feed(iocov: IOCov, shard_filter: ShardFilter | None, seq: int, event: SyscallEvent) -> None:
+    """Route one event: count locally-admitted, tally the rest.
+
+    Deferred events count as *processed* here (the worker saw them);
+    the parent's replay adds only the admitted/coverage side, via
+    :meth:`IOCov.count_admitted`.
+    """
+    if shard_filter is None:
+        iocov.consume_event(event, prefiltered=True)
+        return
+    if shard_filter.admit_local(seq, event) is True:
+        iocov.consume_event(event, prefiltered=True)
+    else:
+        iocov.events_processed += 1
+
+
+def analyze_shard(task: ShardTask) -> ShardResult:
+    """Analyze one byte span of the trace file (runs in a worker)."""
+    if task.fmt not in FORMATS:
+        raise ValueError(f"unknown trace format: {task.fmt!r}")
+    iocov = IOCov(suite_name=f"shard-{task.index}")
+    shard_filter = (
+        ShardFilter(TraceFilter.for_mount_point(task.mount_point))
+        if task.mount_point is not None
+        else None
+    )
+    lines = iter_span_lines(task.path, task.start, task.end)
+
+    orphans: list[tuple[int, OrphanExit]] = []
+    pending: PendingMap = {}
+    first_pair_orphans: dict[tuple[int, str], int] = {}
+
+    if task.fmt == "lttng":
+        parser = LttngParser()
+        orphan_seen: dict[tuple[int, str], int] = {}
+        seq = 0
+        for kind, payload in parser.parse_records(lines):
+            if kind == "orphan":
+                ns, name, pid, comm, fields = payload
+                key = (pid, name)
+                orphan_seen[key] = orphan_seen.get(key, 0) + 1
+                orphans.append((seq, payload))
+            else:
+                event = payload
+                key = (event.pid, event.name)
+                if key not in first_pair_orphans:
+                    first_pair_orphans[key] = orphan_seen.get(key, 0)
+                _feed(iocov, shard_filter, seq, event)
+            seq += 1
+        pending = parser.pending_entries
+    elif task.fmt == "strace":
+        for seq, event in enumerate(StraceParser().parse(lines)):
+            _feed(iocov, shard_filter, seq, event)
+    else:  # syzkaller
+        parser = SyzkallerParser(resources=task.resources)
+        for seq, event in enumerate(parser.parse(lines)):
+            _feed(iocov, shard_filter, seq, event)
+
+    return ShardResult(
+        index=task.index,
+        input=iocov.input,
+        output=iocov.output,
+        untracked=iocov.untracked,
+        events_processed=iocov.events_processed,
+        events_admitted=iocov.events_admitted,
+        ops=shard_filter.ops if shard_filter is not None else [],
+        deferred=shard_filter.deferred if shard_filter is not None else [],
+        orphans=orphans,
+        pending=pending,
+        first_pair_orphans=first_pair_orphans,
+    )

@@ -274,7 +274,7 @@ class SuiteRunner:
         return RunResult(
             suite_name=self.suite.name,
             mount_point=self.suite.mount_point,
-            events=recorder.events,
+            events=recorder.drain(),
             workload_results=results,
             scale=getattr(self.suite, "scale", 1.0),
         )

@@ -61,7 +61,7 @@ class CalibrationDriver:
         write_buckets: Counter = Counter()
         open_errors: Counter = Counter()
         base_counts: Counter = Counter()
-        for event in recorder.events:
+        for event in recorder.iter_events():
             base = base_name(event.name)
             if base is None:
                 base_counts[event.name] += 1

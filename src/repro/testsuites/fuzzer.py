@@ -213,7 +213,7 @@ class CoverageGuidedFuzzer:
                     sc.close(fd)
                     fd = -1
         self.executions += 1
-        return recorder.events
+        return recorder.drain()
 
     def _new_partitions(self, events) -> int:
         """Count partitions these events open beyond current coverage."""

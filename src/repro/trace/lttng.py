@@ -21,7 +21,7 @@ pairs them back up (per pid, in order) into flattened events.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterable, Iterator, TextIO
+from typing import Any, Iterable, Iterator, Mapping, TextIO
 
 from repro.trace.events import SyscallEvent, make_event
 
@@ -123,6 +123,12 @@ class LttngParseError(ValueError):
     """A trace line could not be understood."""
 
 
+#: An exit line that found no pending entry (its entry precedes the
+#: current stream — possible when parsing a mid-trace shard).
+#: ``fields`` is the exit field dict (carrying ``ret``).
+OrphanExit = tuple[int, str, int, str, dict]  # (ns, name, pid, comm, fields)
+
+
 class LttngParser:
     """Parses the babeltrace-like text format back into events.
 
@@ -131,11 +137,22 @@ class LttngParser:
     trace interleaves.  Unpaired entries (a syscall still in flight
     when the trace stopped) are dropped, matching the prototype's
     behaviour.
+
+    For sharded analysis, :meth:`parse_records` additionally surfaces
+    the pairing residue a mid-file shard produces: exit lines whose
+    entries precede the shard (*orphan exits*) and entry lines whose
+    exits follow it (left in :attr:`pending_entries` after iteration).
+    The parallel executor stitches these back together across shard
+    boundaries; plain :meth:`parse` treats orphan exits as skipped
+    lines, exactly as before.
     """
 
     def __init__(self, strict: bool = False) -> None:
         self.strict = strict
         self.skipped_lines = 0
+        #: (pid, name) -> pending entry records, set after an iteration
+        #: of :meth:`parse_records` is exhausted.
+        self.pending_entries: dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]] = {}
 
     def parse_line(self, line: str) -> tuple[str, str, int, int, str, dict[str, Any]] | None:
         """Parse one line into (kind, name, ts, pid, comm, fields)."""
@@ -166,9 +183,18 @@ class LttngParser:
                     fields[key] = value
         return match["kind"], match["name"], ns, pid, comm, fields
 
-    def parse(self, lines: Iterable[str]) -> Iterator[SyscallEvent]:
-        """Yield flattened events from entry/exit line pairs."""
+    def parse_records(
+        self, lines: Iterable[str]
+    ) -> Iterator[tuple[str, SyscallEvent | OrphanExit]]:
+        """Yield ``("event", event)`` / ``("orphan", exit_info)`` records.
+
+        Records appear in exit-line order — the order the sequential
+        parser yields events — so a consumer can stitch shard streams
+        back together position-exactly.  After exhaustion,
+        :attr:`pending_entries` holds entries still awaiting exits.
+        """
         pending: dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]] = {}
+        self.pending_entries = pending
         for line in lines:
             parsed = self.parse_line(line)
             if parsed is None:
@@ -180,24 +206,51 @@ class LttngParser:
                 continue
             queue = pending.get(key)
             if not queue:
-                # Exit without entry: trace started mid-call; skip.
-                self.skipped_lines += 1
+                # Exit without entry: either the trace started mid-call
+                # (sequential parse skips it) or this is a mid-file
+                # shard whose entry lives in the previous shard.
+                yield "orphan", (ns, name, pid, comm, fields)
                 continue
             entry_ns, entry_comm, args = queue.pop(0)
-            retval = int(fields.get("ret", 0))
-            yield make_event(
-                name,
-                args,
-                retval,
-                -retval if retval < 0 else 0,
-                pid=pid,
-                comm=entry_comm or comm,
-                timestamp=entry_ns,
-            )
+            yield "event", pair_event(name, args, fields, pid, entry_comm or comm, entry_ns)
+
+    def parse(self, lines: Iterable[str]) -> Iterator[SyscallEvent]:
+        """Yield flattened events from entry/exit line pairs."""
+        for kind, payload in self.parse_records(lines):
+            if kind == "event":
+                yield payload  # type: ignore[misc]
+            else:
+                # Exit without entry: trace started mid-call; skip.
+                self.skipped_lines += 1
 
     def parse_text(self, text: str) -> list[SyscallEvent]:
         return list(self.parse(text.splitlines()))
 
-    def parse_file(self, path: str) -> list[SyscallEvent]:
+    def iter_parse_file(self, path: str) -> Iterator[SyscallEvent]:
+        """Stream events from disk without materializing the trace."""
         with open(path, encoding="utf-8") as handle:
-            return list(self.parse(handle))
+            yield from self.parse(handle)
+
+    def parse_file(self, path: str) -> list[SyscallEvent]:
+        return list(self.iter_parse_file(path))
+
+
+def pair_event(
+    name: str,
+    entry_args: dict[str, Any],
+    exit_fields: Mapping[str, Any],
+    pid: int,
+    comm: str,
+    entry_ns: int,
+) -> SyscallEvent:
+    """Flatten one entry/exit pair into an event (shared with fixup)."""
+    retval = int(exit_fields.get("ret", 0))
+    return make_event(
+        name,
+        entry_args,
+        retval,
+        -retval if retval < 0 else 0,
+        pid=pid,
+        comm=comm,
+        timestamp=entry_ns,
+    )

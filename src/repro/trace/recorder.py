@@ -56,10 +56,35 @@ class TraceRecorder:
     def __iter__(self) -> Iterator[SyscallEvent]:
         return iter(self._events)
 
+    def iter_events(self) -> Iterator[SyscallEvent]:
+        """Zero-copy iterator over the recorded events, arrival order.
+
+        Do not record into this object while iterating — appending
+        during iteration is undefined, exactly as for a plain list.
+        """
+        return iter(self._events)
+
     @property
     def events(self) -> list[SyscallEvent]:
-        """The recorded events, in arrival order."""
+        """A **copy** of the recorded events, in arrival order.
+
+        Each access copies the full list so callers can mutate or keep
+        the result while recording continues.  For read-only traversal
+        prefer iterating the recorder itself (or :meth:`iter_events`),
+        which is zero-copy; to take ownership of the buffer without
+        copying, use :meth:`drain`.
+        """
         return list(self._events)
+
+    def drain(self) -> list[SyscallEvent]:
+        """Hand over the internal event buffer without copying.
+
+        The recorder starts over with an empty buffer; the returned
+        list is owned by the caller.
+        """
+        events = self._events
+        self._events = []
+        return events
 
     def clear(self) -> None:
         self._events.clear()

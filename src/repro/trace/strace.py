@@ -229,6 +229,10 @@ class StraceParser:
     def parse_text(self, text: str) -> list[SyscallEvent]:
         return list(self.parse(text.splitlines()))
 
-    def parse_file(self, path: str) -> list[SyscallEvent]:
+    def iter_parse_file(self, path: str) -> Iterator[SyscallEvent]:
+        """Stream events from disk without materializing the trace."""
         with open(path, encoding="utf-8") as handle:
-            return list(self.parse(handle))
+            yield from self.parse(handle)
+
+    def parse_file(self, path: str) -> list[SyscallEvent]:
+        return list(self.iter_parse_file(path))

@@ -24,7 +24,7 @@ outputs from such traces.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.trace.events import SyscallEvent, make_event
 from repro.trace.strace import SYSCALL_SIGNATURES
@@ -78,12 +78,21 @@ def _split_args(text: str) -> list[str]:
 
 
 class SyzkallerParser:
-    """Parses syzkaller reproducer/log programs into input-only events."""
+    """Parses syzkaller reproducer/log programs into input-only events.
 
-    def __init__(self) -> None:
+    Args:
+        resources: initial resource table (``r0`` -> placeholder fd),
+            used by the sharded executor to resume parsing mid-file
+            with the bindings earlier shards established.  The
+            placeholder allocator continues from the table's size, so
+            a resumed parse assigns the same fds a sequential parse
+            would.
+    """
+
+    def __init__(self, resources: Mapping[str, int] | None = None) -> None:
         self.skipped_lines = 0
         #: resource name (r0) -> placeholder fd value
-        self._resources: dict[str, int] = {}
+        self._resources: dict[str, int] = dict(resources or {})
 
     def _decode_arg(self, token: str) -> Any:
         token = token.strip()
@@ -147,6 +156,27 @@ class SyzkallerParser:
     def parse_text(self, text: str) -> list[SyscallEvent]:
         return list(self.parse(text.splitlines()))
 
-    def parse_file(self, path: str) -> list[SyscallEvent]:
+    def iter_parse_file(self, path: str) -> Iterator[SyscallEvent]:
+        """Stream events from disk without materializing the trace."""
         with open(path, encoding="utf-8") as handle:
-            return list(self.parse(handle))
+            yield from self.parse(handle)
+
+    def parse_file(self, path: str) -> list[SyscallEvent]:
+        return list(self.iter_parse_file(path))
+
+
+def scan_resource_bindings(line: str, resources: dict[str, int]) -> None:
+    """Apply one line's resource binding (if any) to *resources*.
+
+    The cheap sequential pre-scan the sharded executor runs to give
+    each shard the exact resource table a sequential parse would have
+    at its start line.  Mirrors :meth:`SyzkallerParser.parse_line`'s
+    binding rule precisely: a full call match with an ``rN =`` prefix
+    allocates placeholder fd ``3 + len(resources)``.
+    """
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return
+    match = _CALL_RE.match(line)
+    if match is not None and match["res"]:
+        resources[match["res"]] = 3 + len(resources)
