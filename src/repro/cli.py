@@ -15,30 +15,43 @@ Subcommands:
   VFS implementation (no trace needed).
 * ``predict`` — static upper bound on the input partitions each
   built-in suite can reach, optionally checked against a live run.
+* ``serve`` — the long-running coverage observability daemon: HTTP
+  trace ingest, live snapshots, Prometheus ``/metrics``, durable runs.
+* ``push`` — stream a trace file to a running daemon.
+* ``history`` — the stored-run timeline from a run store.
+* ``diff-runs`` — cross-run regression gate (lost partitions, TCD
+  drift, count collapses) between two stored runs.
 
 Exit codes are uniform across subcommands: 0 = clean, 1 = findings
-(coverage gaps, lint errors, divergences, unexposed bugs), 2 = usage
-or internal error.  Every subcommand accepts ``--json``; the output is
-a single object carrying ``command``, ``status``, and ``exit_code``
-alongside the subcommand's payload.
+(coverage gaps, lint errors, divergences, unexposed bugs, coverage
+regressions), 2 = usage or internal error.  Every subcommand accepts
+``--json``; the output is a single object carrying ``command``,
+``status``, and ``exit_code`` alongside the subcommand's payload.
 
 Examples::
 
     python -m repro analyze --format strace capture.log --mount /mnt/test
     python -m repro analyze trace.lttng.txt --json > coverage.json
+    python -m repro analyze trace.lttng.txt --jobs 0 --store runs.sqlite
     python -m repro compare a.lttng.txt b.lttng.txt --syscall open --arg flags
-    python -m repro suites --suite crashmonkey --scale 1.0
+    python -m repro suites --suite crashmonkey --scale 1.0 --seed 7
     python -m repro bugstudy
     python -m repro difftest --rounds 6
     python -m repro lint --json
     python -m repro predict --suite xfstests --compare --scale 0.002
+    python -m repro serve --port 9177 --mount /mnt/test --store runs.sqlite
+    python -m repro push trace.lttng.txt --url 127.0.0.1:9177 --finalize
+    python -m repro history --store runs.sqlite
+    python -m repro diff-runs latest~1 latest --store runs.sqlite
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Sequence
 
 from repro.core import IOCov, SuiteComparison
@@ -88,20 +101,54 @@ def _emit_json(command: str, exit_code: int, payload: dict) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     name = args.name or args.trace
+    fmt = args.format or _guess_format(args.trace)
+    shard_stats: dict = {}
+    started = time.monotonic()
     if args.jobs is not None:
         from repro.parallel import run_sharded
 
         report = run_sharded(
             args.trace,
-            fmt=args.format or _guess_format(args.trace),
+            fmt=fmt,
             jobs=args.jobs or None,  # 0 = auto (one worker per CPU)
             mount_point=args.mount,
             suite_name=name,
+            stats=shard_stats,
         )
     else:
         report = _load_report(args.trace, args.format, args.mount, name)
+    wall_seconds = time.monotonic() - started
+    run_id = None
+    if args.store:
+        from repro.obs.store import RunStore
+
+        with RunStore(args.store) as store:
+            run_id = store.save_report(
+                report,
+                trace_path=args.trace,
+                trace_format=fmt,
+                jobs=args.jobs,
+                wall_seconds=wall_seconds,
+                meta=shard_stats or None,
+            )
     if args.json:
-        return _emit_json("analyze", EXIT_CLEAN, report.to_dict())
+        payload = report.to_dict()
+        if args.suggest:
+            from repro.core.suggestions import suggest_tests
+
+            payload["suggestions"] = [
+                {
+                    "syscall": s.syscall,
+                    "partition": s.partition,
+                    "priority": s.priority,
+                    "recipe": s.recipe,
+                }
+                for s in suggest_tests(report, limit=args.suggest)
+            ]
+        if run_id is not None:
+            payload["run_id"] = run_id
+            payload["store"] = args.store
+        return _emit_json("analyze", EXIT_CLEAN, payload)
     print(report.render_text())
     if args.syscall:
         print()
@@ -114,6 +161,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
         print()
         print(render_suggestions(report, limit=args.suggest))
+    if run_id is not None:
+        print(f"\nstored as run {run_id} in {args.store}")
     return EXIT_CLEAN
 
 
@@ -148,31 +197,66 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_suites(args: argparse.Namespace) -> int:
     from repro.testsuites import CrashMonkeySuite, SuiteRunner, XfstestsSuite
 
-    runs = []
-    if args.suite in ("crashmonkey", "both"):
-        runs.append(("CrashMonkey", CrashMonkeySuite, args.scale if args.scale is not None else 1.0))
-    if args.suite in ("xfstests", "both"):
-        runs.append(("xfstests", XfstestsSuite, args.scale if args.scale is not None else 0.01))
-    payload_runs = []
-    for label, suite_cls, scale in runs:
-        run = SuiteRunner(suite_cls(scale=scale)).run()
+    reports = []  # (label, scale, event_count, report)
+    if args.suite == "fuzzer":
+        from repro.testsuites.fuzzer import CoverageGuidedFuzzer
+
+        fuzzer = CoverageGuidedFuzzer(seed=args.seed or 0)
+        fuzzer.run(iterations=args.iterations)
         report = (
-            IOCov(mount_point=run.mount_point, suite_name=label)
-            .consume(run.events)
+            IOCov(mount_point=fuzzer.mount_point, suite_name="fuzzer")
+            .consume(fuzzer.all_events)
             .report()
         )
-        if args.json:
-            payload_runs.append(
-                {
-                    "suite": label,
-                    "scale": scale,
-                    "events": run.event_count(),
-                    "coverage": report.to_dict(),
-                }
+        reports.append(("fuzzer", None, len(fuzzer.all_events), report))
+    else:
+        runs = []
+        if args.suite in ("crashmonkey", "both"):
+            runs.append(("CrashMonkey", CrashMonkeySuite, args.scale if args.scale is not None else 1.0))
+        if args.suite in ("xfstests", "both"):
+            runs.append(("xfstests", XfstestsSuite, args.scale if args.scale is not None else 0.01))
+        for label, suite_cls, scale in runs:
+            run = SuiteRunner(suite_cls(scale=scale, seed=args.seed)).run()
+            report = (
+                IOCov(mount_point=run.mount_point, suite_name=label)
+                .consume(run.events)
+                .report()
             )
+            reports.append((label, scale, run.event_count(), report))
+    stored = []
+    if args.store:
+        from repro.obs.store import RunStore
+
+        with RunStore(args.store) as store:
+            for label, scale, _events, report in reports:
+                stored.append(
+                    store.save_report(
+                        report,
+                        trace_format="simulated",
+                        seed=args.seed,
+                        meta={"scale": scale} if scale is not None else None,
+                    )
+                )
+    payload_runs = []
+    for index, (label, scale, events, report) in enumerate(reports):
+        if args.json:
+            entry = {
+                "suite": label,
+                "scale": scale,
+                "seed": args.seed,
+                "events": events,
+                "coverage": report.to_dict(),
+            }
+            if stored:
+                entry["run_id"] = stored[index]
+            payload_runs.append(entry)
         else:
-            print(f"{label}: {run.event_count():,} events, scale {scale}")
+            scale_note = f", scale {scale}" if scale is not None else ""
+            seed_note = f", seed {args.seed}" if args.seed is not None else ""
+            print(f"{label}: {events:,} events{scale_note}{seed_note}")
             print(report.render_text())
+            if stored:
+                print(f"stored as run {stored[index]} in {args.store}")
             print()
     if args.json:
         return _emit_json("suites", EXIT_CLEAN, {"runs": payload_runs})
@@ -349,6 +433,98 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _default_store() -> str:
+    return os.environ.get("IOCOV_STORE", "iocov-runs.sqlite")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.server import make_server
+
+    server, recovered = make_server(
+        args.host,
+        args.port,
+        fmt=args.format,
+        mount_point=args.mount,
+        suite_name=args.name,
+        store_path=args.store,
+        queue_size=args.queue_size,
+        error_budget=args.error_budget,
+    )
+    server.install_signal_handlers()
+    host, port = server.server_address[:2]
+    if recovered:
+        print(f"recovered {recovered} journaled lines", file=sys.stderr)
+    # Readiness line carries the *actual* bound port (supports --port 0).
+    print(f"serving on http://{host}:{port} (format={args.format})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.drain_and_stop()
+    finally:
+        server.server_close()
+    return EXIT_CLEAN
+
+
+def cmd_push(args: argparse.Namespace) -> int:
+    from repro.obs.client import PushError, push_file
+
+    try:
+        result = push_file(args.url, args.trace, finalize=args.finalize)
+    except PushError as exc:
+        if args.json:
+            return _emit_json(
+                "push", EXIT_ERROR, {"error": str(exc), "http_status": exc.status}
+            )
+        print(f"push rejected: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        return _emit_json("push", EXIT_CLEAN, result)
+    print(
+        f"pushed {args.trace}: {result.get('accepted_bytes', '?')} bytes, "
+        f"{result.get('events_counted', '?')} events counted, "
+        f"{result.get('new_parse_errors', 0)} new parse errors"
+    )
+    run = result.get("run")
+    if run:
+        print(f"stored as run {run['run_id']}")
+    return EXIT_CLEAN
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.regress import render_history
+    from repro.obs.store import RunStore
+
+    with RunStore(args.store or _default_store()) as store:
+        if args.json:
+            runs = [record.to_dict() for record in store.list_runs(limit=args.limit)]
+            return _emit_json("history", EXIT_CLEAN, {"runs": runs})
+        print(render_history(store, limit=args.limit))
+    return EXIT_CLEAN
+
+
+def cmd_diff_runs(args: argparse.Namespace) -> int:
+    from repro.obs.regress import diff_stored_runs
+    from repro.obs.store import RunStore
+
+    with RunStore(args.store or _default_store()) as store:
+        report, id_a, id_b = diff_stored_runs(
+            store,
+            args.run_a,
+            args.run_b,
+            tcd_threshold=args.tcd_threshold,
+            collapse_factor=args.collapse_factor,
+        )
+    exit_code = report.exit_code()
+    if args.json:
+        payload = report.to_dict()
+        payload["run_a"] = id_a
+        payload["run_b"] = id_b
+        return _emit_json("diff-runs", exit_code, payload)
+    print(f"comparing run {id_a} -> run {id_b}")
+    print(report.render_text())
+    return exit_code
+
+
 # -- parser -----------------------------------------------------------------
 
 
@@ -381,7 +557,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         const=15,
         default=0,
-        help="print up to N concrete test suggestions for the gaps",
+        help="print up to N concrete test suggestions for the gaps "
+        "(with --json, included as a 'suggestions' list)",
+    )
+    analyze.add_argument(
+        "--store",
+        metavar="DB",
+        help="persist the run into this SQLite run store",
     )
     analyze.set_defaults(handler=cmd_analyze)
 
@@ -397,9 +579,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     suites = sub.add_parser("suites", help="run the simulated testers")
     suites.add_argument(
-        "--suite", choices=("crashmonkey", "xfstests", "both"), default="both"
+        "--suite",
+        choices=("crashmonkey", "xfstests", "both", "fuzzer"),
+        default="both",
     )
     suites.add_argument("--scale", type=float, default=None)
+    suites.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="deterministic RNG seed for the suite generators / fuzzer",
+    )
+    suites.add_argument(
+        "--iterations",
+        type=int,
+        default=200,
+        help="fuzzer iterations (only with --suite fuzzer)",
+    )
+    suites.add_argument(
+        "--store",
+        metavar="DB",
+        help="persist each suite run into this SQLite run store",
+    )
     suites.add_argument("--json", action="store_true", help="dump JSON")
     suites.set_defaults(handler=cmd_suites)
 
@@ -445,6 +646,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     predict.add_argument("--json", action="store_true", help="dump JSON")
     predict.set_defaults(handler=cmd_predict)
+
+    serve = sub.add_parser(
+        "serve", help="run the coverage observability daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9177,
+        help="listen port (0 = pick a free port; printed on startup)",
+    )
+    serve.add_argument(
+        "--format",
+        choices=sorted(_FORMAT_READERS),
+        default="lttng",
+        help="trace format pushed to /ingest",
+    )
+    serve.add_argument("--mount", help="tester mount point (scoping filter)")
+    serve.add_argument("--name", default="live", help="suite label for /live")
+    serve.add_argument(
+        "--store",
+        metavar="DB",
+        help="SQLite run store for POST /runs snapshots, the crash "
+        "journal, and GET /runs (omitted = in-memory only)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        help="bounded ingest queue depth (backpressure threshold)",
+    )
+    serve.add_argument(
+        "--error-budget",
+        type=float,
+        default=None,
+        help="max malformed-line fraction before the session degrades",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    push = sub.add_parser("push", help="stream a trace file to a daemon")
+    push.add_argument("trace", help="trace file path")
+    push.add_argument(
+        "--url",
+        default="127.0.0.1:9177",
+        help="daemon address (host:port or http://host:port)",
+    )
+    push.add_argument(
+        "--finalize",
+        action="store_true",
+        help="snapshot the live coverage into the daemon's run store",
+    )
+    push.add_argument("--json", action="store_true", help="dump JSON")
+    push.set_defaults(handler=cmd_push)
+
+    history = sub.add_parser("history", help="stored-run timeline")
+    history.add_argument(
+        "--store", default=None, help="run store path (default: $IOCOV_STORE)"
+    )
+    history.add_argument("--limit", type=int, default=20)
+    history.add_argument("--json", action="store_true", help="dump JSON")
+    history.set_defaults(handler=cmd_history)
+
+    diff_runs = sub.add_parser(
+        "diff-runs", help="cross-run coverage regression gate"
+    )
+    diff_runs.add_argument(
+        "run_a", help="baseline run: an id, 'latest', or 'latest~N'"
+    )
+    diff_runs.add_argument("run_b", help="candidate run (same forms)")
+    diff_runs.add_argument(
+        "--store", default=None, help="run store path (default: $IOCOV_STORE)"
+    )
+    diff_runs.add_argument(
+        "--tcd-threshold",
+        type=float,
+        default=0.5,
+        help="TCD drift beyond this is a regression",
+    )
+    diff_runs.add_argument(
+        "--collapse-factor",
+        type=float,
+        default=100.0,
+        help="normalized count drop by this factor is a collapse warning",
+    )
+    diff_runs.add_argument("--json", action="store_true", help="dump JSON")
+    diff_runs.set_defaults(handler=cmd_diff_runs)
 
     return parser
 

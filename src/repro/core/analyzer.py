@@ -214,6 +214,17 @@ class IOCov:
         self._ingest(events)
         return self
 
+    def consume_incremental(self, events: Iterable[SyscallEvent]) -> "IOCov":
+        """Feed a batch of events *without* resetting filter state.
+
+        The entry point for long-running live ingestion (the ``repro
+        serve`` daemon): batches arrive over time and the scoping
+        filter's fd table must persist across them, so unlike
+        :meth:`consume` nothing is reset between calls.
+        """
+        self._ingest(events)
+        return self
+
     def consume_stream(
         self,
         events: Iterable[SyscallEvent],

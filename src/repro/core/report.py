@@ -18,6 +18,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.core.argspec import SyscallSpec
+
 from repro.core.input_coverage import InputCoverage
 from repro.core.output_coverage import OutputCoverage
 from repro.core.tcd import (
@@ -99,6 +101,80 @@ class CoverageReport:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Any],
+        registry: Mapping[str, SyscallSpec] | None = None,
+    ) -> "CoverageReport":
+        """Rebuild a report from :meth:`to_dict` output (the inverse).
+
+        Lossless with respect to ``to_dict``: for any report ``r``,
+        ``CoverageReport.from_dict(r.to_dict()).to_dict() == r.to_dict()``
+        (the run store depends on this round trip).  Flag-combination
+        multisets and unclassified tallies are not part of the wire
+        format, so they come back empty.
+
+        Args:
+            data: a ``to_dict`` document.
+            registry: the syscall registry the report was built with;
+                defaults to the paper's 27-syscall selection.
+
+        Raises:
+            ValueError: missing keys, wrong value types, or coverage
+                entries that the registry does not track.
+        """
+        for key in ("suite", "input_coverage", "output_coverage"):
+            if key not in data:
+                raise ValueError(f"coverage document missing {key!r}")
+        input_coverage = InputCoverage(registry)
+        output_coverage = OutputCoverage(registry)
+        inputs = data["input_coverage"]
+        if not isinstance(inputs, Mapping):
+            raise ValueError("input_coverage must be a mapping")
+        for syscall, args in inputs.items():
+            for arg_name, frequencies in args.items():
+                try:
+                    coverage = input_coverage.arg(syscall, arg_name)
+                except KeyError:
+                    raise ValueError(
+                        f"untracked input pair {syscall}.{arg_name} in document"
+                    ) from None
+                for partition, count in frequencies.items():
+                    if not isinstance(count, int) or count < 0:
+                        raise ValueError(
+                            f"bad count for {syscall}.{arg_name}:{partition}: {count!r}"
+                        )
+                    if count:
+                        coverage.counts[partition] = count
+        outputs = data["output_coverage"]
+        if not isinstance(outputs, Mapping):
+            raise ValueError("output_coverage must be a mapping")
+        for syscall, frequencies in outputs.items():
+            try:
+                coverage = output_coverage.syscall(syscall)
+            except KeyError:
+                raise ValueError(f"untracked syscall {syscall} in document") from None
+            for partition, count in frequencies.items():
+                if not isinstance(count, int) or count < 0:
+                    raise ValueError(
+                        f"bad count for {syscall}:{partition}: {count!r}"
+                    )
+                if count:
+                    coverage.counts[partition] = count
+        return cls(
+            suite_name=str(data["suite"]),
+            input_coverage=input_coverage,
+            output_coverage=output_coverage,
+            events_processed=int(data.get("events_processed", 0)),
+            events_admitted=int(data.get("events_admitted", 0)),
+            untracked=dict(data.get("untracked_syscalls", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageReport":
+        return cls.from_dict(json.loads(text))
 
     # -- text rendering ------------------------------------------------------
 

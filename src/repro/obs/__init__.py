@@ -1,0 +1,40 @@
+"""Coverage observability: persistent runs, live ingest, metrics, gating.
+
+One-shot ``repro analyze`` answers "what does this trace cover?"; this
+package answers the questions that need *memory and liveness*:
+
+* :mod:`repro.obs.store` — a schema-versioned SQLite run store that
+  persists full coverage runs (every partition count, TCD scores,
+  suite/seed/trace metadata, throughput stats) plus the ingest journal
+  the daemon replays after a crash;
+* :mod:`repro.obs.ingest` — the live ingestion pipeline: a bounded
+  queue with backpressure, push-mode parsing with malformed-line
+  quarantine and a configurable error budget, feeding a live
+  :class:`~repro.core.IOCov`;
+* :mod:`repro.obs.server` — the ``repro serve`` HTTP daemon: chunked
+  POST trace ingest, JSON snapshot endpoints, Prometheus ``/metrics``,
+  graceful SIGTERM drain, crash recovery;
+* :mod:`repro.obs.metrics` — a dependency-free Prometheus text-format
+  counter/gauge/histogram registry, usable from the CLI paths too;
+* :mod:`repro.obs.regress` — cross-run diffing and the 0/1/2 exit-coded
+  regression gate (``repro diff-runs`` / ``repro history``);
+* :mod:`repro.obs.client` — the ``repro push`` client (stdlib HTTP,
+  chunked upload).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.regress import RegressionFinding, RegressionReport, diff_reports
+from repro.obs.store import RunRecord, RunStore, StoreVersionError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegressionFinding",
+    "RegressionReport",
+    "RunRecord",
+    "RunStore",
+    "StoreVersionError",
+    "diff_reports",
+]

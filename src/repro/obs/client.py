@@ -1,0 +1,93 @@
+"""The ``repro push`` client: stream a trace file to the daemon.
+
+Stdlib-only (``http.client``).  The body is sent with chunked
+transfer encoding — the trace never materializes in client memory and
+the daemon's chunked decoder gets exercised by every push — and the
+daemon counts everything before answering, so a successful push means
+the lines are visible in ``/live``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+#: Chunk size for the streamed upload.
+PUSH_CHUNK_BYTES = 65536
+
+
+class PushError(RuntimeError):
+    """The daemon rejected a push (non-2xx response)."""
+
+    def __init__(self, status: int, body: dict[str, Any]) -> None:
+        super().__init__(f"daemon answered {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+def _file_chunks(path: str, chunk_bytes: int = PUSH_CHUNK_BYTES) -> Iterator[bytes]:
+    with open(path, "rb") as handle:
+        while True:
+            piece = handle.read(chunk_bytes)
+            if not piece:
+                return
+            yield piece
+
+
+def _request(
+    url: str, method: str, path: str, body: Any = None, timeout: float = 60.0
+) -> tuple[int, dict[str, Any]]:
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    conn = HTTPConnection(parts.hostname, parts.port or 80, timeout=timeout)
+    try:
+        headers = {}
+        encode_chunked = False
+        if body is not None and not isinstance(body, (bytes, str)):
+            headers["Transfer-Encoding"] = "chunked"
+            encode_chunked = True
+        conn.request(method, path, body=body, headers=headers,
+                     encode_chunked=encode_chunked)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            document = json.loads(raw) if raw else {}
+        except ValueError:
+            document = {"raw": raw.decode("utf-8", errors="replace")}
+        return response.status, document
+    finally:
+        conn.close()
+
+
+def push_file(
+    url: str, path: str, *, finalize: bool = False, timeout: float = 300.0
+) -> dict[str, Any]:
+    """Stream *path* to the daemon at *url*; optionally snapshot a run.
+
+    Returns the daemon's ingest response (with the snapshotted run's
+    metadata under ``"run"`` when *finalize* is set).
+
+    Raises:
+        PushError: the daemon answered with an error status.
+        OSError: the file or the connection failed.
+    """
+    status, document = _request(
+        url, "POST", "/ingest", body=_file_chunks(path), timeout=timeout
+    )
+    if status != 200:
+        raise PushError(status, document)
+    if finalize:
+        run_status, run_document = _request(url, "POST", "/runs", timeout=timeout)
+        if run_status != 201:
+            raise PushError(run_status, run_document)
+        document["run"] = run_document.get("run")
+    return document
+
+
+def fetch_json(url: str, path: str, timeout: float = 60.0) -> dict[str, Any]:
+    """GET a JSON endpoint (``/live``, ``/runs``, ``/session``)."""
+    status, document = _request(url, "GET", path, timeout=timeout)
+    if status != 200:
+        raise PushError(status, document)
+    return document

@@ -1,0 +1,362 @@
+"""The live ingestion pipeline: queue, parse, quarantine, count.
+
+:class:`IngestSession` is the daemon's engine, kept free of HTTP so the
+failure modes are testable directly:
+
+* **bounded queue with backpressure** — producers (HTTP handler
+  threads) block in :meth:`feed_text` once ``queue_size`` lines are
+  outstanding, which propagates back to the client as TCP backpressure
+  instead of unbounded daemon memory;
+* **push-mode parsing** — a persistent :class:`~repro.trace.push.PushParser`
+  keeps entry/exit pairing and resource state across feeds, so a trace
+  streamed in arbitrary network-sized pieces counts identically to a
+  one-shot ``repro analyze`` of the same bytes;
+* **malformed-line quarantine with an error budget** — grammar-rejected
+  lines are kept (capped) with their positions; once the malformed
+  ratio exceeds the budget the session degrades and refuses further
+  input rather than publishing numbers built on garbage;
+* **journaling** — accepted lines are appended to the run store's
+  journal *before* they are counted, so a crash loses nothing:
+  :meth:`IngestSession.recover` replays the journal through a fresh
+  parser/analyzer on restart;
+* **drain** — :meth:`close` waits for every queued line to be parsed
+  and counted (the SIGTERM path), then optionally snapshots the final
+  state into the store.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.analyzer import IOCov
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.store import RunStore
+from repro.trace.push import make_push_parser
+
+#: Default bound on queued-but-uncounted lines.
+DEFAULT_QUEUE_SIZE = 65536
+
+#: Default error budget: malformed fraction that degrades the session.
+DEFAULT_ERROR_BUDGET = 0.05
+
+#: Malformed lines below this count never degrade the session (a lone
+#: bad line in a ten-line trace should not trip a 5% budget).
+DEFAULT_BUDGET_GRACE = 20
+
+#: How many quarantined lines are retained for inspection.
+QUARANTINE_CAP = 100
+
+_SENTINEL = object()
+
+
+class SessionDegradedError(RuntimeError):
+    """The session exceeded its malformed-line error budget."""
+
+
+@dataclass
+class Quarantined:
+    """One grammar-rejected line, kept for inspection."""
+
+    line_number: int
+    line: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line_number": self.line_number, "line": self.line}
+
+
+@dataclass
+class _Flush:
+    """Queue marker: set the event once everything before it counted."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class IngestSession:
+    """A live trace-ingestion session feeding one :class:`IOCov`.
+
+    Args:
+        fmt: trace format (``lttng``/``strace``/``syzkaller``).
+        mount_point: scoping filter mount point (None = accept all).
+        suite_name: label for the live report.
+        store: run store for journaling and snapshots (optional).
+        journal_session: journal key in the store.
+        queue_size: bound on queued lines (backpressure threshold).
+        error_budget: malformed-line fraction that degrades the session.
+        budget_grace: malformed-line count below which the budget never
+            trips.
+        registry: metrics registry to instrument (optional).
+    """
+
+    def __init__(
+        self,
+        fmt: str = "lttng",
+        *,
+        mount_point: str | None = None,
+        suite_name: str = "live",
+        store: RunStore | None = None,
+        journal_session: str = "live",
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        error_budget: float = DEFAULT_ERROR_BUDGET,
+        budget_grace: int = DEFAULT_BUDGET_GRACE,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.fmt = fmt
+        self.mount_point = mount_point
+        self.suite_name = suite_name
+        self.store = store
+        self.journal_session = journal_session
+        self.error_budget = error_budget
+        self.budget_grace = budget_grace
+        self.iocov = IOCov(mount_point=mount_point, suite_name=suite_name)
+        self.parser = make_push_parser(fmt)
+        self.quarantine: list[Quarantined] = []
+        self.degraded = False
+        self.closed = False
+        self.lines_received = 0
+        self.events_counted = 0
+        self.runs_stored = 0
+        self._lock = threading.Lock()  # guards iocov + counters
+        #: producers serialize whole requests on this so interleaved
+        #: chunked POSTs cannot shuffle each other's partial lines
+        self.feed_lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._feed_tail = ""
+        self._metrics(registry)
+        self._worker = threading.Thread(
+            target=self._run_worker, name="iocov-ingest", daemon=True
+        )
+        self._worker.start()
+
+    def _metrics(self, registry: MetricsRegistry | None) -> None:
+        registry = registry or MetricsRegistry()
+        self.registry = registry
+        self.m_lines = registry.counter(
+            "iocov_ingest_lines_total", "Trace lines accepted for ingestion"
+        )
+        self.m_events = registry.counter(
+            "iocov_ingest_events_total", "Syscall events parsed and counted"
+        )
+        self.m_parse_errors = registry.counter(
+            "iocov_parse_errors_total", "Grammar-rejected (quarantined) trace lines"
+        )
+        self.m_queue_depth = registry.gauge(
+            "iocov_ingest_queue_depth", "Lines queued but not yet counted"
+        )
+        self.m_batch_seconds = registry.histogram(
+            "iocov_ingest_batch_seconds",
+            "Wall time spent parsing and counting one ingest batch",
+        )
+        self.m_runs = registry.counter(
+            "iocov_runs_stored_total", "Coverage runs snapshotted into the store"
+        )
+
+    # -- the worker ----------------------------------------------------------
+
+    def _run_worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                break
+            if isinstance(item, _Flush):
+                item.done.set()
+                self._queue.task_done()
+                continue
+            # Drain opportunistically: one lock round per batch.
+            batch = [item]
+            flushes: list[_Flush] = []
+            while len(batch) < 4096:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SENTINEL:
+                    self._queue.put(_SENTINEL)  # re-post for the outer loop
+                    self._queue.task_done()
+                    break
+                if isinstance(extra, _Flush):
+                    flushes.append(extra)
+                    break  # honor ordering: flush after this batch counts
+                batch.append(extra)
+            self._ingest_batch(batch)
+            for flush in flushes:
+                flush.done.set()
+                self._queue.task_done()
+            for _ in batch:
+                self._queue.task_done()
+            self.m_queue_depth.set(self._queue.qsize())
+
+    def _ingest_batch(self, lines: list[str]) -> None:
+        started = time.perf_counter()
+        events = []
+        malformed: list[Quarantined] = []
+        with self._lock:
+            for line in lines:
+                self.lines_received += 1
+                line_events, bad = self.parser.push_line(line)
+                if bad:
+                    malformed.append(Quarantined(self.lines_received, line))
+                events.extend(line_events)
+            self.iocov.consume_incremental(events)
+            self.events_counted += len(events)
+            if malformed:
+                space = QUARANTINE_CAP - len(self.quarantine)
+                self.quarantine.extend(malformed[:space])
+                if (
+                    self.parser.malformed_lines > self.budget_grace
+                    and self.parser.malformed_lines
+                    > self.error_budget * self.parser.lines_fed
+                ):
+                    self.degraded = True
+        self.m_lines.inc(len(lines))
+        self.m_events.inc(len(events))
+        if malformed:
+            self.m_parse_errors.inc(len(malformed))
+        self.m_batch_seconds.observe(time.perf_counter() - started)
+
+    # -- feeding -------------------------------------------------------------
+
+    def _check_accepting(self) -> None:
+        if self.closed:
+            raise RuntimeError("ingest session is closed")
+        if self.degraded:
+            raise SessionDegradedError(
+                f"error budget exhausted: {self.parser.malformed_lines} of "
+                f"{self.parser.lines_fed} lines malformed "
+                f"(budget {self.error_budget:.1%})"
+            )
+
+    def feed_lines(self, lines: list[str], *, journal: bool = True) -> None:
+        """Enqueue complete lines; blocks when the queue is full.
+
+        Raises:
+            SessionDegradedError: the error budget is exhausted.
+            RuntimeError: the session was closed.
+        """
+        self._check_accepting()
+        if journal and self.store is not None:
+            self.store.journal_append(self.journal_session, lines)
+        for line in lines:
+            self._queue.put(line)
+        self.m_queue_depth.set(self._queue.qsize())
+
+    def feed_text(self, data: str, *, journal: bool = True) -> None:
+        """Feed a raw payload that may split lines arbitrarily.
+
+        Partial trailing lines are buffered (in the feeder, not the
+        queue) until their newline arrives in a later call.
+        """
+        self._check_accepting()
+        buffered = self._feed_tail + data
+        lines = buffered.split("\n")
+        self._feed_tail = lines.pop()
+        if lines:
+            self.feed_lines(lines, journal=journal)
+
+    def end_of_stream(self) -> None:
+        """Complete any buffered partial line (client finished sending)."""
+        tail, self._feed_tail = self._feed_tail, ""
+        if tail:
+            self.feed_lines([tail])
+
+    def flush(self, timeout: float | None = 30.0) -> bool:
+        """Block until everything fed so far is parsed and counted."""
+        marker = _Flush()
+        self._queue.put(marker)
+        return marker.done.wait(timeout)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def report(self):
+        """A consistent snapshot of the live coverage state."""
+        with self._lock:
+            return self.iocov.report()
+
+    def snapshot_to_store(self, *, meta: dict | None = None) -> int:
+        """Persist the current state as a run; clears the journal.
+
+        Raises:
+            RuntimeError: no store is attached.
+        """
+        if self.store is None:
+            raise RuntimeError("no run store attached to this session")
+        self.flush()
+        with self._lock:
+            report = self.iocov.report()
+            document = {
+                "source": "serve",
+                "format": self.fmt,
+                "lines_received": self.lines_received,
+                "parse_errors": self.parser.malformed_lines,
+                "degraded": self.degraded,
+            }
+            document.update(meta or {})
+        run_id = self.store.save_report(
+            report, trace_format=self.fmt, meta=document
+        )
+        self.store.journal_clear(self.journal_session)
+        self.runs_stored += 1
+        self.m_runs.inc()
+        return run_id
+
+    def stats(self) -> dict[str, Any]:
+        """Session counters for the ``/session`` endpoint."""
+        with self._lock:
+            return {
+                "format": self.fmt,
+                "suite": self.suite_name,
+                "mount_point": self.mount_point,
+                "lines_received": self.lines_received,
+                "events_counted": self.events_counted,
+                "parse_errors": self.parser.malformed_lines,
+                "pending_pairs": self.parser.pending_entries,
+                "degraded": self.degraded,
+                "error_budget": self.error_budget,
+                "queue_depth": self._queue.qsize(),
+                "runs_stored": self.runs_stored,
+                "quarantine": [item.to_dict() for item in self.quarantine[:20]],
+            }
+
+    # -- recovery and shutdown -------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the store's journal into this (fresh) session.
+
+        Returns the number of journal lines replayed.  Lines are *not*
+        re-journaled — they are already durable.
+        """
+        if self.store is None:
+            return 0
+        replayed = 0
+        batch: list[str] = []
+        for line in self.store.journal_lines(self.journal_session):
+            batch.append(line)
+            replayed += 1
+            if len(batch) >= 4096:
+                self.feed_lines(batch, journal=False)
+                batch = []
+        if batch:
+            self.feed_lines(batch, journal=False)
+        if replayed:
+            self.flush()
+        return replayed
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the worker; with *drain*, count everything queued first."""
+        if self.closed:
+            return
+        self.closed = True
+        if not drain:
+            # Abandon queued lines (crash simulation in tests).
+            try:
+                while True:
+                    self._queue.get_nowait()
+                    self._queue.task_done()
+            except queue.Empty:
+                pass
+        self._queue.put(_SENTINEL)
+        self._worker.join(timeout)

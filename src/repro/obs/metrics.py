@@ -1,0 +1,428 @@
+"""A dependency-free Prometheus text-format metrics registry.
+
+Implements the three instrument kinds the observability service needs —
+counters, gauges, and histograms — with label support and exposition in
+the Prometheus text format (version 0.0.4: ``# HELP`` / ``# TYPE``
+headers, ``name{label="value"} sample`` lines, cumulative histogram
+buckets with a ``+Inf`` bound and ``_sum`` / ``_count`` series).
+
+The registry is thread-safe (one lock around all mutation and
+rendering) so the ingest worker, HTTP handler threads, and the scrape
+endpoint can share it.  It is also usable outside the daemon: the CLI
+paths can fill a fresh registry from a finished
+:class:`~repro.core.report.CoverageReport` via
+:func:`fill_report_metrics` and print it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.report import CoverageReport
+
+#: Default latency buckets (seconds) for ingest histograms.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Uniform TCD target used for the exported ``iocov_tcd`` gauges.
+DEFAULT_TCD_TARGET = 1000.0
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, labeled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._registry = registry
+        self._lock = registry._lock
+
+    def _render_header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing sample per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help_text, registry)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._render_header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key, value in items:
+            lines.append(f"{self.name}{_format_labels(dict(key))} {_format_value(value)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A settable sample per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry") -> None:
+        super().__init__(name, help_text, registry)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._render_header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key, value in items:
+            lines.append(f"{self.name}{_format_labels(dict(key))} {_format_value(value)}")
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Observations land in every bucket whose upper bound is >= the
+    value; ``+Inf`` is implicit and always equals ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        registry: "MetricsRegistry",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, registry)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf only
+        self._sum = 0.0
+        self._total = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self._sum += value
+            self._total += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._total
+
+    def render(self) -> list[str]:
+        lines = self._render_header()
+        with self._lock:
+            counts = list(self._counts)
+            total = self._total
+            running_sum = self._sum
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, counts):
+            cumulative += bucket
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_format_value(running_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns a namespace of metrics and renders the scrape payload."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> None:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if isinstance(existing, Counter):
+                return existing
+            metric = Counter(name, help_text, self)
+            self._register(metric)
+            return metric
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if isinstance(existing, Gauge):
+                return existing
+            metric = Gauge(name, help_text, self)
+            self._register(metric)
+            return metric
+
+    def histogram(
+        self, name: str, help_text: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if isinstance(existing, Histogram):
+                return existing
+            metric = Histogram(name, help_text, self, buckets)
+            self._register(metric)
+            return metric
+
+    def render(self) -> str:
+        """The ``/metrics`` payload (Prometheus text format 0.0.4)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def fill_report_metrics(
+    registry: MetricsRegistry,
+    report: "CoverageReport",
+    tcd_target: float = DEFAULT_TCD_TARGET,
+) -> None:
+    """Export one report's coverage state as gauges.
+
+    Metric names (all gauges; see USAGE.md §12):
+
+    * ``iocov_events_processed`` / ``iocov_events_admitted``
+    * ``iocov_input_partitions{syscall,arg,state}`` — tested/untested
+    * ``iocov_input_coverage_ratio{syscall,arg}``
+    * ``iocov_output_partitions{syscall,state}``
+    * ``iocov_output_coverage_ratio{syscall}``
+    * ``iocov_tcd{kind,syscall,arg}`` — against a uniform target
+    """
+    registry.gauge(
+        "iocov_events_processed", "Trace events seen by the analyzer"
+    ).set(report.events_processed)
+    registry.gauge(
+        "iocov_events_admitted", "Trace events in scope after filtering"
+    ).set(report.events_admitted)
+    registry.gauge(
+        "iocov_tcd_target", "Uniform per-partition target the TCD gauges use"
+    ).set(tcd_target)
+
+    input_partitions = registry.gauge(
+        "iocov_input_partitions",
+        "Input partitions per tracked argument, by tested/untested state",
+    )
+    input_ratio = registry.gauge(
+        "iocov_input_coverage_ratio",
+        "Fraction of input partitions exercised at least once",
+    )
+    tcd_gauge = registry.gauge(
+        "iocov_tcd", "Test Coverage Deviation against the uniform target"
+    )
+    for syscall, arg in report.input_coverage.tracked_pairs():
+        coverage = report.input_coverage.arg(syscall, arg)
+        tested, untested = coverage.partition_status()
+        input_partitions.set(len(tested), syscall=syscall, arg=arg, state="tested")
+        input_partitions.set(len(untested), syscall=syscall, arg=arg, state="untested")
+        input_ratio.set(coverage.coverage_ratio(), syscall=syscall, arg=arg)
+        tcd_gauge.set(
+            report.input_tcd(syscall, arg, tcd_target),
+            kind="input", syscall=syscall, arg=arg,
+        )
+
+    output_partitions = registry.gauge(
+        "iocov_output_partitions",
+        "Output partitions per syscall, by tested/untested state",
+    )
+    output_ratio = registry.gauge(
+        "iocov_output_coverage_ratio",
+        "Fraction of documented output partitions exercised",
+    )
+    for syscall in report.output_coverage.tracked_syscalls():
+        coverage = report.output_coverage.syscall(syscall)
+        domain = coverage.domain()
+        tested = sum(1 for key in domain if coverage.counts.get(key, 0) > 0)
+        output_partitions.set(tested, syscall=syscall, state="tested")
+        output_partitions.set(len(domain) - tested, syscall=syscall, state="untested")
+        output_ratio.set(coverage.coverage_ratio(), syscall=syscall)
+        tcd_gauge.set(
+            report.output_tcd(syscall, tcd_target),
+            kind="output", syscall=syscall, arg="",
+        )
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Check *text* against the Prometheus text-format grammar.
+
+    A lightweight validator used by tests and the CI gate; returns a
+    list of problems (empty = valid).  Checks line syntax, HELP/TYPE
+    pairing, known types, histogram bucket monotonicity, and that
+    every sample belongs to a declared metric family.
+    """
+    import re
+
+    problems: list[str] = []
+    sample_re = re.compile(
+        r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(?P<labels>\{[^{}]*\})?"
+        r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+        r"(?: [0-9]+)?$"
+    )
+    label_re = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                problems.append(f"line {number}: malformed HELP")
+            else:
+                helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(f"line {number}: malformed TYPE")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        labels = match["labels"]
+        if labels:
+            for item in _split_label_pairs(labels[1:-1]):
+                if not label_re.match(item):
+                    problems.append(f"line {number}: bad label pair {item!r}")
+        name = match["name"]
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+        if family not in types:
+            problems.append(f"line {number}: sample {name!r} has no TYPE")
+        if name.endswith("_bucket") and labels and 'le="' in labels:
+            bound_text = labels.split('le="', 1)[1].split('"', 1)[0]
+            bound = math.inf if bound_text == "+Inf" else float(bound_text)
+            buckets.setdefault(family, []).append((bound, float(match["value"])))
+    for family, series in buckets.items():
+        ordered = sorted(series)
+        values = [count for _, count in ordered]
+        if values != sorted(values):
+            problems.append(f"histogram {family}: buckets not cumulative")
+        if ordered and ordered[-1][0] != math.inf:
+            problems.append(f"histogram {family}: missing +Inf bucket")
+    for name in types:
+        if name not in helps:
+            problems.append(f"metric {name}: TYPE without HELP")
+    return problems
+
+
+def _split_label_pairs(inner: str) -> Iterable[str]:
+    """Split ``a="x",b="y"`` respecting escaped quotes."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in inner:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs

@@ -1,0 +1,307 @@
+"""Cross-run coverage diffing: the regression gate for CI.
+
+A coverage number is only actionable if losing it is *loud*.  This
+module compares two stored runs (or any two reports) and reports, with
+the repo's uniform 0/1/2 exit codes, the three regression shapes that
+matter for a test suite's input/output coverage:
+
+* **lost partitions** — an input partition or errno that run A
+  exercised and run B does not.  This is the paper's headline failure
+  ("many possible error codes remain untested") appearing *over time*:
+  a refactored suite silently dropping an input class.
+* **TCD drift** — the scalar adequacy metric moving away from the
+  target by more than a threshold, per tracked argument and syscall
+  output space.  Catches shape regressions that lose no partition
+  outright.
+* **count collapse** — a partition's *relative* frequency falling by
+  orders of magnitude (normalized by events admitted, so running a
+  shorter suite does not false-positive).  A collapse usually means a
+  generator or workload was accidentally disabled.
+
+``repro history`` renders the stored timeline; ``repro diff-runs A B``
+applies the gate between any two refs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.tcd import tcd_uniform
+
+if TYPE_CHECKING:
+    from repro.core.report import CoverageReport
+    from repro.obs.store import RunStore
+
+#: Exit codes, matching the CLI convention.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+
+#: TCD movement (absolute, against the uniform target) that counts as
+#: drift.  One unit of TCD is one order of magnitude of RMS deviation.
+DEFAULT_TCD_THRESHOLD = 0.5
+
+#: Uniform target for drift scoring (matches the store's default).
+DEFAULT_TCD_TARGET = 1000.0
+
+#: Normalized-frequency drop factor that counts as a collapse.
+DEFAULT_COLLAPSE_FACTOR = 100.0
+
+#: Partitions observed fewer times than this in run A are too noisy to
+#: flag as collapsed.
+MIN_COLLAPSE_BASE = 50
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One detected coverage regression between two runs."""
+
+    kind: str  # "lost-input-partition" | "lost-output-partition" |
+    #           "tcd-drift" | "count-collapse"
+    syscall: str
+    arg: str  # "" for output-space findings
+    partition: str  # "" for TCD findings
+    detail: str
+    severity: str = "error"  # "error" gates; "warning" informs
+
+    def render(self) -> str:
+        where = f"{self.syscall}.{self.arg}" if self.arg else self.syscall
+        head = f"[{self.kind}] {where}"
+        if self.partition:
+            head += f" :{self.partition}"
+        return f"{head}: {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "syscall": self.syscall,
+            "arg": self.arg,
+            "partition": self.partition,
+            "detail": self.detail,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """All findings from one A-vs-B comparison."""
+
+    suite_a: str
+    suite_b: str
+    findings: list[RegressionFinding] = field(default_factory=list)
+    #: coverage that run B gained over run A (context, never gating)
+    gained_partitions: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[RegressionFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[RegressionFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.errors else EXIT_CLEAN
+
+    def lost_partitions(self) -> list[str]:
+        """Human-form names of every lost partition (the gate's core)."""
+        return [
+            (f"{f.syscall}.{f.arg}:{f.partition}" if f.arg
+             else f"{f.syscall}:{f.partition}")
+            for f in self.findings
+            if f.kind in ("lost-input-partition", "lost-output-partition")
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "suite_a": self.suite_a,
+            "suite_b": self.suite_b,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "lost_partitions": self.lost_partitions(),
+            "gained_partitions": self.gained_partitions,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f"coverage regression gate: {self.suite_a} -> {self.suite_b}"]
+        if not self.findings:
+            lines.append("  no regressions: run B covers everything run A did")
+        for finding in self.findings:
+            marker = "ERROR" if finding.severity == "error" else "warn "
+            lines.append(f"  {marker}  {finding.render()}")
+        if self.gained_partitions:
+            shown = ", ".join(self.gained_partitions[:8])
+            if len(self.gained_partitions) > 8:
+                shown += f", … ({len(self.gained_partitions)} total)"
+            lines.append(f"  gained: {shown}")
+        return "\n".join(lines)
+
+
+def _frequency_pairs(
+    report_a: "CoverageReport", report_b: "CoverageReport"
+) -> Iterator[tuple[str, str, dict[str, int], dict[str, int]]]:
+    """Yield (syscall, arg, freqs_a, freqs_b); arg='' for outputs."""
+    for syscall, arg in report_a.input_coverage.tracked_pairs():
+        yield (
+            syscall,
+            arg,
+            report_a.input_frequencies(syscall, arg),
+            report_b.input_frequencies(syscall, arg),
+        )
+    for syscall in report_a.output_coverage.tracked_syscalls():
+        yield (
+            syscall,
+            "",
+            report_a.output_frequencies(syscall),
+            report_b.output_frequencies(syscall),
+        )
+
+
+def diff_reports(
+    report_a: "CoverageReport",
+    report_b: "CoverageReport",
+    *,
+    tcd_target: float = DEFAULT_TCD_TARGET,
+    tcd_threshold: float = DEFAULT_TCD_THRESHOLD,
+    collapse_factor: float = DEFAULT_COLLAPSE_FACTOR,
+) -> RegressionReport:
+    """Gate run B against baseline run A.
+
+    The two reports must track the same registry (they do when both
+    came from the same store/schema).
+
+    Raises:
+        ValueError: the reports track different (syscall, arg) pairs.
+    """
+    if (
+        report_a.input_coverage.tracked_pairs()
+        != report_b.input_coverage.tracked_pairs()
+    ):
+        raise ValueError("cannot diff runs built from different registries")
+    result = RegressionReport(
+        suite_a=report_a.suite_name, suite_b=report_b.suite_name
+    )
+    admitted_a = max(report_a.events_admitted, 1)
+    admitted_b = max(report_b.events_admitted, 1)
+
+    for syscall, arg, freqs_a, freqs_b in _frequency_pairs(report_a, report_b):
+        lost_kind = "lost-input-partition" if arg else "lost-output-partition"
+        for partition, count_a in freqs_a.items():
+            count_b = freqs_b.get(partition, 0)
+            if count_a and not count_b:
+                result.findings.append(
+                    RegressionFinding(
+                        kind=lost_kind,
+                        syscall=syscall,
+                        arg=arg,
+                        partition=partition,
+                        detail=(
+                            f"tested {count_a:,}x in {report_a.suite_name}, "
+                            f"untested in {report_b.suite_name}"
+                        ),
+                    )
+                )
+            elif count_a >= MIN_COLLAPSE_BASE and count_b:
+                rate_a = count_a / admitted_a
+                rate_b = count_b / admitted_b
+                if rate_b * collapse_factor < rate_a:
+                    result.findings.append(
+                        RegressionFinding(
+                            kind="count-collapse",
+                            syscall=syscall,
+                            arg=arg,
+                            partition=partition,
+                            detail=(
+                                f"normalized frequency fell "
+                                f"{rate_a / max(rate_b, 1e-12):,.0f}x "
+                                f"({count_a:,} -> {count_b:,} raw)"
+                            ),
+                            severity="warning",
+                        )
+                    )
+            elif count_b and not count_a:
+                where = f"{syscall}.{arg}" if arg else syscall
+                result.gained_partitions.append(f"{where}:{partition}")
+
+        tcd_a = tcd_uniform(list(freqs_a.values()), tcd_target)
+        tcd_b = tcd_uniform(list(freqs_b.values()), tcd_target)
+        if tcd_b - tcd_a > tcd_threshold:
+            result.findings.append(
+                RegressionFinding(
+                    kind="tcd-drift",
+                    syscall=syscall,
+                    arg=arg,
+                    partition="",
+                    detail=(
+                        f"TCD against uniform target {tcd_target:g} rose "
+                        f"{tcd_a:.3f} -> {tcd_b:.3f} "
+                        f"(threshold +{tcd_threshold:g})"
+                    ),
+                )
+            )
+    return result
+
+
+def diff_stored_runs(
+    store: "RunStore",
+    ref_a: str,
+    ref_b: str,
+    *,
+    tcd_target: float = DEFAULT_TCD_TARGET,
+    tcd_threshold: float = DEFAULT_TCD_THRESHOLD,
+    collapse_factor: float = DEFAULT_COLLAPSE_FACTOR,
+) -> tuple[RegressionReport, int, int]:
+    """Resolve two run refs in *store* and gate B against A.
+
+    Returns ``(report, run_id_a, run_id_b)``.
+
+    Raises:
+        KeyError / ValueError: unresolvable refs.
+    """
+    run_a = store.resolve(ref_a)
+    run_b = store.resolve(ref_b)
+    report = diff_reports(
+        store.load_report(run_a),
+        store.load_report(run_b),
+        tcd_target=tcd_target,
+        tcd_threshold=tcd_threshold,
+        collapse_factor=collapse_factor,
+    )
+    return report, run_a, run_b
+
+
+def render_history(store: "RunStore", limit: int = 20) -> str:
+    """The stored-run timeline with per-run coverage summaries."""
+    records = store.list_runs(limit=limit)
+    if not records:
+        return f"no runs stored in {store.path}"
+    lines = [
+        f"run history ({store.path}, newest first):",
+        f"{'id':>4}  {'suite':<18} {'events':>12} {'tested':>7} "
+        f"{'untested':>8} {'eps':>10}  seed",
+    ]
+    previous_tested: int | None = None
+    for record in records:
+        report = store.load_report(record.run_id)
+        tested = sum(
+            len(report.input_coverage.arg(s, a).partition_status()[0])
+            for s, a in report.input_coverage.tracked_pairs()
+        )
+        untested = sum(
+            len(v) for v in report.untested_inputs().values()
+        ) + sum(len(v) for v in report.untested_outputs().values())
+        eps = f"{record.events_per_sec:,.0f}" if record.events_per_sec else "-"
+        seed = record.seed if record.seed is not None else "-"
+        trend = ""
+        if previous_tested is not None and tested != previous_tested:
+            # Listed newest-first, so this row is the *older* run.
+            arrow = "+" if previous_tested > tested else "-"
+            trend = f"  ({arrow}{abs(previous_tested - tested)} vs next)"
+        previous_tested = tested
+        lines.append(
+            f"{record.run_id:>4}  {record.suite:<18.18} "
+            f"{record.events_processed:>12,} {tested:>7} {untested:>8} "
+            f"{eps:>10}  {seed}{trend}"
+        )
+    return "\n".join(lines)

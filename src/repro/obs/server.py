@@ -1,0 +1,347 @@
+"""The ``repro serve`` daemon: HTTP ingest + snapshots + metrics.
+
+A long-running stdlib-only (``http.server``) service around one
+:class:`~repro.obs.ingest.IngestSession` and one
+:class:`~repro.obs.store.RunStore`:
+
+======================  =====================================================
+``POST /ingest``        stream trace lines (chunked or Content-Length body);
+                        lines are journaled, parsed, and counted before the
+                        response, so a 200 means "visible in /live"
+``POST /runs``          snapshot the live state into the store as a run
+``GET  /live``          live coverage snapshot — byte-identical payload to
+                        ``repro analyze --json`` on the same trace bytes
+``GET  /runs``          stored-run index (metadata only)
+``GET  /runs/<id>``     one stored run: metadata + full report document
+``GET  /session``       ingest counters, quarantine sample, degradation
+``GET  /metrics``       Prometheus text-format exposition
+``GET  /healthz``       liveness probe
+======================  =====================================================
+
+Robustness: the ingest queue is bounded (backpressure to the client),
+malformed lines are quarantined against an error budget (HTTP 422 once
+exhausted), a half-sent chunked body is abandoned without corrupting
+session state beyond its own complete lines, SIGTERM drains the queue
+and snapshots the final state, and on startup an existing journal is
+replayed so a crashed daemon resumes exactly where it stopped counting.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.ingest import IngestSession, SessionDegradedError
+from repro.obs.store import RunStore
+
+#: Default daemon port (unregistered; "IOCV" on a phone pad, roughly).
+DEFAULT_PORT = 9177
+
+#: Hard cap on one request's body (chunked or not): 256 MiB.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class ChunkedBodyError(ValueError):
+    """The chunked request body violated the framing grammar."""
+
+
+def _read_chunked(rfile, limit: int = MAX_BODY_BYTES):
+    """Yield decoded chunks of an RFC 7230 chunked body."""
+    total = 0
+    while True:
+        size_line = rfile.readline(1024)
+        if not size_line:
+            raise ChunkedBodyError("connection closed mid-body")
+        size_text = size_line.split(b";", 1)[0].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            raise ChunkedBodyError(f"bad chunk size {size_text!r}") from None
+        if size == 0:
+            # Trailer section: consume until the blank line.
+            while True:
+                trailer = rfile.readline(1024)
+                if trailer in (b"\r\n", b"\n", b""):
+                    return
+        total += size
+        if total > limit:
+            raise ChunkedBodyError("chunked body exceeds limit")
+        remaining = size
+        while remaining:
+            piece = rfile.read(min(remaining, 65536))
+            if not piece:
+                raise ChunkedBodyError("connection closed mid-chunk")
+            remaining -= len(piece)
+            yield piece
+        terminator = rfile.read(1)
+        if terminator == b"\r":
+            terminator += rfile.read(1)
+        # Accept CRLF (the spec) and a bare LF from sloppy clients.
+        if terminator not in (b"\r\n", b"\n"):
+            raise ChunkedBodyError("missing chunk terminator")
+
+
+class ObsServer(ThreadingHTTPServer):
+    """The daemon: HTTP front end over one ingest session and store."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        session: IngestSession,
+        store: RunStore | None,
+    ) -> None:
+        super().__init__(address, ObsRequestHandler)
+        self.session = session
+        self.store = store
+        self.draining = False
+        self.drained = threading.Event()
+
+    def drain_and_stop(self, *, snapshot: bool = True) -> int | None:
+        """The SIGTERM path: stop intake, count everything, snapshot.
+
+        Returns the snapshot's run id (None when *snapshot* is off or
+        no store is attached).  Idempotent.
+        """
+        if self.draining:
+            self.drained.wait()
+            return None
+        self.draining = True
+        run_id: int | None = None
+        try:
+            self.session.flush()
+            if snapshot and self.store is not None:
+                run_id = self.session.snapshot_to_store(meta={"reason": "drain"})
+            self.session.close(drain=True)
+        finally:
+            self.drained.set()
+            # shutdown() must come from another thread than the serve
+            # loop; the signal handler spawns one.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+        return run_id
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+
+        def _handle(signum: int, _frame: Any) -> None:
+            threading.Thread(
+                target=self.drain_and_stop, name="iocov-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+
+class ObsRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ObsServer  # narrowed type
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the daemon stays quiet; metrics carry the signal
+
+    def _send(self, code: int, body: str, content_type: str = "application/json") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, code: int, document: dict) -> None:
+        self._send(code, json.dumps(document, indent=2, default=str))
+
+    @property
+    def session(self) -> IngestSession:
+        return self.server.session
+
+    # -- GET ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/live":
+            # The exact `repro analyze --json` payload (no envelope):
+            # CI diffs this byte-for-byte against the one-shot path.
+            self._send(200, self.session.report().to_json())
+        elif path == "/session":
+            self._send_json(200, self.session.stats())
+        elif path == "/metrics":
+            self._send(
+                200,
+                self.session.registry.render(),
+                content_type="text/plain; version=0.0.4",
+            )
+        elif path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "degraded" if self.session.degraded else "ok",
+                    "draining": self.server.draining,
+                },
+            )
+        elif path == "/runs":
+            if self.server.store is None:
+                self._send_json(503, {"error": "no run store attached"})
+                return
+            self._send_json(
+                200,
+                {"runs": [r.to_dict() for r in self.server.store.list_runs()]},
+            )
+        elif path.startswith("/runs/"):
+            self._get_run(path[len("/runs/"):])
+        else:
+            self._send_json(404, {"error": f"no route {path}"})
+
+    def _get_run(self, ref: str) -> None:
+        store = self.server.store
+        if store is None:
+            self._send_json(503, {"error": "no run store attached"})
+            return
+        try:
+            run_id = store.resolve(ref)
+            record = store.get_run(run_id)
+            report = store.load_report(run_id)
+        except (KeyError, ValueError) as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        self._send_json(200, {"run": record.to_dict(), "coverage": report.to_dict()})
+
+    # -- POST -----------------------------------------------------------------
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/ingest":
+            self._post_ingest()
+        elif path == "/runs":
+            self._post_runs()
+        else:
+            self._send_json(404, {"error": f"no route {path}"})
+
+    def _post_ingest(self) -> None:
+        if self.server.draining:
+            self._send_json(503, {"error": "daemon is draining"})
+            return
+        session = self.session
+        before_errors = session.parser.malformed_lines
+        fed = 0
+        try:
+            with session.feed_lock:
+                for piece in self._body_pieces():
+                    text = piece.decode("utf-8", errors="replace")
+                    session.feed_text(text)
+                    fed += len(piece)
+                session.end_of_stream()
+                flushed = session.flush()
+        except SessionDegradedError as exc:
+            self._send_json(422, {"error": str(exc), "session": session.stats()})
+            return
+        except ChunkedBodyError as exc:
+            # Complete lines already fed stay counted (they are valid
+            # trace data); the partial tail is dropped with the request.
+            try:
+                self._send_json(400, {"error": str(exc), "bytes_fed": fed})
+            except (ConnectionError, BrokenPipeError):
+                pass  # the client that broke the body also went away
+            self.close_connection = True
+            return
+        except (ConnectionError, socket.timeout):
+            # Client went away mid-body; nothing to answer.
+            self.close_connection = True
+            return
+        stats = session.stats()
+        document = {
+            "accepted_bytes": fed,
+            "flushed": flushed,
+            "new_parse_errors": stats["parse_errors"] - before_errors,
+            "events_counted": stats["events_counted"],
+            "degraded": stats["degraded"],
+        }
+        if stats["degraded"]:
+            # This request's own lines exhausted the budget: tell the
+            # client now, not on its next attempt.
+            document["error"] = "error budget exhausted"
+            self._send_json(422, document)
+            return
+        self._send_json(200, document)
+
+    def _body_pieces(self):
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            yield from _read_chunked(self.rfile)
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ChunkedBodyError("body exceeds limit")
+        remaining = length
+        while remaining:
+            piece = self.rfile.read(min(remaining, 65536))
+            if not piece:
+                raise ChunkedBodyError("connection closed mid-body")
+            remaining -= len(piece)
+            yield piece
+
+    def _post_runs(self) -> None:
+        if self.server.store is None:
+            self._send_json(503, {"error": "no run store attached"})
+            return
+        # Consume any (small) JSON body of extra metadata.
+        length = int(self.headers.get("Content-Length") or 0)
+        meta: dict[str, Any] = {}
+        if 0 < length <= 1_000_000:
+            try:
+                meta = json.loads(self.rfile.read(length) or b"{}")
+            except ValueError:
+                self._send_json(400, {"error": "metadata body is not JSON"})
+                return
+        run_id = self.session.snapshot_to_store(meta=meta)
+        record = self.server.store.get_run(run_id)
+        self._send_json(201, {"run": record.to_dict()})
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    fmt: str = "lttng",
+    mount_point: str | None = None,
+    suite_name: str = "live",
+    store_path: str | None = None,
+    queue_size: int | None = None,
+    error_budget: float | None = None,
+    recover: bool = True,
+) -> tuple[ObsServer, int]:
+    """Build the daemon; returns ``(server, journal_lines_recovered)``.
+
+    With *recover* (the default) any journal left by a crashed daemon
+    is replayed into the live analyzer before the server starts
+    accepting traffic, so ``/live`` resumes from the durable state.
+    """
+    store = RunStore(store_path) if store_path else None
+    kwargs: dict[str, Any] = {}
+    if queue_size is not None:
+        kwargs["queue_size"] = queue_size
+    if error_budget is not None:
+        kwargs["error_budget"] = error_budget
+    session = IngestSession(
+        fmt,
+        mount_point=mount_point,
+        suite_name=suite_name,
+        store=store,
+        **kwargs,
+    )
+    recovered = 0
+    if store is not None:
+        if recover:
+            recovered = session.recover()
+        else:
+            store.journal_clear(session.journal_session)
+    server = ObsServer((host, port), session=session, store=store)
+    return server, recovered

@@ -1,0 +1,401 @@
+"""The run store: durable, schema-versioned coverage history.
+
+One SQLite file holds every analyzed run — the full report document
+(for lossless reload via :meth:`CoverageReport.from_dict`), normalized
+per-partition count tables (for SQL over history), per-run TCD scores,
+and the metadata that makes a run reproducible: suite name, RNG seed,
+trace path and format, shard count, wall clock, and throughput.
+
+The store also carries the ingest **journal**: the daemon appends every
+accepted raw trace line before counting it, so a crash between two
+snapshots loses nothing — on restart the journal is replayed through
+the same parser into a fresh analyzer (see :mod:`repro.obs.server`).
+
+Concurrency: SQLite in WAL mode behind a per-store lock.  One process
+may serve reads and writes from many threads (the daemon does); for
+multi-process use every writer opens its own :class:`RunStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.report import CoverageReport
+
+#: Current on-disk schema version; bumped on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: Uniform TCD target recorded with every run (same default the
+#: regression gate uses, so stored scores and gate thresholds align).
+DEFAULT_TCD_TARGET = 1000.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS schema_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    suite            TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    trace_path       TEXT,
+    trace_format     TEXT,
+    seed             INTEGER,
+    jobs             INTEGER,
+    events_processed INTEGER NOT NULL DEFAULT 0,
+    events_admitted  INTEGER NOT NULL DEFAULT 0,
+    wall_seconds     REAL,
+    events_per_sec   REAL,
+    meta_json        TEXT NOT NULL DEFAULT '{}',
+    report_json      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS input_counts (
+    run_id    INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    syscall   TEXT NOT NULL,
+    arg       TEXT NOT NULL,
+    partition TEXT NOT NULL,
+    count     INTEGER NOT NULL,
+    PRIMARY KEY (run_id, syscall, arg, partition)
+);
+CREATE TABLE IF NOT EXISTS output_counts (
+    run_id    INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    syscall   TEXT NOT NULL,
+    partition TEXT NOT NULL,
+    count     INTEGER NOT NULL,
+    PRIMARY KEY (run_id, syscall, partition)
+);
+CREATE TABLE IF NOT EXISTS tcd_scores (
+    run_id  INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    kind    TEXT NOT NULL,
+    syscall TEXT NOT NULL,
+    arg     TEXT NOT NULL DEFAULT '',
+    target  REAL NOT NULL,
+    tcd     REAL NOT NULL,
+    PRIMARY KEY (run_id, kind, syscall, arg)
+);
+CREATE TABLE IF NOT EXISTS journal (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    session TEXT NOT NULL,
+    line    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS journal_session ON journal (session, seq);
+"""
+
+
+class StoreVersionError(RuntimeError):
+    """The store file was written by an incompatible schema version."""
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One stored run's metadata row (the report loads separately)."""
+
+    run_id: int
+    suite: str
+    created_at: float
+    trace_path: str | None
+    trace_format: str | None
+    seed: int | None
+    jobs: int | None
+    events_processed: int
+    events_admitted: int
+    wall_seconds: float | None
+    events_per_sec: float | None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "suite": self.suite,
+            "created_at": self.created_at,
+            "trace_path": self.trace_path,
+            "trace_format": self.trace_format,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "events_processed": self.events_processed,
+            "events_admitted": self.events_admitted,
+            "wall_seconds": self.wall_seconds,
+            "events_per_sec": self.events_per_sec,
+            "meta": self.meta,
+        }
+
+
+class RunStore:
+    """Durable coverage-run history in one SQLite file.
+
+    Args:
+        path: database file (parent directories are created); use
+            ``":memory:"`` for an ephemeral store in tests.
+        tcd_target: uniform target recorded with each run's TCD scores.
+    """
+
+    def __init__(self, path: str, tcd_target: float = DEFAULT_TCD_TARGET) -> None:
+        self.path = path
+        self.tcd_target = tcd_target
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._init_schema()
+
+    def _init_schema(self) -> None:
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM schema_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO schema_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                return
+            found = int(row["value"])
+            if found > SCHEMA_VERSION:
+                raise StoreVersionError(
+                    f"store {self.path!r} has schema v{found}, this build "
+                    f"understands up to v{SCHEMA_VERSION}; refusing to touch it"
+                )
+            # Older versions would migrate here; v1 is the first schema.
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- saving runs ----------------------------------------------------------
+
+    def save_report(
+        self,
+        report: CoverageReport,
+        *,
+        trace_path: str | None = None,
+        trace_format: str | None = None,
+        seed: int | None = None,
+        jobs: int | None = None,
+        wall_seconds: float | None = None,
+        meta: Mapping[str, Any] | None = None,
+        created_at: float | None = None,
+    ) -> int:
+        """Persist one full coverage run; returns the new run id."""
+        document = report.to_dict()
+        events_per_sec = None
+        if wall_seconds and wall_seconds > 0:
+            events_per_sec = report.events_processed / wall_seconds
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (suite, created_at, trace_path, trace_format,"
+                " seed, jobs, events_processed, events_admitted, wall_seconds,"
+                " events_per_sec, meta_json, report_json)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    report.suite_name,
+                    created_at if created_at is not None else time.time(),
+                    trace_path,
+                    trace_format,
+                    seed,
+                    jobs,
+                    report.events_processed,
+                    report.events_admitted,
+                    wall_seconds,
+                    events_per_sec,
+                    json.dumps(dict(meta or {}), sort_keys=True),
+                    json.dumps(document),
+                ),
+            )
+            run_id = int(cursor.lastrowid)
+            self._conn.executemany(
+                "INSERT INTO input_counts VALUES (?, ?, ?, ?, ?)",
+                (
+                    (run_id, syscall, arg, partition, count)
+                    for syscall, args in document["input_coverage"].items()
+                    for arg, frequencies in args.items()
+                    for partition, count in frequencies.items()
+                    if count
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO output_counts VALUES (?, ?, ?, ?)",
+                (
+                    (run_id, syscall, partition, count)
+                    for syscall, frequencies in document["output_coverage"].items()
+                    for partition, count in frequencies.items()
+                    if count
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO tcd_scores VALUES (?, ?, ?, ?, ?, ?)",
+                self._tcd_rows(run_id, report),
+            )
+        return run_id
+
+    def _tcd_rows(
+        self, run_id: int, report: CoverageReport
+    ) -> Iterator[tuple[int, str, str, str, float, float]]:
+        target = self.tcd_target
+        for syscall, arg in report.input_coverage.tracked_pairs():
+            yield (run_id, "input", syscall, arg, target,
+                   report.input_tcd(syscall, arg, target))
+        for syscall in report.output_coverage.tracked_syscalls():
+            yield (run_id, "output", syscall, "", target,
+                   report.output_tcd(syscall, target))
+
+    # -- loading runs ---------------------------------------------------------
+
+    def _record(self, row: sqlite3.Row) -> RunRecord:
+        return RunRecord(
+            run_id=row["id"],
+            suite=row["suite"],
+            created_at=row["created_at"],
+            trace_path=row["trace_path"],
+            trace_format=row["trace_format"],
+            seed=row["seed"],
+            jobs=row["jobs"],
+            events_processed=row["events_processed"],
+            events_admitted=row["events_admitted"],
+            wall_seconds=row["wall_seconds"],
+            events_per_sec=row["events_per_sec"],
+            meta=json.loads(row["meta_json"]),
+        )
+
+    def get_run(self, run_id: int) -> RunRecord:
+        """Metadata for one run.
+
+        Raises:
+            KeyError: no such run.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"no run {run_id} in {self.path}")
+        return self._record(row)
+
+    def load_report(self, run_id: int) -> CoverageReport:
+        """Reload one run's full report (lossless round trip).
+
+        Raises:
+            KeyError: no such run.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT report_json FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"no run {run_id} in {self.path}")
+        return CoverageReport.from_dict(json.loads(row["report_json"]))
+
+    def list_runs(self, limit: int | None = None, suite: str | None = None) -> list[RunRecord]:
+        """Runs newest-first, optionally filtered by suite name."""
+        query = "SELECT * FROM runs"
+        params: list[Any] = []
+        if suite is not None:
+            query += " WHERE suite = ?"
+            params.append(suite)
+        query += " ORDER BY id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [self._record(row) for row in rows]
+
+    def tcd_score(self, run_id: int, kind: str, syscall: str, arg: str = "") -> float:
+        """One stored TCD score.
+
+        Raises:
+            KeyError: run or score missing.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT tcd FROM tcd_scores WHERE run_id = ? AND kind = ?"
+                " AND syscall = ? AND arg = ?",
+                (run_id, kind, syscall, arg),
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"no {kind} TCD for run {run_id} {syscall}.{arg}")
+        return float(row["tcd"])
+
+    def resolve(self, ref: str) -> int:
+        """Resolve a run reference to an id.
+
+        Accepts a numeric id, ``latest``, or ``latest~N`` (the Nth run
+        before the newest, git-style).
+
+        Raises:
+            KeyError: the reference names no stored run.
+            ValueError: the reference is not in a recognized form.
+        """
+        ref = ref.strip()
+        if ref.isdigit():
+            return self.get_run(int(ref)).run_id
+        if ref == "latest":
+            offset = 0
+        elif ref.startswith("latest~"):
+            tail = ref[len("latest~"):]
+            if not tail.isdigit():
+                raise ValueError(f"bad run reference: {ref!r}")
+            offset = int(tail)
+        else:
+            raise ValueError(f"bad run reference: {ref!r}")
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT id FROM runs ORDER BY id DESC LIMIT 1 OFFSET ?",
+                (offset,),
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"no run at reference {ref!r} in {self.path}")
+        return int(row["id"])
+
+    def delete_run(self, run_id: int) -> None:
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM runs WHERE id = ?", (run_id,))
+
+    # -- the ingest journal ---------------------------------------------------
+
+    def journal_append(self, session: str, lines: Iterable[str]) -> None:
+        """Durably record raw trace lines before they are counted."""
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT INTO journal (session, line) VALUES (?, ?)",
+                ((session, line) for line in lines),
+            )
+
+    def journal_lines(self, session: str) -> Iterator[str]:
+        """Replay a session's journal in append order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT line FROM journal WHERE session = ? ORDER BY seq",
+                (session,),
+            ).fetchall()
+        for row in rows:
+            yield row["line"]
+
+    def journal_size(self, session: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM journal WHERE session = ?", (session,)
+            ).fetchone()
+        return int(row["n"])
+
+    def journal_clear(self, session: str) -> None:
+        """Drop a session's journal (after its snapshot persisted)."""
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM journal WHERE session = ?", (session,))

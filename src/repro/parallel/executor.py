@@ -75,6 +75,7 @@ def run_sharded(
     suite_name: str | None = None,
     inline: bool = False,
     min_shard_bytes: int = DEFAULT_MIN_SHARD_BYTES,
+    stats: dict | None = None,
 ) -> CoverageReport:
     """Analyze *path* with up to *jobs* workers; exact parity guaranteed.
 
@@ -89,6 +90,10 @@ def run_sharded(
             deterministic single-process mode for tests and debugging.
         min_shard_bytes: floor on shard size; small files get fewer
             shards rather than micro-shards.
+        stats: optional dict the executor fills with how the run
+            actually executed (``shards``, ``sequential_fallback``) —
+            recorded in the run store so a stored run names the
+            topology that produced it.
 
     Returns:
         A :class:`CoverageReport` bit-identical to the sequential
@@ -99,8 +104,12 @@ def run_sharded(
     suite = suite_name if suite_name is not None else path
     if jobs is None:
         jobs = os.cpu_count() or 1
+    if stats is None:
+        stats = {}
     spans = shard_spans(path, jobs, min_shard_bytes=min_shard_bytes)
+    stats.update(shards=len(spans), sequential_fallback=False)
     if len(spans) <= 1:
+        stats.update(shards=1)
         return _run_sequential(path, fmt, mount_point, suite)
 
     if fmt == "syzkaller":
@@ -128,6 +137,7 @@ def run_sharded(
     try:
         combined = _stitch_and_merge(results, mount_point, suite)
     except ShardAmbiguityError:
+        stats.update(sequential_fallback=True)
         return _run_sequential(path, fmt, mount_point, suite)
     return combined.report()
 

@@ -206,6 +206,10 @@ class TestSuite:
 
     name = "abstract-suite"
     mount_point = "/mnt/test"
+    #: explicit RNG seed; None = the stable per-name default.  Set by
+    #: subclasses' ``seed=`` constructor argument (``repro suites
+    #: --seed``) so stored runs are reproducible from their metadata.
+    seed_override: int | None = None
 
     def workloads(self) -> Iterable[Workload]:
         raise NotImplementedError
@@ -218,7 +222,13 @@ class TestSuite:
         return FileSystem()
 
     def seed(self) -> int:
-        """Deterministic RNG seed; stable per suite name."""
+        """Deterministic RNG seed; stable per suite name.
+
+        An explicit :attr:`seed_override` wins, so two runs recorded
+        with the same seed replay the same workload stream.
+        """
+        if self.seed_override is not None:
+            return self.seed_override
         return sum(ord(char) for char in self.name) * 7919
 
 

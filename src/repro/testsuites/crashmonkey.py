@@ -118,11 +118,16 @@ class CrashMonkeySuite(TestSuite):
     mount_point = "/mnt/test"
 
     def __init__(
-        self, scale: float = 1.0, run_seq1: bool = True, run_generic: bool = True
+        self,
+        scale: float = 1.0,
+        run_seq1: bool = True,
+        run_generic: bool = True,
+        seed: int | None = None,
     ) -> None:
         self.scale = scale
         self.run_seq1 = run_seq1
         self.run_generic = run_generic
+        self.seed_override = seed
         self.profile = CRASHMONKEY_PROFILE.scaled(scale)
         self.violations: list[str] = []
 

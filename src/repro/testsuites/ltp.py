@@ -41,8 +41,9 @@ class LtpSuite(TestSuite):
     name = "LTP"
     mount_point = "/tmp/ltp"
 
-    def __init__(self, repeats: int = 6) -> None:
+    def __init__(self, repeats: int = 6, seed: int | None = None) -> None:
         self.repeats = repeats
+        self.seed_override = seed
 
     def make_filesystem(self) -> FileSystem:
         return FileSystem(total_blocks=32768)  # 128 MiB

@@ -57,10 +57,12 @@ class XfstestsSuite(TestSuite):
         scale: float = 0.01,
         run_generic: bool = True,
         run_ext4: bool = True,
+        seed: int | None = None,
     ) -> None:
         self.scale = scale
         self.run_generic = run_generic
         self.run_ext4 = run_ext4
+        self.seed_override = seed
         self.profile = XFSTESTS_PROFILE.scaled(scale)
 
     def make_filesystem(self) -> FileSystem:

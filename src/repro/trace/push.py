@@ -1,0 +1,201 @@
+"""Push-mode trace parsing: feed lines one at a time, get events back.
+
+The file readers (``iter_parse_file``) pull lines from a handle they
+own; a live ingest daemon is the opposite shape — lines arrive in
+arbitrary network-sized pieces and the parser must keep its state
+(LTTng entry/exit pairing, syzkaller resource bindings) alive between
+feeds.  :class:`PushParser` adapts each format to that shape:
+
+* :meth:`PushParser.push_line` takes one complete line and returns the
+  events it completed (0 or more);
+* :meth:`PushParser.push_text` additionally buffers partial lines, so
+  callers can feed raw socket/chunk payloads that split mid-line;
+* malformed lines are *reported, not silently skipped*: ``push_line``
+  distinguishes benign noise (blank lines, strace's ``<unfinished>``
+  markers) from lines the format grammar rejects, which the caller can
+  quarantine against an error budget.
+
+The adapters reuse the exact per-line logic of the batch parsers, so a
+trace pushed line-by-line yields the same event stream as
+``iter_parse_file`` on the same bytes (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.trace.events import SyscallEvent
+from repro.trace.lttng import LttngParser, pair_event
+from repro.trace.strace import StraceParser
+from repro.trace.syzkaller import SyzkallerParser
+
+#: strace noise markers that legitimately produce no event.
+_STRACE_NOISE_PREFIXES = ("--- ", "+++ ")
+_STRACE_NOISE_MARKERS = ("<unfinished ...>", "resumed>")
+
+
+class PushParser:
+    """Base class: line-at-a-time parsing with malformed-line reporting.
+
+    Attributes:
+        lines_fed: total complete lines pushed so far.
+        malformed_lines: lines the grammar rejected (not benign noise).
+    """
+
+    format_name = "abstract"
+
+    def __init__(self) -> None:
+        self.lines_fed = 0
+        self.malformed_lines = 0
+        self._tail = ""
+
+    # -- per-format hook ----------------------------------------------------
+
+    def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        """Parse one line; return ``(events, malformed)``."""
+        raise NotImplementedError
+
+    # -- public API ----------------------------------------------------------
+
+    def push_line(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        """Feed one complete line.
+
+        Returns:
+            ``(events, malformed)`` — the events this line completed
+            (possibly empty: entry lines, noise) and whether the line
+            was rejected by the format grammar.
+        """
+        self.lines_fed += 1
+        events, malformed = self._push(line)
+        if malformed:
+            self.malformed_lines += 1
+        return events, malformed
+
+    def push_text(self, data: str) -> Iterator[tuple[str, list[SyscallEvent], bool]]:
+        """Feed a raw payload that may start or end mid-line.
+
+        Splits *data* on newlines, prepending any partial line left by
+        the previous call; the final piece (no trailing newline) is
+        buffered for the next feed.  Yields ``(line, events,
+        malformed)`` per completed line.
+        """
+        buffered = self._tail + data
+        lines = buffered.split("\n")
+        self._tail = lines.pop()
+        for line in lines:
+            events, malformed = self.push_line(line)
+            yield line, events, malformed
+
+    def flush(self) -> Iterator[tuple[str, list[SyscallEvent], bool]]:
+        """Treat any buffered partial line as complete (end of stream)."""
+        if self._tail:
+            line, self._tail = self._tail, ""
+            events, malformed = self.push_line(line)
+            yield line, events, malformed
+
+
+class LttngPushParser(PushParser):
+    """Push-mode LTTng text parsing with persistent entry/exit pairing.
+
+    Mirrors :meth:`LttngParser.parse_records` exactly — same FIFO
+    pairing per (pid, syscall), same orphan-exit skipping — but the
+    pending-entry table lives on the instance, so pairs split across
+    feeds still match up.
+    """
+
+    format_name = "lttng"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parser = LttngParser()
+        self._pending: dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]] = {}
+
+    def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        parsed = self._parser.parse_line(line)
+        if parsed is None:
+            return [], bool(line.strip())
+        kind, name, ns, pid, comm, fields = parsed
+        key = (pid, name)
+        if kind == "entry":
+            self._pending.setdefault(key, []).append((ns, comm, fields))
+            return [], False
+        queue = self._pending.get(key)
+        if not queue:
+            # Exit without entry: the stream started mid-call; the
+            # sequential parser skips it too.
+            return [], False
+        entry_ns, entry_comm, args = queue.pop(0)
+        return [pair_event(name, args, fields, pid, entry_comm or comm, entry_ns)], False
+
+    @property
+    def pending_entries(self) -> int:
+        """Entry lines still awaiting their exits (in-flight calls)."""
+        return sum(len(queue) for queue in self._pending.values())
+
+
+class StracePushParser(PushParser):
+    """Push-mode strace parsing (each line is self-contained)."""
+
+    format_name = "strace"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parser = StraceParser()
+
+    def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        event = self._parser.parse_line(line)
+        if event is not None:
+            return [event], False
+        stripped = line.strip()
+        if not stripped:
+            return [], False
+        if stripped.startswith(_STRACE_NOISE_PREFIXES):
+            return [], False  # signal/exit annotations
+        if any(marker in stripped for marker in _STRACE_NOISE_MARKERS):
+            return [], False  # interrupted-call halves
+        if stripped.endswith("= ?"):
+            return [], False  # call with unknown return (exit_group)
+        return [], True
+
+    @property
+    def pending_entries(self) -> int:
+        return 0
+
+
+class SyzkallerPushParser(PushParser):
+    """Push-mode syzkaller program parsing (resource table persists)."""
+
+    format_name = "syzkaller"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parser = SyzkallerParser()
+
+    def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        before = self._parser.skipped_lines
+        event = self._parser.parse_line(line)
+        if event is not None:
+            return [event], False
+        # parse_line bumps skipped_lines only on grammar rejections;
+        # blank lines and comments return None without counting.
+        return [], self._parser.skipped_lines > before
+
+    @property
+    def pending_entries(self) -> int:
+        return 0
+
+
+#: format name -> push parser factory
+PUSH_PARSERS = {
+    "lttng": LttngPushParser,
+    "strace": StracePushParser,
+    "syzkaller": SyzkallerPushParser,
+}
+
+
+def make_push_parser(fmt: str) -> PushParser:
+    """Build the push parser for *fmt* (``lttng``/``strace``/``syzkaller``)."""
+    try:
+        return PUSH_PARSERS[fmt]()
+    except KeyError:
+        raise ValueError(f"unknown trace format: {fmt!r}") from None

@@ -1,0 +1,83 @@
+"""Property test: CoverageReport.from_dict(to_dict()) is lossless."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import IOCov
+from repro.core.report import CoverageReport
+from repro.trace.events import make_event
+
+#: Tracked syscalls with a spread of argument shapes, plus errno space.
+_NAMES = st.sampled_from(
+    ["open", "openat", "read", "write", "lseek", "close", "mkdir",
+     "unlink", "truncate", "setxattr", "chmod"]
+)
+
+_EVENT = st.builds(
+    make_event,
+    name=_NAMES,
+    args=st.fixed_dictionaries(
+        {},
+        optional={
+            "pathname": st.just("/mnt/test/f"),
+            "flags": st.integers(min_value=0, max_value=0x8000),
+            "mode": st.sampled_from([0o644, 0o755, 0o4755]),
+            "fd": st.integers(min_value=0, max_value=64),
+            "count": st.integers(min_value=0, max_value=2**33),
+            "offset": st.integers(min_value=-1, max_value=2**33),
+            "whence": st.integers(min_value=0, max_value=4),
+            "size": st.integers(min_value=0, max_value=2**33),
+        },
+    ),
+    retval=st.integers(min_value=-133, max_value=2**31),
+    errno=st.just(0),
+    pid=st.integers(min_value=1, max_value=9999),
+    comm=st.just("prop"),
+    timestamp=st.integers(min_value=0, max_value=10**12),
+)
+
+
+@given(events=st.lists(_EVENT, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_from_dict_round_trip_is_lossless(events):
+    report = IOCov(suite_name="prop").consume(events).report()
+    document = report.to_dict()
+    rebuilt = CoverageReport.from_dict(document)
+    assert rebuilt.to_dict() == document
+    assert rebuilt.suite_name == report.suite_name
+    assert rebuilt.events_processed == report.events_processed
+    assert rebuilt.events_admitted == report.events_admitted
+
+
+@given(events=st.lists(_EVENT, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_json_round_trip_is_lossless(events):
+    report = IOCov(suite_name="prop").consume(events).report()
+    rebuilt = CoverageReport.from_json(report.to_json())
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_from_dict_rejects_missing_sections():
+    with pytest.raises(ValueError):
+        CoverageReport.from_dict({"suite": "x"})
+
+
+def test_from_dict_rejects_untracked_pairs():
+    report = IOCov(suite_name="x").report()
+    document = report.to_dict()
+    document["input_coverage"]["open"]["no_such_arg"] = {"p": 1}
+    with pytest.raises(ValueError):
+        CoverageReport.from_dict(document)
+
+
+def test_from_dict_rejects_bad_counts():
+    report = IOCov(suite_name="x").report()
+    document = report.to_dict()
+    arg = document["input_coverage"]["open"]["flags"]
+    partition = next(iter(arg))
+    arg[partition] = "many"
+    with pytest.raises(ValueError):
+        CoverageReport.from_dict(document)

@@ -1,0 +1,123 @@
+"""Metrics registry: instruments, exposition format, report export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    fill_report_metrics,
+    validate_exposition,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_monotonic(registry):
+    counter = registry.counter("requests_total", "Requests served")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value() == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_labels_are_independent(registry):
+    counter = registry.counter("hits_total", "Hits")
+    counter.inc(code="200")
+    counter.inc(3, code="404")
+    assert counter.value(code="200") == 1
+    assert counter.value(code="404") == 3
+    assert counter.value(code="500") == 0
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("depth", "Queue depth")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value() == 12
+
+
+def test_histogram_cumulative_buckets(registry):
+    histogram = registry.histogram("lat", "Latency", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    lines = histogram.render()
+    assert 'lat_bucket{le="0.1"} 1' in lines
+    assert 'lat_bucket{le="1"} 3' in lines
+    assert 'lat_bucket{le="10"} 4' in lines
+    assert 'lat_bucket{le="+Inf"} 5' in lines
+    assert "lat_count 5" in lines
+    assert histogram.count == 5
+
+
+def test_registry_get_or_create(registry):
+    first = registry.counter("a_total", "A")
+    second = registry.counter("a_total", "A again")
+    assert first is second
+    with pytest.raises(ValueError):
+        registry.gauge("a_total", "type clash")
+
+
+def test_render_is_valid_exposition(registry):
+    registry.counter("c_total", "C").inc(7, kind="x")
+    registry.gauge("g", "G").set(1.5, syscall="open", arg="flags")
+    registry.histogram("h_seconds", "H").observe(0.02)
+    text = registry.render()
+    assert validate_exposition(text) == []
+    assert text.endswith("\n")
+
+
+def test_label_value_escaping(registry):
+    gauge = registry.gauge("weird", "Weird labels")
+    gauge.set(1, path='a"b\\c')
+    assert validate_exposition(registry.render()) == []
+
+
+def test_fill_report_metrics(registry, mini_report):
+    fill_report_metrics(registry, mini_report)
+    text = registry.render()
+    assert validate_exposition(text) == []
+    events = registry.gauge("iocov_events_processed", "")
+    assert events.value() == mini_report.events_processed
+    ratio = registry.gauge("iocov_input_coverage_ratio", "")
+    open_flags = mini_report.input_coverage.arg("open", "flags")
+    assert ratio.value(syscall="open", arg="flags") == pytest.approx(
+        open_flags.coverage_ratio()
+    )
+    tcd = registry.gauge("iocov_tcd", "")
+    assert tcd.value(kind="input", syscall="open", arg="flags") == pytest.approx(
+        mini_report.input_tcd("open", "flags", 1000.0)
+    )
+    assert "iocov_output_partitions" in text
+
+
+def test_validator_catches_problems():
+    assert validate_exposition("orphan_sample 1\n")  # no TYPE declared
+    bad_histogram = (
+        "# HELP h H\n# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+        "h_sum 1\nh_count 5\n"
+    )
+    problems = validate_exposition(bad_histogram)
+    assert any("cumulative" in problem for problem in problems)
+    no_inf = (
+        "# HELP h H\n# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_sum 1\nh_count 5\n'
+    )
+    assert any("+Inf" in problem for problem in validate_exposition(no_inf))
+    assert any(
+        "TYPE without HELP" in problem
+        for problem in validate_exposition("# TYPE lonely counter\nlonely 1\n")
+    )
+
+
+def test_validator_accepts_counter_without_samples():
+    text = "# HELP empty_total E\n# TYPE empty_total counter\nempty_total 0\n"
+    assert validate_exposition(text) == []

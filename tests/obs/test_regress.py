@@ -1,0 +1,123 @@
+"""Cross-run regression gate: lost partitions, drift, collapse."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.report import CoverageReport
+from repro.obs.regress import diff_reports, diff_stored_runs, render_history
+from repro.obs.store import RunStore
+
+
+def _mutated(mini_report, mutate) -> CoverageReport:
+    """A copy of the mini report with its document altered by *mutate*."""
+    document = copy.deepcopy(mini_report.to_dict())
+    mutate(document)
+    return CoverageReport.from_dict(document)
+
+
+def test_identical_runs_are_clean(mini_report):
+    report = diff_reports(mini_report, mini_report)
+    assert report.findings == []
+    assert report.exit_code() == 0
+    assert "no regressions" in report.render_text()
+
+
+def test_lost_input_partition_gates(mini_report):
+    freqs = mini_report.input_frequencies("open", "flags")
+    partition = next(name for name, count in freqs.items() if count)
+
+    def drop(document):
+        document["input_coverage"]["open"]["flags"][partition] = 0
+
+    gated = diff_reports(mini_report, _mutated(mini_report, drop))
+    assert gated.exit_code() == 1
+    assert f"open.flags:{partition}" in gated.lost_partitions()
+    kinds = {finding.kind for finding in gated.errors}
+    assert "lost-input-partition" in kinds
+    # The reverse direction is a gain, not a regression.
+    reverse = diff_reports(_mutated(mini_report, drop), mini_report)
+    assert reverse.exit_code() == 0
+    assert f"open.flags:{partition}" in reverse.gained_partitions
+
+
+def test_lost_output_partition_gates(mini_report):
+    freqs = mini_report.output_frequencies("open")
+    partition = next(name for name, count in freqs.items() if count)
+
+    def drop(document):
+        document["output_coverage"]["open"][partition] = 0
+
+    gated = diff_reports(mini_report, _mutated(mini_report, drop))
+    assert gated.exit_code() == 1
+    assert any(f.kind == "lost-output-partition" for f in gated.errors)
+    assert f"open:{partition}" in gated.lost_partitions()
+
+
+def test_count_collapse_is_a_warning(mini_report):
+    freqs = mini_report.input_frequencies("open", "flags")
+    partition = next(name for name, count in freqs.items() if count)
+
+    def inflate(document):
+        document["input_coverage"]["open"]["flags"][partition] = 100_000
+
+    def deflate(document):
+        document["input_coverage"]["open"]["flags"][partition] = 1
+
+    report = diff_reports(
+        _mutated(mini_report, inflate), _mutated(mini_report, deflate)
+    )
+    collapses = [f for f in report.findings if f.kind == "count-collapse"]
+    assert collapses and collapses[0].severity == "warning"
+    assert report.exit_code() == 0  # warnings inform, only errors gate
+
+
+def test_tcd_drift_gates(mini_report):
+    def inflate_all(document):
+        for args in document["input_coverage"].values():
+            for freqs in args.values():
+                for partition, count in freqs.items():
+                    if count:
+                        freqs[partition] = count * 10_000_000
+
+    report = diff_reports(mini_report, _mutated(mini_report, inflate_all))
+    drift = [f for f in report.findings if f.kind == "tcd-drift"]
+    assert drift
+    assert report.exit_code() == 1
+
+
+def test_diff_stored_runs_resolves_refs(tmp_path, mini_report):
+    freqs = mini_report.input_frequencies("open", "flags")
+    partition = next(name for name, count in freqs.items() if count)
+
+    def drop(document):
+        document["input_coverage"]["open"]["flags"][partition] = 0
+
+    with RunStore(str(tmp_path / "runs.sqlite")) as store:
+        id_a = store.save_report(mini_report)
+        id_b = store.save_report(_mutated(mini_report, drop))
+        report, got_a, got_b = diff_stored_runs(store, "latest~1", "latest")
+        assert (got_a, got_b) == (id_a, id_b)
+        assert report.exit_code() == 1
+        with pytest.raises((KeyError, ValueError)):
+            diff_stored_runs(store, "latest~5", "latest")
+
+
+def test_to_dict_shape(mini_report):
+    document = diff_reports(mini_report, mini_report).to_dict()
+    assert document["errors"] == 0
+    assert document["lost_partitions"] == []
+    assert document["findings"] == []
+
+
+def test_render_history(tmp_path, mini_report):
+    with RunStore(str(tmp_path / "runs.sqlite")) as store:
+        assert "no runs stored" in render_history(store)
+        store.save_report(mini_report, seed=3, wall_seconds=1.0)
+        store.save_report(mini_report)
+        text = render_history(store)
+    assert "run history" in text
+    assert mini_report.suite_name[:18] in text
+    assert " 3" in text  # the seed column

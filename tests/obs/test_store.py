@@ -1,0 +1,130 @@
+"""Run store: persistence, resolution, journaling, schema guard."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.obs.store import RunStore, StoreVersionError
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(str(tmp_path / "runs.sqlite")) as s:
+        yield s
+
+
+def test_save_and_load_round_trip(store, mini_report):
+    run_id = store.save_report(
+        mini_report,
+        trace_path="mini.lttng.txt",
+        trace_format="lttng",
+        seed=7,
+        jobs=4,
+        wall_seconds=0.5,
+    )
+    loaded = store.load_report(run_id)
+    assert loaded.to_dict() == mini_report.to_dict()
+
+
+def test_run_record_metadata(store, mini_report):
+    run_id = store.save_report(
+        mini_report,
+        trace_path="/tmp/t.lttng",
+        trace_format="lttng",
+        seed=11,
+        jobs=2,
+        wall_seconds=2.0,
+        meta={"shards": 2},
+    )
+    record = store.get_run(run_id)
+    assert record.trace_path == "/tmp/t.lttng"
+    assert record.trace_format == "lttng"
+    assert record.seed == 11
+    assert record.jobs == 2
+    assert record.events_processed == mini_report.events_processed
+    assert record.events_per_sec == pytest.approx(
+        mini_report.events_processed / 2.0
+    )
+    assert record.meta == {"shards": 2}
+    assert record.to_dict()["run_id"] == run_id
+
+
+def test_list_runs_newest_first_with_limit(store, mini_report):
+    ids = [
+        store.save_report(mini_report, created_at=float(stamp))
+        for stamp in (100, 200, 300)
+    ]
+    listed = [record.run_id for record in store.list_runs()]
+    assert listed == ids[::-1]
+    assert [r.run_id for r in store.list_runs(limit=2)] == ids[:0:-1]
+
+
+def test_list_runs_suite_filter(store, mini_report):
+    store.save_report(mini_report)
+    records = store.list_runs(suite=mini_report.suite_name)
+    assert len(records) == 1
+    assert store.list_runs(suite="no-such-suite") == []
+
+
+def test_resolve_refs(store, mini_report):
+    first = store.save_report(mini_report)
+    second = store.save_report(mini_report)
+    assert store.resolve(str(first)) == first
+    assert store.resolve("latest") == second
+    assert store.resolve("latest~1") == first
+    with pytest.raises((KeyError, ValueError)):
+        store.resolve("latest~9")
+    with pytest.raises((KeyError, ValueError)):
+        store.resolve("nonsense")
+    with pytest.raises((KeyError, ValueError)):
+        store.resolve(str(second + 100))
+
+
+def test_tcd_scores_persisted(store, mini_report):
+    run_id = store.save_report(mini_report)
+    score = store.tcd_score(run_id, "input", "open", "flags")
+    assert score == pytest.approx(mini_report.input_tcd("open", "flags", 1000.0))
+
+
+def test_delete_run(store, mini_report):
+    run_id = store.save_report(mini_report)
+    store.delete_run(run_id)
+    assert store.list_runs() == []
+    with pytest.raises((KeyError, ValueError)):
+        store.get_run(run_id)
+
+
+def test_journal_append_read_clear(store):
+    store.journal_append("live", ["line one", "line two"])
+    store.journal_append("live", ["line three"])
+    store.journal_append("other", ["unrelated"])
+    assert list(store.journal_lines("live")) == [
+        "line one", "line two", "line three",
+    ]
+    assert store.journal_size("live") == 3
+    store.journal_clear("live")
+    assert store.journal_size("live") == 0
+    assert store.journal_size("other") == 1
+
+
+def test_store_reopens_existing_file(tmp_path, mini_report):
+    path = str(tmp_path / "runs.sqlite")
+    with RunStore(path) as store:
+        run_id = store.save_report(mini_report)
+    with RunStore(path) as store:
+        assert store.load_report(run_id).to_dict() == mini_report.to_dict()
+
+
+def test_schema_version_guard(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    RunStore(path).close()
+    conn = sqlite3.connect(path)
+    conn.execute(
+        "UPDATE schema_meta SET value = '999' WHERE key = 'schema_version'"
+    )
+    conn.commit()
+    conn.close()
+    with pytest.raises(StoreVersionError):
+        RunStore(path)

@@ -1,0 +1,137 @@
+"""Push-mode parsers: parity with the batch parsers, malformed reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import make_event
+from repro.trace.lttng import LttngParser, LttngWriter
+from repro.trace.push import make_push_parser
+from repro.trace.strace import StraceParser
+from repro.trace.syzkaller import SyzkallerParser
+
+MINI = "tests/parallel/fixtures/mini.lttng.txt"
+
+_EVENT = st.builds(
+    make_event,
+    name=st.sampled_from(["open", "openat", "write", "read", "lseek", "close"]),
+    args=st.dictionaries(
+        st.sampled_from(["pathname", "flags", "mode", "fd", "count", "whence"]),
+        st.integers(min_value=-(2**31), max_value=2**31),
+        max_size=4,
+    ),
+    retval=st.integers(min_value=-133, max_value=2**31),
+    errno=st.just(0),
+    pid=st.integers(min_value=0, max_value=65535),
+    comm=st.just("tester"),
+    timestamp=st.integers(min_value=0, max_value=10**12),
+)
+
+
+def _key(event):
+    return (event.name, dict(event.args), event.retval, event.errno, event.pid)
+
+
+def _push_all(parser, text: str, piece: int):
+    events = []
+    for start in range(0, len(text), piece):
+        for _line, line_events, _bad in parser.push_text(text[start:start + piece]):
+            events.extend(line_events)
+    for _line, line_events, _bad in parser.flush():
+        events.extend(line_events)
+    return events
+
+
+@given(events=st.lists(_EVENT, max_size=15), piece=st.integers(1, 400))
+@settings(max_examples=60, deadline=None)
+def test_lttng_push_parity_any_split(events, piece):
+    """Pushed in arbitrary pieces == batch-parsed, for any trace."""
+    text = LttngWriter().dumps(events)
+    batch = LttngParser().parse_text(text)
+    push = make_push_parser("lttng")
+    pushed = _push_all(push, text, piece)
+    assert [_key(e) for e in pushed] == [_key(e) for e in batch]
+    assert push.malformed_lines == 0
+
+
+@pytest.mark.parametrize("piece", (7, 211, 1 << 20))
+def test_lttng_push_parity_real_fixture(piece):
+    with open(MINI) as handle:
+        text = handle.read()
+    batch = LttngParser().parse_text(text)
+    pushed = _push_all(make_push_parser("lttng"), text, piece)
+    assert [_key(e) for e in pushed] == [_key(e) for e in batch]
+
+
+def test_lttng_pending_entries_and_orphan_exits():
+    parser = make_push_parser("lttng")
+    entry = ('[00:00:00.000000001] (+0.000000001) sim syscall_entry_close:'
+             ' { cpu_id = 0 }, { procname = "t", pid = 5 }, { fd = 3 }')
+    orphan_exit = ('[00:00:00.000000002] (+0.000000001) sim syscall_exit_read:'
+                   ' { cpu_id = 0 }, { procname = "t", pid = 5 }, { ret = 0 }')
+    events, malformed = parser.push_line(orphan_exit)
+    assert events == [] and not malformed  # mid-stream start: benign skip
+    events, malformed = parser.push_line(entry)
+    assert events == [] and not malformed
+    assert parser.pending_entries == 1
+
+
+def test_lttng_malformed_detection():
+    parser = make_push_parser("lttng")
+    _, malformed = parser.push_line("utter garbage")
+    assert malformed
+    _, malformed = parser.push_line("")
+    assert not malformed
+    assert parser.malformed_lines == 1
+    assert parser.lines_fed == 2
+
+
+def test_strace_push_parity():
+    text = (
+        'open("/mnt/test/f", O_RDONLY|O_CLOEXEC) = 3\n'
+        "read(3, 100) = 100\n"
+        "close(3) = 0\n"
+        'open("/mnt/test/missing", O_WRONLY) = -1 ENOENT (No such file)\n'
+    )
+    batch = StraceParser().parse_text(text)
+    pushed = _push_all(make_push_parser("strace"), text, 13)
+    assert [_key(e) for e in pushed] == [_key(e) for e in batch]
+
+
+def test_strace_noise_is_not_malformed():
+    parser = make_push_parser("strace")
+    for line in (
+        "--- SIGCHLD {si_signo=SIGCHLD} ---",
+        "+++ exited with 0 +++",
+        'write(1, "x", 1 <unfinished ...>',
+        '<... write resumed>) = 1',
+        "exit_group(0) = ?",
+        "",
+    ):
+        events, malformed = parser.push_line(line)
+        assert events == [] and not malformed, line
+    _, malformed = parser.push_line("complete nonsense here")
+    assert malformed
+
+
+def test_syzkaller_push_keeps_resource_bindings():
+    text = 'r0 = open(&(0x7f0000000000)="2f746d702f78", 0x2, 0x1ff)\nclose(r0)\n'
+    batch = SyzkallerParser().parse_text(text)
+    pushed = _push_all(make_push_parser("syzkaller"), text, 9)
+    assert [_key(e) for e in pushed] == [_key(e) for e in batch]
+    assert len(pushed) == 2
+
+
+def test_syzkaller_malformed_detection():
+    parser = make_push_parser("syzkaller")
+    _, malformed = parser.push_line("# a comment")
+    assert not malformed
+    _, malformed = parser.push_line("]]]]not a program[[[")
+    assert malformed
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(ValueError):
+        make_push_parser("dtrace")
