@@ -17,7 +17,10 @@ Subcommands:
   built-in suite can reach, optionally checked against a live run.
 * ``serve`` — the long-running coverage observability daemon: HTTP
   trace ingest, live snapshots, Prometheus ``/metrics``, durable runs.
-* ``push`` — stream a trace file to a running daemon.
+* ``convert`` — re-encode a text trace as a compact binary ``.rbt``
+  file (parsed once at conversion; analyzed at decode speed forever).
+* ``push`` — stream a trace file to a running daemon (text or binary,
+  optionally gzipped on the wire).
 * ``history`` — the stored-run timeline from a run store.
 * ``diff-runs`` — cross-run regression gate (lost partitions, TCD
   drift, count collapses) between two stored runs.
@@ -40,7 +43,10 @@ Examples::
     python -m repro lint --json
     python -m repro predict --suite xfstests --compare --scale 0.002
     python -m repro serve --port 9177 --mount /mnt/test --store runs.sqlite
+    python -m repro convert trace.lttng.txt trace.rbt
+    python -m repro analyze trace.rbt --json
     python -m repro push trace.lttng.txt --url 127.0.0.1:9177 --finalize
+    python -m repro push trace.rbt --format binary --gzip
     python -m repro history --store runs.sqlite
     python -m repro diff-runs latest~1 latest --store runs.sqlite
 """
@@ -62,15 +68,29 @@ EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 
+#: Text trace formats (what parsers, workers, and the daemon accept).
+_TEXT_FORMATS = ("lttng", "strace", "syzkaller")
+
 _FORMAT_READERS = {
     "lttng": "consume_lttng_file",
     "strace": "consume_strace_file",
     "syzkaller": "consume_syzkaller_file",
+    "rbt": "consume_rbt_file",
 }
 
 
 def _guess_format(path: str) -> str:
     lowered = path.lower()
+    if lowered.endswith(".rbt"):
+        return "rbt"
+    try:
+        from repro.trace.binary import MAGIC
+
+        with open(path, "rb") as handle:
+            if handle.read(len(MAGIC)) == MAGIC:
+                return "rbt"
+    except OSError:
+        pass
     if lowered.endswith((".syz", ".syzkaller")):
         return "syzkaller"
     if "strace" in lowered:
@@ -78,11 +98,14 @@ def _guess_format(path: str) -> str:
     return "lttng"
 
 
-def _load_report(path: str, fmt: str | None, mount: str | None, name: str) -> CoverageReport:
+def _load_report(
+    path: str, fmt: str | None, mount: str | None, name: str
+) -> tuple[CoverageReport, dict | None]:
+    """Serial analysis of one trace; returns (report, parse stats)."""
     fmt = fmt or _guess_format(path)
     iocov = IOCov(mount_point=mount, suite_name=name)
     getattr(iocov, _FORMAT_READERS[fmt])(path)
-    return iocov.report()
+    return iocov.report(), iocov.parse_stats
 
 
 def _emit_json(command: str, exit_code: int, payload: dict) -> int:
@@ -103,8 +126,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     name = args.name or args.trace
     fmt = args.format or _guess_format(args.trace)
     shard_stats: dict = {}
+    parse_stats: dict | None = None
     started = time.monotonic()
-    if args.jobs is not None:
+    if args.jobs is not None and fmt != "rbt":
         from repro.parallel import run_sharded
 
         report = run_sharded(
@@ -115,8 +139,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             suite_name=name,
             stats=shard_stats,
         )
+        parse_stats = shard_stats.get("parse")
     else:
-        report = _load_report(args.trace, args.format, args.mount, name)
+        # Binary traces decode so fast that sharding has nothing to
+        # win; --jobs is accepted but the serial reader runs.
+        report, parse_stats = _load_report(args.trace, fmt, args.mount, name)
     wall_seconds = time.monotonic() - started
     run_id = None
     if args.store:
@@ -133,6 +160,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
     if args.json:
         payload = report.to_dict()
+        if parse_stats is not None:
+            payload["parse"] = parse_stats
         if args.suggest:
             from repro.core.suggestions import suggest_tests
 
@@ -167,8 +196,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    report_a = _load_report(args.trace_a, args.format, args.mount, args.trace_a)
-    report_b = _load_report(args.trace_b, args.format, args.mount, args.trace_b)
+    report_a, _ = _load_report(args.trace_a, args.format, args.mount, args.trace_a)
+    report_b, _ = _load_report(args.trace_b, args.format, args.mount, args.trace_b)
     comparison = SuiteComparison(report_a, report_b)
     syscall = args.syscall or "open"
     only_a, only_b = comparison.only_covered_by(syscall, args.arg or "flags")
@@ -329,12 +358,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
     from repro.vfs.syscalls import SyscallInterface
 
     fmt = args.format or _guess_format(args.trace)
-    parser = {
-        "lttng": LttngParser(),
-        "strace": StraceParser(),
-        "syzkaller": SyzkallerParser(),
-    }[fmt]
-    events = parser.parse_file(args.trace)
+    if fmt == "rbt":
+        from repro.trace.binary import read_rbt_events
+
+        events = read_rbt_events(args.trace)
+    else:
+        parser = {
+            "lttng": LttngParser(),
+            "strace": StraceParser(),
+            "syzkaller": SyzkallerParser(),
+        }[fmt]
+        events = parser.parse_file(args.trace)
     target = SyscallInterface(FileSystem(total_blocks=args.blocks))
     report = TraceReplayer(target).replay(events)
     exit_code = EXIT_CLEAN if report.faithful else EXIT_FINDINGS
@@ -465,11 +499,49 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_CLEAN
 
 
+def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.trace.binary import convert_file
+
+    fmt = args.format or _guess_format(args.trace)
+    if fmt == "rbt":
+        print(f"repro convert: {args.trace} is already a .rbt trace", file=sys.stderr)
+        return EXIT_ERROR
+    info = convert_file(
+        args.trace, args.output, fmt, frame_events=args.frame_events
+    )
+    if args.json:
+        payload = dict(info)
+        payload["output"] = args.output
+        return _emit_json("convert", EXIT_CLEAN, payload)
+    src_bytes = os.path.getsize(args.trace)
+    dst_bytes = os.path.getsize(args.output)
+    ratio = src_bytes / dst_bytes if dst_bytes else 0.0
+    stats = info.get("parse_stats") or {}
+    print(
+        f"converted {args.trace} ({fmt}) -> {args.output}: "
+        f"{info['events']:,} events in {info['frames']} frames, "
+        f"{src_bytes:,} -> {dst_bytes:,} bytes ({ratio:.1f}x smaller)"
+    )
+    dropped = stats.get("skipped_lines", 0)
+    if dropped:
+        print(f"note: {dropped} input lines were skipped (recorded in header)")
+    return EXIT_CLEAN
+
+
 def cmd_push(args: argparse.Namespace) -> int:
     from repro.obs.client import PushError, push_file
 
     try:
-        result = push_file(args.url, args.trace, finalize=args.finalize)
+        result = push_file(
+            args.url,
+            args.trace,
+            finalize=args.finalize,
+            transport=args.transport,
+            gzip_body=args.gzip,
+        )
+    except ValueError as exc:
+        print(f"push: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     except PushError as exc:
         if args.json:
             return _emit_json(
@@ -659,9 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--format",
-        choices=sorted(_FORMAT_READERS),
+        choices=sorted(_TEXT_FORMATS),
         default="lttng",
-        help="trace format pushed to /ingest",
+        help="text trace format pushed to /ingest (binary .rbt bodies "
+        "are self-describing and accepted regardless)",
     )
     serve.add_argument("--mount", help="tester mount point (scoping filter)")
     serve.add_argument("--name", default="live", help="suite label for /live")
@@ -685,6 +758,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=cmd_serve)
 
+    convert = sub.add_parser(
+        "convert", help="convert a text trace to the binary .rbt format"
+    )
+    convert.add_argument("trace", help="text trace file path")
+    convert.add_argument("output", help="output .rbt path")
+    convert.add_argument(
+        "--format",
+        choices=sorted(_TEXT_FORMATS),
+        help="input trace format (default: guessed from the path)",
+    )
+    convert.add_argument(
+        "--frame-events",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="events per .rbt frame (streaming granularity)",
+    )
+    convert.add_argument("--json", action="store_true", help="dump JSON")
+    convert.set_defaults(handler=cmd_convert)
+
     push = sub.add_parser("push", help="stream a trace file to a daemon")
     push.add_argument("trace", help="trace file path")
     push.add_argument(
@@ -696,6 +789,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--finalize",
         action="store_true",
         help="snapshot the live coverage into the daemon's run store",
+    )
+    push.add_argument(
+        "--format",
+        dest="transport",
+        choices=("auto", "text", "binary"),
+        default="auto",
+        help="wire format: binary requires a .rbt file (see `repro "
+        "convert`); auto sniffs the file's magic",
+    )
+    push.add_argument(
+        "--gzip",
+        action="store_true",
+        help="gzip the request body (Content-Encoding: gzip)",
     )
     push.add_argument("--json", action="store_true", help="dump JSON")
     push.set_defaults(handler=cmd_push)

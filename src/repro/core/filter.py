@@ -106,22 +106,30 @@ class TraceFilter:
 
     def admit(self, event: SyscallEvent) -> bool:
         """Decide one event, updating fd-tracking state."""
-        name = event.name
-        args = event.args
-        fds = self._live_fds.setdefault(event.pid, set())
+        return self.admit_record(event.name, event.args, event.retval, event.pid)
+
+    def admit_record(self, name: str, args, retval: int, pid: int) -> bool:
+        """Decide one (name, args, retval, pid) record.
+
+        The field-level twin of :meth:`admit`: batch consumers hold
+        events as columns/rows rather than objects, and this entry
+        point lets them skip materializing a :class:`SyscallEvent`
+        per record on the hot path.
+        """
+        fds = self._live_fds.setdefault(pid, set())
 
         path_arg = _OPEN_LIKE.get(name)
         if path_arg is not None:
             path = args.get(path_arg)
-            if path is None and event.retval < 0:
+            if path is None and retval < 0:
                 # NULL-pointer path (EFAULT): the record carries no path
                 # to scope by, so it cannot be attributed away from the
                 # tester; keep it like any other failed open.
                 return self.keep_failed_opens
             relevant = isinstance(path, str) and self.path_in_scope(path)
-            if relevant and event.retval >= 0:
-                fds.add(event.retval)
-            if relevant and event.retval < 0:
+            if relevant and retval >= 0:
+                fds.add(retval)
+            if relevant and retval < 0:
                 return self.keep_failed_opens
             return relevant
 
@@ -136,8 +144,8 @@ class TraceFilter:
             # A duplicate of a tracked fd is itself tracked.
             source = args.get("fildes" if name == "dup" else "oldfd")
             if isinstance(source, int) and source in fds:
-                if event.retval >= 0:
-                    fds.add(event.retval)
+                if retval >= 0:
+                    fds.add(retval)
                 return True
             return False
 
@@ -179,6 +187,9 @@ class AcceptAllFilter:
         return iter(events)
 
     def admit(self, event: SyscallEvent) -> bool:
+        return True
+
+    def admit_record(self, name: str, args, retval: int, pid: int) -> bool:
         return True
 
     def reset(self) -> None:

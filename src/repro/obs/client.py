@@ -10,12 +10,18 @@ the lines are visible in ``/live``.
 from __future__ import annotations
 
 import json
+import zlib
 from http.client import HTTPConnection
 from typing import Any, Iterator
 from urllib.parse import urlsplit
 
+from repro.trace.binary import MAGIC
+
 #: Chunk size for the streamed upload.
 PUSH_CHUNK_BYTES = 65536
+
+#: Content-Type announcing a binary ``.rbt`` body to the daemon.
+RBT_CONTENT_TYPE = "application/x-rbt"
 
 
 class PushError(RuntimeError):
@@ -36,13 +42,28 @@ def _file_chunks(path: str, chunk_bytes: int = PUSH_CHUNK_BYTES) -> Iterator[byt
             yield piece
 
 
+def _gzip_chunks(chunks: Iterator[bytes]) -> Iterator[bytes]:
+    """Compress an upload stream into one gzip member, piece by piece."""
+    comp = zlib.compressobj(6, zlib.DEFLATED, 16 + zlib.MAX_WBITS)
+    for chunk in chunks:
+        out = comp.compress(chunk)
+        if out:
+            yield out
+    yield comp.flush()
+
+
 def _request(
-    url: str, method: str, path: str, body: Any = None, timeout: float = 60.0
+    url: str,
+    method: str,
+    path: str,
+    body: Any = None,
+    timeout: float = 60.0,
+    extra_headers: dict[str, str] | None = None,
 ) -> tuple[int, dict[str, Any]]:
     parts = urlsplit(url if "//" in url else f"http://{url}")
     conn = HTTPConnection(parts.hostname, parts.port or 80, timeout=timeout)
     try:
-        headers = {}
+        headers = dict(extra_headers or {})
         encode_chunked = False
         if body is not None and not isinstance(body, (bytes, str)):
             headers["Transfer-Encoding"] = "chunked"
@@ -60,20 +81,55 @@ def _request(
         conn.close()
 
 
+def _is_rbt_file(path: str) -> bool:
+    with open(path, "rb") as handle:
+        return handle.read(len(MAGIC)) == MAGIC
+
+
 def push_file(
-    url: str, path: str, *, finalize: bool = False, timeout: float = 300.0
+    url: str,
+    path: str,
+    *,
+    finalize: bool = False,
+    timeout: float = 300.0,
+    transport: str = "auto",
+    gzip_body: bool = False,
 ) -> dict[str, Any]:
     """Stream *path* to the daemon at *url*; optionally snapshot a run.
+
+    *transport* selects the wire format: ``"text"`` ships the bytes as
+    trace lines, ``"binary"`` announces a ``.rbt`` body (the file must
+    already be one — use ``repro convert`` first), and ``"auto"`` (the
+    default) sniffs the file's magic.  *gzip_body* compresses the body
+    on the fly and sets ``Content-Encoding: gzip``; it composes with
+    either transport.
 
     Returns the daemon's ingest response (with the snapshotted run's
     metadata under ``"run"`` when *finalize* is set).
 
     Raises:
         PushError: the daemon answered with an error status.
+        ValueError: *transport* is unknown, or ``"binary"`` was forced
+            on a file that is not ``.rbt``.
         OSError: the file or the connection failed.
     """
+    if transport not in ("auto", "text", "binary"):
+        raise ValueError(f"unknown transport: {transport!r}")
+    is_rbt = _is_rbt_file(path)
+    if transport == "binary" and not is_rbt:
+        raise ValueError(
+            f"{path} is not a .rbt trace; run `repro convert` first"
+        )
+    binary = is_rbt if transport == "auto" else transport == "binary"
+    headers: dict[str, str] = {}
+    if binary:
+        headers["Content-Type"] = RBT_CONTENT_TYPE
+    body: Any = _file_chunks(path)
+    if gzip_body:
+        headers["Content-Encoding"] = "gzip"
+        body = _gzip_chunks(body)
     status, document = _request(
-        url, "POST", "/ingest", body=_file_chunks(path), timeout=timeout
+        url, "POST", "/ingest", body=body, timeout=timeout, extra_headers=headers
     )
     if status != 200:
         raise PushError(status, document)

@@ -26,6 +26,8 @@ failure modes are testable directly:
 
 from __future__ import annotations
 
+import base64
+import binascii
 import queue
 import threading
 import time
@@ -35,10 +37,18 @@ from typing import Any
 from repro.core.analyzer import IOCov
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.store import RunStore
+from repro.trace.batch import EventBatch
+from repro.trace.binary import RbtError, decode_batch, encode_batch
 from repro.trace.push import make_push_parser
 
 #: Default bound on queued-but-uncounted lines.
 DEFAULT_QUEUE_SIZE = 65536
+
+#: Journal marker for binary batches: one journal "line" per frame,
+#: ``#repro-rbt1:`` + base64 of the frame payload.  The ``#`` prefix
+#: keeps the line inert if it ever reaches a text parser by mistake,
+#: and :meth:`IngestSession.recover` dispatches on it.
+RBT_JOURNAL_PREFIX = "#repro-rbt1:"
 
 #: Default error budget: malformed fraction that degrades the session.
 DEFAULT_ERROR_BUDGET = 0.05
@@ -118,6 +128,7 @@ class IngestSession:
         self.closed = False
         self.lines_received = 0
         self.events_counted = 0
+        self.batches_received = 0
         self.runs_stored = 0
         self._lock = threading.Lock()  # guards iocov + counters
         #: producers serialize whole requests on this so interleaved
@@ -190,19 +201,39 @@ class IngestSession:
                 self._queue.task_done()
             self.m_queue_depth.set(self._queue.qsize())
 
-    def _ingest_batch(self, lines: list[str]) -> None:
+    def _ingest_batch(self, items: list) -> None:
+        """Count one drained queue batch: text lines and/or event batches.
+
+        Items are consumed strictly in queue order — a binary frame
+        between two text feeds counts exactly where it arrived, so fd
+        state evolves as it would have in one sequential stream.
+        """
         started = time.perf_counter()
-        events = []
+        n_lines = 0
+        n_events = 0
         malformed: list[Quarantined] = []
         with self._lock:
-            for line in lines:
+            events: list = []
+            for item in items:
+                if isinstance(item, EventBatch):
+                    if events:
+                        self.iocov.consume_incremental(events)
+                        n_events += len(events)
+                        events = []
+                    self.iocov.consume_batch(item)
+                    self.batches_received += 1
+                    n_events += len(item)
+                    continue
+                n_lines += 1
                 self.lines_received += 1
-                line_events, bad = self.parser.push_line(line)
+                line_events, bad = self.parser.push_line(item)
                 if bad:
-                    malformed.append(Quarantined(self.lines_received, line))
+                    malformed.append(Quarantined(self.lines_received, item))
                 events.extend(line_events)
-            self.iocov.consume_incremental(events)
-            self.events_counted += len(events)
+            if events:
+                self.iocov.consume_incremental(events)
+                n_events += len(events)
+            self.events_counted += n_events
             if malformed:
                 space = QUARANTINE_CAP - len(self.quarantine)
                 self.quarantine.extend(malformed[:space])
@@ -212,8 +243,8 @@ class IngestSession:
                     > self.error_budget * self.parser.lines_fed
                 ):
                     self.degraded = True
-        self.m_lines.inc(len(lines))
-        self.m_events.inc(len(events))
+        self.m_lines.inc(n_lines)
+        self.m_events.inc(n_events)
         if malformed:
             self.m_parse_errors.inc(len(malformed))
         self.m_batch_seconds.observe(time.perf_counter() - started)
@@ -256,6 +287,28 @@ class IngestSession:
         self._feed_tail = lines.pop()
         if lines:
             self.feed_lines(lines, journal=journal)
+
+    def feed_batch(self, batch: EventBatch, *, journal: bool = True) -> None:
+        """Enqueue one decoded binary frame (``.rbt`` ingest path).
+
+        The frame is journaled as a single :data:`RBT_JOURNAL_PREFIX`
+        line (base64 of its re-encoded payload) so crash recovery
+        replays binary and text input alike, in arrival order.
+
+        Raises:
+            SessionDegradedError: the error budget is exhausted.
+            RuntimeError: the session was closed.
+        """
+        self._check_accepting()
+        if not len(batch):
+            return
+        if journal and self.store is not None:
+            blob = base64.b64encode(encode_batch(batch.rows())).decode("ascii")
+            self.store.journal_append(
+                self.journal_session, [RBT_JOURNAL_PREFIX + blob]
+            )
+        self._queue.put(batch)
+        self.m_queue_depth.set(self._queue.qsize())
 
     def end_of_stream(self) -> None:
         """Complete any buffered partial line (client finished sending)."""
@@ -311,6 +364,7 @@ class IngestSession:
                 "suite": self.suite_name,
                 "mount_point": self.mount_point,
                 "lines_received": self.lines_received,
+                "batches_received": self.batches_received,
                 "events_counted": self.events_counted,
                 "parse_errors": self.parser.malformed_lines,
                 "pending_pairs": self.parser.pending_entries,
@@ -334,8 +388,23 @@ class IngestSession:
         replayed = 0
         batch: list[str] = []
         for line in self.store.journal_lines(self.journal_session):
-            batch.append(line)
             replayed += 1
+            if line.startswith(RBT_JOURNAL_PREFIX):
+                # Binary frame: flush buffered text first so replay
+                # order matches arrival order, then decode and enqueue.
+                if batch:
+                    self.feed_lines(batch, journal=False)
+                    batch = []
+                try:
+                    payload = base64.b64decode(
+                        line[len(RBT_JOURNAL_PREFIX):], validate=True
+                    )
+                    frame = decode_batch(payload)
+                except (binascii.Error, RbtError):
+                    continue  # a corrupt journal record loses only itself
+                self.feed_batch(frame, journal=False)
+                continue
+            batch.append(line)
             if len(batch) >= 4096:
                 self.feed_lines(batch, journal=False)
                 batch = []

@@ -32,11 +32,16 @@ import json
 import signal
 import socket
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.obs.ingest import IngestSession, SessionDegradedError
 from repro.obs.store import RunStore
+from repro.trace.binary import RbtDecoder, RbtError
+
+#: ``POST /ingest`` Content-Type for binary ``.rbt`` bodies.
+RBT_CONTENT_TYPE = "application/x-rbt"
 
 #: Default daemon port (unregistered; "IOCV" on a phone pad, roughly).
 DEFAULT_PORT = 9177
@@ -83,6 +88,20 @@ def _read_chunked(rfile, limit: int = MAX_BODY_BYTES):
         # Accept CRLF (the spec) and a bare LF from sloppy clients.
         if terminator not in (b"\r\n", b"\n"):
             raise ChunkedBodyError("missing chunk terminator")
+
+
+def _gunzip_pieces(pieces):
+    """Decompress a gzip-encoded body stream piece by piece."""
+    decomp = zlib.decompressobj(16 + zlib.MAX_WBITS)
+    for piece in pieces:
+        out = decomp.decompress(piece)
+        if out:
+            yield out
+    out = decomp.flush()
+    if out:
+        yield out
+    if not decomp.eof:
+        raise zlib.error("truncated gzip body")
 
 
 class ObsServer(ThreadingHTTPServer):
@@ -230,18 +249,43 @@ class ObsRequestHandler(BaseHTTPRequestHandler):
             self._send_json(503, {"error": "daemon is draining"})
             return
         session = self.session
+        content_type = (
+            (self.headers.get("Content-Type") or "").split(";", 1)[0].strip().lower()
+        )
+        binary = content_type == RBT_CONTENT_TYPE
         before_errors = session.parser.malformed_lines
         fed = 0
+
+        def _counted_pieces():
+            nonlocal fed
+            for piece in self._body_pieces():
+                fed += len(piece)
+                yield piece
+
+        pieces = _counted_pieces()
+        if "gzip" in (self.headers.get("Content-Encoding") or "").lower():
+            pieces = _gunzip_pieces(pieces)
         try:
             with session.feed_lock:
-                for piece in self._body_pieces():
-                    text = piece.decode("utf-8", errors="replace")
-                    session.feed_text(text)
-                    fed += len(piece)
-                session.end_of_stream()
+                if binary:
+                    decoder = RbtDecoder()
+                    for piece in pieces:
+                        for frame in decoder.feed(piece):
+                            session.feed_batch(frame)
+                    decoder.end()
+                else:
+                    for piece in pieces:
+                        session.feed_text(piece.decode("utf-8", errors="replace"))
+                    session.end_of_stream()
                 flushed = session.flush()
         except SessionDegradedError as exc:
             self._send_json(422, {"error": str(exc), "session": session.stats()})
+            return
+        except (RbtError, zlib.error) as exc:
+            # Frames already decoded and fed stay counted (they are
+            # complete, valid trace data); the broken remainder is
+            # rejected with the request.
+            self._send_json(400, {"error": str(exc), "bytes_fed": fed})
             return
         except ChunkedBodyError as exc:
             # Complete lines already fed stay counted (they are valid

@@ -44,15 +44,16 @@ from repro.parallel.worker import (
     ShardTask,
     analyze_shard,
 )
-from repro.trace.lttng import LttngParser, pair_event
-from repro.trace.strace import StraceParser
-from repro.trace.syzkaller import SyzkallerParser, scan_resource_bindings
+from repro.trace.batch import make_parse_stats
+from repro.trace.lttng import pair_event
+from repro.trace.syzkaller import scan_resource_bindings
 
-_PARSERS = {
-    "lttng": LttngParser,
-    "strace": StraceParser,
-    "syzkaller": SyzkallerParser,
-}
+#: Below this many *estimated* events per worker, process-pool startup
+#: costs more than it saves; the executor runs sequentially instead.
+MIN_SHARD_EVENTS = 4096
+
+#: Bytes sampled from the head of the file to estimate the event count.
+_SAMPLE_BYTES = 128 * 1024
 
 
 class ShardAmbiguityError(RuntimeError):
@@ -104,13 +105,25 @@ def run_sharded(
     suite = suite_name if suite_name is not None else path
     if jobs is None:
         jobs = os.cpu_count() or 1
+    elif not inline:
+        # More workers than cores is pure fork/pickle overhead: each
+        # extra process time-slices the same CPUs it shares with the
+        # others (the measured negative scaling on small machines).
+        jobs = min(jobs, os.cpu_count() or 1)
     if stats is None:
         stats = {}
+    stats.update(jobs_effective=jobs)
     spans = shard_spans(path, jobs, min_shard_bytes=min_shard_bytes)
-    stats.update(shards=len(spans), sequential_fallback=False)
+    stats.update(shards=len(spans), sequential_fallback=False, pool_skipped=False)
     if len(spans) <= 1:
         stats.update(shards=1)
-        return _run_sequential(path, fmt, mount_point, suite)
+        return _run_sequential(path, fmt, mount_point, suite, stats)
+    if not inline and _estimate_events(path, fmt) < jobs * MIN_SHARD_EVENTS:
+        # Not enough work to amortize process-pool startup: a pool
+        # would *lose* wall-clock time against the batch sequential
+        # path (the measured --jobs regression on small traces).
+        stats.update(shards=1, pool_skipped=True)
+        return _run_sequential(path, fmt, mount_point, suite, stats)
 
     if fmt == "syzkaller":
         snapshots = _syzkaller_snapshots(path, [start for start, _ in spans])
@@ -134,12 +147,38 @@ def run_sharded(
     else:
         results = _run_pool(tasks)
 
+    residue: dict[str, int] = {}
     try:
-        combined = _stitch_and_merge(results, mount_point, suite)
+        combined = _stitch_and_merge(results, mount_point, suite, residue)
     except ShardAmbiguityError:
         stats.update(sequential_fallback=True)
-        return _run_sequential(path, fmt, mount_point, suite)
+        return _run_sequential(path, fmt, mount_point, suite, stats)
+    stats["parse"] = make_parse_stats(
+        fmt,
+        sum(result.skipped_lines for result in results)
+        + residue.get("unstitched_orphans", 0),
+        sum(result.malformed_lines for result in results),
+        residue.get("unpaired_entries", 0),
+    )
     return combined.report()
+
+
+def _estimate_events(path: str, fmt: str) -> int:
+    """Cheap event-count estimate from a head sample of the file.
+
+    Average line length over the first :data:`_SAMPLE_BYTES` scales to
+    the file size; LTTng needs two lines (entry + exit) per event.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        return 0
+    with open(path, "rb") as handle:
+        sample = handle.read(_SAMPLE_BYTES)
+    newlines = sample.count(b"\n")
+    if newlines == 0:
+        return 1
+    estimated_lines = size * newlines // len(sample)
+    return estimated_lines // 2 if fmt == "lttng" else estimated_lines
 
 
 def _run_pool(tasks: list[ShardTask]) -> list[ShardResult]:
@@ -161,12 +200,13 @@ def _run_pool(tasks: list[ShardTask]) -> list[ShardResult]:
 
 
 def _run_sequential(
-    path: str, fmt: str, mount_point: str | None, suite: str
+    path: str, fmt: str, mount_point: str | None, suite: str, stats: dict
 ) -> CoverageReport:
-    """The reference path: one streaming pass (also the fallback)."""
+    """The reference path: one batch-streaming pass (also the fallback)."""
     iocov = IOCov(mount_point=mount_point, suite_name=suite)
-    parser = _PARSERS[fmt]()
-    return iocov.consume_stream(parser.iter_parse_file(path)).report()
+    getattr(iocov, f"consume_{fmt}_file")(path)
+    stats["parse"] = iocov.parse_stats
+    return iocov.report()
 
 
 def _syzkaller_snapshots(path: str, starts: list[int]) -> list[dict[str, int]]:
@@ -213,7 +253,10 @@ def tree_merge(results: list[ShardResult]) -> ShardResult:
 
 
 def _stitch_and_merge(
-    results: list[ShardResult], mount_point: str | None, suite: str
+    results: list[ShardResult],
+    mount_point: str | None,
+    suite: str,
+    residue: dict | None = None,
 ) -> IOCov:
     """Replay the cross-shard residue, then fold all tallies together.
 
@@ -221,10 +264,16 @@ def _stitch_and_merge(
     sequence of fd-table mutations the sequential run would perform:
     shard op logs, deferred-event decisions, and stitched boundary
     events, interleaved in stream order by their sequence numbers.
+
+    *residue* (if given) receives the parse-stat contributions only the
+    stitch phase knows: orphan exits no earlier entry matched (the
+    sequential parser counts them skipped) and entry lines whose exits
+    never arrived (the sequential parser's unpaired count).
     """
     fixup = IOCov(mount_point=mount_point, suite_name=suite)
     real = fixup.filter
     carried: dict[tuple[int, str], deque] = defaultdict(deque)
+    unstitched_orphans = 0
 
     for result in sorted(results, key=lambda r: r.index):
         # Prove shard-local pairing matched sequential FIFO pairing:
@@ -239,7 +288,7 @@ def _stitch_and_merge(
         records = heapq.merge(
             ((seq, 0, payload) for seq, *payload in result.ops),
             ((seq, 1, payload) for seq, payload in result.orphans),
-            ((seq, 2, payload) for seq, payload in result.deferred),
+            ((seq, 2, payload) for seq, payload in result.iter_deferred()),
             key=lambda record: record[0],
         )
         for _seq, tag, payload in records:
@@ -258,8 +307,10 @@ def _stitch_and_merge(
                         name, args, fields, pid, entry_comm or comm, entry_ns
                     )
                     fixup.consume_event(event)
-                # else: exit with no entry anywhere before it — the
-                # sequential parser skips it too.
+                else:
+                    # Exit with no entry anywhere before it — the
+                    # sequential parser counts it as a skipped line.
+                    unstitched_orphans += 1
             else:  # deferred event: decide against the true fd state
                 if real.admit(payload):
                     fixup.count_admitted(payload)
@@ -267,6 +318,9 @@ def _stitch_and_merge(
         for key, entries in result.pending.items():
             carried[key].extend(entries)
 
+    if residue is not None:
+        residue["unstitched_orphans"] = unstitched_orphans
+        residue["unpaired_entries"] = sum(len(q) for q in carried.values())
     top = tree_merge(results)
     fixup.input.merge(top.input)
     fixup.output.merge(top.output)

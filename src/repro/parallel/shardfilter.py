@@ -37,7 +37,7 @@ from repro.core.filter import (
     _OPEN_LIKE,
     _PATH_KEYS,
 )
-from repro.trace.events import SyscallEvent
+from repro.trace.events import SyscallEvent, make_event
 
 #: Per-(pid, fd) knowledge states.
 UNKNOWN, LIVE, DEAD = 0, 1, 2
@@ -70,27 +70,52 @@ class ShardFilter:
         self.ops: list[FdOp] = []
         self.deferred: list[tuple[int, SyscallEvent]] = []
 
+    def admit_local_row(self, seq: int, row: tuple) -> bool | None:
+        """Row-tuple twin of :meth:`admit_local` (batch workers).
+
+        *row* is ``(name, args, retval, errno, pid, comm, timestamp)``
+        as the batch parsers produce it; a :class:`SyscallEvent` is
+        constructed only if the row is actually deferred, so decidable
+        rows (the vast majority) never materialize an object.
+        """
+        name, args, retval, errno, pid, comm, timestamp = row
+        return self._admit(
+            seq,
+            name,
+            args,
+            retval,
+            pid,
+            lambda: make_event(
+                name, args, retval, errno, pid=pid, comm=comm, timestamp=timestamp
+            ),
+        )
+
     def admit_local(self, seq: int, event: SyscallEvent) -> bool | None:
         """Decide one event: True / False, or None when deferred.
 
         Mirrors :meth:`TraceFilter.admit` branch for branch; every
         local True/False is provably the sequential verdict.
         """
-        name = event.name
-        args = event.args
+        return self._admit(
+            seq, event.name, event.args, event.retval, event.pid, lambda: event
+        )
+
+    def _admit(
+        self, seq: int, name: str, args, retval: int, pid: int, event_of
+    ) -> bool | None:
         base = self.base
-        states = self._fd_state.setdefault(event.pid, {})
+        states = self._fd_state.setdefault(pid, {})
 
         path_arg = _OPEN_LIKE.get(name)
         if path_arg is not None:
             path = args.get(path_arg)
-            if path is None and event.retval < 0:
+            if path is None and retval < 0:
                 return base.keep_failed_opens
             relevant = isinstance(path, str) and base.path_in_scope(path)
-            if relevant and event.retval >= 0:
-                states[event.retval] = LIVE
-                self.ops.append((seq, event.pid, OP_ADD, event.retval))
-            if relevant and event.retval < 0:
+            if relevant and retval >= 0:
+                states[retval] = LIVE
+                self.ops.append((seq, pid, OP_ADD, retval))
+            if relevant and retval < 0:
                 return base.keep_failed_opens
             return relevant
 
@@ -101,7 +126,7 @@ class ShardFilter:
             state = states.get(fd, UNKNOWN)
             if state == LIVE:
                 states[fd] = DEAD
-                self.ops.append((seq, event.pid, OP_RETIRE, fd))
+                self.ops.append((seq, pid, OP_RETIRE, fd))
                 return True
             if state == DEAD:
                 return False
@@ -110,7 +135,7 @@ class ShardFilter:
             # either way.  No op is logged; the parent's replay of this
             # deferred event performs the (conditional) retire itself.
             states[fd] = DEAD
-            self.deferred.append((seq, event))
+            self.deferred.append((seq, event_of()))
             return None
 
         if name in ("dup", "dup2"):
@@ -119,18 +144,18 @@ class ShardFilter:
                 return False
             state = states.get(source, UNKNOWN)
             if state == LIVE:
-                if event.retval >= 0:
-                    states[event.retval] = LIVE
-                    self.ops.append((seq, event.pid, OP_ADD, event.retval))
+                if retval >= 0:
+                    states[retval] = LIVE
+                    self.ops.append((seq, pid, OP_ADD, retval))
                 return True
             if state == DEAD:
                 return False
-            self.deferred.append((seq, event))
+            self.deferred.append((seq, event_of()))
             # The duplicate fd becomes tracked iff the source was; a
             # previously LIVE target stays live regardless (the
             # sequential filter never removes on dup).
-            if event.retval >= 0 and states.get(event.retval, UNKNOWN) != LIVE:
-                states[event.retval] = UNKNOWN
+            if retval >= 0 and states.get(retval, UNKNOWN) != LIVE:
+                states[retval] = UNKNOWN
             return None
 
         for key in _PATH_KEYS:
@@ -146,7 +171,7 @@ class ShardFilter:
                     return True
                 if state == DEAD:
                     return False
-                self.deferred.append((seq, event))
+                self.deferred.append((seq, event_of()))
                 return None
 
         if name in _GLOBAL_EVENTS:

@@ -53,6 +53,34 @@ def shard_spans(
     return [(cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1)]
 
 
+#: Bytes per chunk for :func:`iter_span_chunks`.
+DEFAULT_SPAN_CHUNK_BYTES = 1 << 20
+
+
+def iter_span_chunks(
+    path: str, start: int, end: int, chunk_bytes: int = DEFAULT_SPAN_CHUNK_BYTES
+) -> Iterator[str]:
+    """Stream one span as newline-aligned text chunks (batch parsing).
+
+    Concatenating the chunks yields exactly the bytes of
+    :func:`iter_span_lines` over the same span, but in a handful of
+    big pieces instead of per-line strings.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        remaining = end - start
+        while remaining > 0:
+            raw = handle.read(min(chunk_bytes, remaining))
+            if not raw:
+                break
+            remaining -= len(raw)
+            if remaining > 0 and not raw.endswith(b"\n"):
+                tail = handle.readline()
+                remaining -= len(tail)
+                raw += tail
+            yield raw.decode("utf-8")
+
+
 def iter_span_lines(path: str, start: int, end: int) -> Iterator[str]:
     """Stream the lines of one span, decoded like a sequential parse.
 

@@ -28,11 +28,11 @@ from repro.core.filter import TraceFilter
 from repro.core.input_coverage import InputCoverage
 from repro.core.output_coverage import OutputCoverage
 from repro.parallel.shardfilter import FdOp, ShardFilter
-from repro.parallel.sharding import iter_span_lines
+from repro.parallel.sharding import iter_span_chunks, iter_span_lines
+from repro.trace.batch import StraceBatchParser, SyzkallerBatchParser
+from repro.trace.binary import decode_batch, encode_batch
 from repro.trace.events import SyscallEvent
 from repro.trace.lttng import LttngParser, OrphanExit
-from repro.trace.strace import StraceParser
-from repro.trace.syzkaller import SyzkallerParser
 
 #: Trace formats the sharded pipeline understands.
 FORMATS = ("lttng", "strace", "syzkaller")
@@ -78,6 +78,21 @@ class ShardResult:
     #: for that key; the parent proves local pairing exact by checking
     #: the carried-over entry queue was drained by then.
     first_pair_orphans: dict[tuple[int, str], int] = field(default_factory=dict)
+    #: parser drop counters for this shard's span (summed by the parent
+    #: into the run-level parse stats).
+    skipped_lines: int = 0
+    malformed_lines: int = 0
+    #: deferred events shipped as one encoded ``.rbt`` frame instead of
+    #: a pickled event list (cheaper IPC); ``deferred_seqs`` carries the
+    #: matching stream positions.  When set, ``deferred`` is empty.
+    deferred_blob: bytes | None = None
+    deferred_seqs: list[int] | None = None
+
+    def iter_deferred(self):
+        """Yield ``(seq, event)`` regardless of the transport encoding."""
+        if self.deferred_blob is not None:
+            return zip(self.deferred_seqs, decode_batch(self.deferred_blob).iter_events())
+        return iter(self.deferred)
 
     def merge(self, other: "ShardResult") -> "ShardResult":
         """Fold another shard's coverage tallies in (exact: sums).
@@ -120,13 +135,17 @@ def analyze_shard(task: ShardTask) -> ShardResult:
         if task.mount_point is not None
         else None
     )
-    lines = iter_span_lines(task.path, task.start, task.end)
 
     orphans: list[tuple[int, OrphanExit]] = []
     pending: PendingMap = {}
     first_pair_orphans: dict[tuple[int, str], int] = {}
+    skipped = malformed = 0
 
     if task.fmt == "lttng":
+        # Entry/exit pairing and the orphan/pending stitch residue need
+        # the record stream, so LTTng shards stay on the per-line
+        # reader (whose fast line grammar does the heavy lifting).
+        lines = iter_span_lines(task.path, task.start, task.end)
         parser = LttngParser()
         orphan_seen: dict[tuple[int, str], int] = {}
         seq = 0
@@ -144,13 +163,48 @@ def analyze_shard(task: ShardTask) -> ShardResult:
                 _feed(iocov, shard_filter, seq, event)
             seq += 1
         pending = parser.pending_entries
-    elif task.fmt == "strace":
-        for seq, event in enumerate(StraceParser().parse(lines)):
-            _feed(iocov, shard_filter, seq, event)
-    else:  # syzkaller
-        parser = SyzkallerParser(resources=task.resources)
-        for seq, event in enumerate(parser.parse(lines)):
-            _feed(iocov, shard_filter, seq, event)
+        skipped = parser.skipped_lines
+        malformed = parser.malformed_lines
+    else:
+        # Self-contained line formats: batch-parse the span chunk by
+        # chunk; rows feed the analyzer without event construction.
+        parser = (
+            StraceBatchParser()
+            if task.fmt == "strace"
+            else SyzkallerBatchParser(resources=task.resources)
+        )
+        chunks = iter_span_chunks(task.path, task.start, task.end)
+        if shard_filter is None:
+            for chunk in chunks:
+                iocov._ingest_rows(parser.parse_chunk(chunk))
+        else:
+            admit_row = shard_filter.admit_local_row
+            count_record = iocov.count_admitted_record
+            seq = 0
+            for chunk in chunks:
+                for row in parser.parse_chunk(chunk):
+                    if admit_row(seq, row) is True:
+                        count_record(row[0], row[1], row[2], row[3])
+                    seq += 1
+                iocov.events_processed = seq
+        skipped = parser.skipped_lines
+        malformed = parser.malformed_lines
+
+    deferred = shard_filter.deferred if shard_filter is not None else []
+    deferred_blob = None
+    deferred_seqs = None
+    if deferred:
+        # Ship the deferred events as one encoded frame: cheaper to
+        # pickle than a list of event objects, decoded lazily by the
+        # parent's stitch phase.
+        deferred_seqs = [seq for seq, _ in deferred]
+        deferred_blob = encode_batch(
+            [
+                (e.name, e.args, e.retval, e.errno, e.pid, e.comm, e.timestamp)
+                for _, e in deferred
+            ]
+        )
+        deferred = []
 
     return ShardResult(
         index=task.index,
@@ -160,8 +214,12 @@ def analyze_shard(task: ShardTask) -> ShardResult:
         events_processed=iocov.events_processed,
         events_admitted=iocov.events_admitted,
         ops=shard_filter.ops if shard_filter is not None else [],
-        deferred=shard_filter.deferred if shard_filter is not None else [],
+        deferred=deferred,
         orphans=orphans,
         pending=pending,
         first_pair_orphans=first_pair_orphans,
+        skipped_lines=skipped,
+        malformed_lines=malformed,
+        deferred_blob=deferred_blob,
+        deferred_seqs=deferred_seqs,
     )

@@ -6,9 +6,37 @@ Capture paths into the IOCov analyzer:
   :class:`~repro.vfs.syscalls.SyscallInterface` (the LTTng equivalent);
 * offline LTTng/babeltrace text: :class:`LttngParser`;
 * offline strace text: :class:`StraceParser`;
-* syzkaller program logs (input-only): :class:`SyzkallerParser`.
+* syzkaller program logs (input-only): :class:`SyzkallerParser`;
+* batch-columnar parsing of any text format: :class:`EventBatch` and
+  :func:`make_batch_parser` (chunk-at-a-time, several times faster
+  than the per-line readers, result-identical by construction);
+* binary ``.rbt`` container: :func:`convert_file`, :class:`RbtReader`,
+  :class:`RbtWriter`, :class:`RbtDecoder` — parse once, analyze at
+  decode speed.
 """
 
+from repro.trace.batch import (
+    EventBatch,
+    LttngBatchParser,
+    StraceBatchParser,
+    SyzkallerBatchParser,
+    make_batch_parser,
+    make_parse_stats,
+)
+from repro.trace.binary import (
+    RbtDecoder,
+    RbtError,
+    RbtFormatError,
+    RbtReader,
+    RbtTruncatedError,
+    RbtWriter,
+    convert_file,
+    decode_batch,
+    encode_batch,
+    iter_rbt_batches,
+    read_rbt_events,
+    read_rbt_header,
+)
 from repro.trace.events import SyscallEvent, make_event
 from repro.trace.lttng import LttngParseError, LttngParser, LttngWriter
 from repro.trace.recorder import TraceRecorder
@@ -17,16 +45,34 @@ from repro.trace.strace import StraceParseError, StraceParser
 from repro.trace.syzkaller import SyzkallerParser
 
 __all__ = [
+    "EventBatch",
+    "LttngBatchParser",
     "LttngParseError",
     "LttngParser",
     "LttngWriter",
+    "RbtDecoder",
+    "RbtError",
+    "RbtFormatError",
+    "RbtReader",
+    "RbtTruncatedError",
+    "RbtWriter",
     "ReplayDivergence",
     "ReplayReport",
+    "StraceBatchParser",
     "StraceParseError",
     "StraceParser",
     "SyscallEvent",
+    "SyzkallerBatchParser",
     "SyzkallerParser",
     "TraceRecorder",
     "TraceReplayer",
+    "convert_file",
+    "decode_batch",
+    "encode_batch",
+    "iter_rbt_batches",
+    "make_batch_parser",
     "make_event",
+    "make_parse_stats",
+    "read_rbt_events",
+    "read_rbt_header",
 ]

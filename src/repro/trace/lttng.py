@@ -40,6 +40,57 @@ _LINE_RE = re.compile(
 _FIELD_BLOCK_RE = re.compile(r"\{([^{}]*)\}")
 _FIELD_RE = re.compile(r"(\w+)\s*=\s*(\"(?:[^\"\\]|\\.)*\"|[^,]+)")
 
+_NAME_RE = re.compile(r"\w+\Z")
+
+#: Context-field names the parser lifts out of the field blocks.
+_CONTEXT_KEYS = ("pid", "procname", "cpu_id")
+
+#: Strict single-line grammar for exactly the shape :class:`LttngWriter`
+#: emits.  Everything structural — timestamp layout, context blocks,
+#: the quoted procname, the exit ``ret`` value — is validated by the
+#: regex engine in one C-level match, so the Python side only converts
+#: captured strings.  Lines that deviate (escaped procnames, extra
+#: context fields, leading-zero retvals, multi-digit hours, …) simply
+#: fail to match and take the permissive `_LINE_RE` path, so the fast
+#: path can never *disagree* with the slow one — it can only decline.
+#:
+#: Groups: 1 ts(HH:MM:SS) 2 ns | exit: 3 name 4 comm 5 pid 6 ret
+#:                              | entry: 7 name 8 comm 9 pid 10 body
+_WRITER_PATTERN = (
+    r"\[(\d\d:\d\d:\d\d)\.(\d{9})\] \(\+[0-9.]+\) \S+ syscall_"
+    r"(?:exit_(\w+): \{ cpu_id = \d+ \}, "
+    r"\{ procname = \"([^\"\\{}]*)\", pid = (\d+) \}, "
+    r"\{ ret = (-?(?:0|[1-9]\d*)) \}"
+    r"|entry_(\w+): \{ cpu_id = \d+ \}, "
+    r"\{ procname = \"([^\"\\{}]*)\", pid = (\d+) \}, "
+    r"\{ (.*) \})$"
+)
+_WRITER_RE = re.compile(_WRITER_PATTERN)
+#: Chunk-mode variant: anchored per line for `findall` over whole reads.
+_WRITER_RE_M = re.compile("(?m)^" + _WRITER_PATTERN)
+
+#: "HH:MM:SS" -> nanoseconds-at-second-boundary.  Traces advance through
+#: at most 86 400 distinct wall-second labels per day, so this stays tiny.
+_TS_CACHE: dict[str, int] = {}
+
+#: "key = value" part -> (key, parsed value).  Field parts repeat
+#: heavily across a trace (``flags = 577``, ``mode = 420``, ``ret = 0``)
+#: while only path-carrying parts are unique, so a string-keyed memo
+#: removes almost all per-field parse work.  Values are ints / strings /
+#: None — immutable — so sharing them across events is safe.
+_PART_CACHE: dict[str, tuple[str, Any]] = {}
+_PART_CACHE_CAP = 16384
+
+
+def _ts_ns(hms: str) -> int:
+    """Convert a cached ``HH:MM:SS`` label to nanoseconds."""
+    ns = _TS_CACHE.get(hms)
+    if ns is None:
+        ns = (int(hms[0:2]) * 3600 + int(hms[3:5]) * 60 + int(hms[6:8])) * _NS_PER_SEC
+        if len(_TS_CACHE) < 65536:
+            _TS_CACHE[hms] = ns
+    return ns
+
 
 def _format_value(value: Any) -> str:
     if value is None:
@@ -67,6 +118,57 @@ def _parse_value(text: str) -> Any:
         return int(text, 0)
     except ValueError:
         return text
+
+
+def _fast_fields(body: str) -> dict[str, Any] | None:
+    """Parse a writer-shaped field block with split + a part memo.
+
+    Only accepts the strict shape the regex grammar would parse to the
+    identical dict: ``key = value`` parts joined by ``", "`` where keys
+    are word characters and quoted values carry no interior quotes (a
+    quoted value containing ``", "`` mis-splits, but its first fragment
+    then holds an unterminated quote and is rejected here).  Anything
+    else returns None and the caller falls back to the regex path, so
+    the fast path can never *disagree* with the slow one — it can only
+    decline.  The caller must already have excluded braces/backslashes.
+    """
+    if not body:
+        return {}
+    fields: dict[str, Any] = {}
+    cache = _PART_CACHE
+    for part in body.split(", "):
+        hit = cache.get(part)
+        if hit is not None:
+            fields[hit[0]] = hit[1]
+            continue
+        key, sep, tok = part.partition(" = ")
+        if not sep or _NAME_RE.fullmatch(key) is None or key in _CONTEXT_KEYS:
+            return None
+        tok = tok.strip()
+        if not tok:
+            return None
+        c0 = tok[0]
+        if c0 == '"':
+            if len(tok) < 2 or tok.find('"', 1) != len(tok) - 1:
+                return None
+            value: Any = tok[1:-1]
+        # The regex grammar ends an unquoted value at a *bare* comma,
+        # not just at the ", " separator this split uses.
+        elif "," in tok:
+            return None
+        # int(text, 0) rejects leading-zero decimals ('010'), so those
+        # must take the same _parse_value route the regex path takes
+        # (where they stay strings).
+        elif tok.isdecimal():
+            value = _parse_value(tok) if (c0 == "0" and len(tok) > 1) else int(tok)
+        elif c0 == "-" and tok[1:].isdecimal():
+            value = _parse_value(tok) if (len(tok) > 2 and tok[1] == "0") else int(tok)
+        else:
+            value = _parse_value(tok)
+        fields[key] = value
+        if len(cache) < _PART_CACHE_CAP:
+            cache[part] = (key, value)
+    return fields
 
 
 def _timestamp_str(ns: int) -> str:
@@ -147,19 +249,44 @@ class LttngParser:
     lines, exactly as before.
     """
 
-    def __init__(self, strict: bool = False) -> None:
+    def __init__(self, strict: bool = False, fast: bool = True) -> None:
         self.strict = strict
+        #: use the string-ops fast path for writer-shaped lines; False
+        #: forces every line through the regex grammar (benchmarks use
+        #: this to measure the legacy path).
+        self.fast = fast
         self.skipped_lines = 0
+        #: nonblank lines the grammar rejected (a subset of skipped).
+        self.malformed_lines = 0
         #: (pid, name) -> pending entry records, set after an iteration
         #: of :meth:`parse_records` is exhausted.
         self.pending_entries: dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]] = {}
 
     def parse_line(self, line: str) -> tuple[str, str, int, int, str, dict[str, Any]] | None:
         """Parse one line into (kind, name, ts, pid, comm, fields)."""
-        match = _LINE_RE.match(line.strip())
+        stripped = line.strip()
+        if self.fast:
+            m = _WRITER_RE.match(stripped)
+            if m is not None:
+                g = m.groups()
+                body = g[9]
+                if body is None:
+                    # Exit alternative: ret was captured by the regex.
+                    ns = _ts_ns(g[0]) + int(g[1])
+                    return "exit", g[2], ns, int(g[4]), g[3], {"ret": int(g[5])}
+                if "{" not in body and "}" not in body and "\\" not in body:
+                    fields = _fast_fields(body)
+                    if fields is not None:
+                        ns = _ts_ns(g[0]) + int(g[1])
+                        return "entry", g[6], ns, int(g[8]), g[7], fields
+                # Braces/escapes derail the regex block splitter — the
+                # slow path must decide what such a line means.
+        match = _LINE_RE.match(stripped)
         if match is None:
-            if line.strip() and self.strict:
-                raise LttngParseError(f"unparseable line: {line!r}")
+            if stripped:
+                if self.strict:
+                    raise LttngParseError(f"unparseable line: {line!r}")
+                self.malformed_lines += 1
             self.skipped_lines += 1
             return None
         ns = (
@@ -174,14 +301,31 @@ class LttngParser:
             for key, raw in _FIELD_RE.findall(block):
                 value = _parse_value(raw)
                 if key == "pid":
-                    pid = int(value)
+                    if not isinstance(value, int):
+                        # Grammar-shaped line with a non-numeric pid:
+                        # reject as malformed instead of crashing.
+                        if self.strict:
+                            raise LttngParseError(f"bad pid in line: {line!r}")
+                        self.malformed_lines += 1
+                        self.skipped_lines += 1
+                        return None
+                    pid = value
                 elif key == "procname":
                     comm = str(value)
                 elif key == "cpu_id":
                     continue
                 else:
                     fields[key] = value
-        return match["kind"], match["name"], ns, pid, comm, fields
+        kind = match["kind"]
+        if kind == "exit" and not isinstance(fields.get("ret", 0), int):
+            # Exit line with a non-integer ret: reject as malformed
+            # instead of crashing the pairing stage downstream.
+            if self.strict:
+                raise LttngParseError(f"bad ret in line: {line!r}")
+            self.malformed_lines += 1
+            self.skipped_lines += 1
+            return None
+        return kind, match["name"], ns, pid, comm, fields
 
     def parse_records(
         self, lines: Iterable[str]

@@ -29,9 +29,6 @@ from repro.trace.lttng import LttngParser, pair_event
 from repro.trace.strace import StraceParser
 from repro.trace.syzkaller import SyzkallerParser
 
-#: strace noise markers that legitimately produce no event.
-_STRACE_NOISE_PREFIXES = ("--- ", "+++ ")
-_STRACE_NOISE_MARKERS = ("<unfinished ...>", "resumed>")
 
 
 class PushParser:
@@ -111,9 +108,10 @@ class LttngPushParser(PushParser):
         self._pending: dict[tuple[int, str], list[tuple[int, str, dict[str, Any]]]] = {}
 
     def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        before = self._parser.malformed_lines
         parsed = self._parser.parse_line(line)
         if parsed is None:
-            return [], bool(line.strip())
+            return [], self._parser.malformed_lines > before
         kind, name, ns, pid, comm, fields = parsed
         key = (pid, name)
         if kind == "entry":
@@ -143,19 +141,13 @@ class StracePushParser(PushParser):
         self._parser = StraceParser()
 
     def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
+        # The parser itself classifies noise (signal annotations,
+        # interrupted-call halves, unknown-return calls) vs malformed.
+        before = self._parser.malformed_lines
         event = self._parser.parse_line(line)
         if event is not None:
             return [event], False
-        stripped = line.strip()
-        if not stripped:
-            return [], False
-        if stripped.startswith(_STRACE_NOISE_PREFIXES):
-            return [], False  # signal/exit annotations
-        if any(marker in stripped for marker in _STRACE_NOISE_MARKERS):
-            return [], False  # interrupted-call halves
-        if stripped.endswith("= ?"):
-            return [], False  # call with unknown return (exit_group)
-        return [], True
+        return [], self._parser.malformed_lines > before
 
     @property
     def pending_entries(self) -> int:
@@ -172,13 +164,13 @@ class SyzkallerPushParser(PushParser):
         self._parser = SyzkallerParser()
 
     def _push(self, line: str) -> tuple[list[SyscallEvent], bool]:
-        before = self._parser.skipped_lines
+        before = self._parser.malformed_lines
         event = self._parser.parse_line(line)
         if event is not None:
             return [event], False
-        # parse_line bumps skipped_lines only on grammar rejections;
+        # parse_line bumps malformed_lines only on grammar rejections;
         # blank lines and comments return None without counting.
-        return [], self._parser.skipped_lines > before
+        return [], self._parser.malformed_lines > before
 
     @property
     def pending_entries(self) -> int:

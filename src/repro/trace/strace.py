@@ -87,13 +87,21 @@ _SYMBOLS["AT_EMPTY_PATH"] = constants.AT_EMPTY_PATH
 _SYMBOLS["O_NDELAY"] = constants.O_NDELAY
 
 #: line shape:  name(args) = ret [ERRNO (message)]
-_CALL_RE = re.compile(
+#: (kept as a plain string so the batch parser can recompile it in
+#: multiline chunk mode; group order: pid, ts, name, args, ret, errname)
+_CALL_PATTERN = (
     r"^(?:\[pid\s+(?P<pid>\d+)\]\s+)?"
     r"(?:(?P<ts>\d+\.\d+|\d+:\d+:\d+\.\d+)\s+)?"
     r"(?P<name>\w+)\((?P<args>.*)\)\s*=\s*"
     r"(?P<ret>-?\d+|\?)"
     r"(?:\s+(?P<errname>E[A-Z0-9]+)\s*(?:\([^)]*\))?)?\s*$"
 )
+_CALL_RE = re.compile(_CALL_PATTERN)
+
+#: Lines that legitimately produce no event (signal/exit annotations,
+#: interrupted-call halves, calls with unknown return) — skipped but
+#: not *malformed*.
+_NOISE_PREFIXES = ("--- ", "+++ ")
 
 
 class StraceParseError(ValueError):
@@ -179,6 +187,9 @@ class StraceParser:
     def __init__(self, strict: bool = False) -> None:
         self.strict = strict
         self.skipped_lines = 0
+        #: nonblank lines the grammar rejected that are not recognized
+        #: noise (signals, interrupted calls) — a subset of skipped.
+        self.malformed_lines = 0
 
     def parse_line(self, line: str) -> SyscallEvent | None:
         """Parse one completed-call line; returns None for noise lines."""
@@ -191,6 +202,8 @@ class StraceParser:
             if self.strict:
                 raise StraceParseError(f"unparseable line: {line!r}")
             self.skipped_lines += 1
+            if not line.startswith(_NOISE_PREFIXES) and not line.endswith("= ?"):
+                self.malformed_lines += 1
             return None
         name = match["name"]
         raw_args = _split_args(match["args"])

@@ -30,9 +30,10 @@ from repro.trace.events import SyscallEvent, make_event
 from repro.trace.strace import SYSCALL_SIGNATURES
 from repro.vfs import constants
 
-_CALL_RE = re.compile(
-    r"^(?:(?P<res>r\d+)\s*=\s*)?(?P<name>\w+)\$?\w*\((?P<args>.*)\)\s*$"
-)
+#: (kept as a plain string so the batch parser can recompile it in
+#: multiline chunk mode; group order: res, name, args)
+_CALL_PATTERN = r"^(?:(?P<res>r\d+)\s*=\s*)?(?P<name>\w+)\$?\w*\((?P<args>.*)\)\s*$"
+_CALL_RE = re.compile(_CALL_PATTERN)
 
 #: syzkaller renders AT_FDCWD as the 64-bit two's complement constant.
 _AT_FDCWD_U64 = 0xFFFFFFFFFFFFFF9C
@@ -91,6 +92,10 @@ class SyzkallerParser:
 
     def __init__(self, resources: Mapping[str, int] | None = None) -> None:
         self.skipped_lines = 0
+        #: lines the program grammar rejected (for syzkaller every
+        #: skipped line is a grammar reject: comments and blanks
+        #: return None without counting).
+        self.malformed_lines = 0
         #: resource name (r0) -> placeholder fd value
         self._resources: dict[str, int] = dict(resources or {})
 
@@ -126,6 +131,7 @@ class SyzkallerParser:
         match = _CALL_RE.match(line)
         if match is None:
             self.skipped_lines += 1
+            self.malformed_lines += 1
             return None
         name = match["name"]
         tokens = _split_args(match["args"])

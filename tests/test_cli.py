@@ -252,3 +252,65 @@ def test_predict_compare_holds_on_live_suite(capsys):
     (comparison,) = data["comparisons"]
     assert comparison["errors"] == 0
     assert comparison["stats"]["violations"] == 0
+
+
+# -- convert and binary traces ------------------------------------------------
+
+
+def test_convert_then_analyze_binary_matches_text(trace_file, tmp_path, capsys):
+    rbt = str(tmp_path / "trace.rbt")
+    assert main(["convert", trace_file, rbt]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out and "frames" in out
+    assert main(["analyze", trace_file, "--mount", "/mnt/test", "--json", "--name", "t"]) == 0
+    text_doc = envelope(capsys)
+    assert main(["analyze", rbt, "--mount", "/mnt/test", "--json", "--name", "t"]) == 0
+    binary_doc = envelope(capsys)
+    assert binary_doc == text_doc
+
+
+def test_convert_json_envelope(trace_file, tmp_path, capsys):
+    rbt = str(tmp_path / "trace.rbt")
+    assert main(["convert", trace_file, rbt, "--json"]) == 0
+    data = envelope(capsys)
+    assert data["command"] == "convert"
+    assert data["events"] > 0
+    assert data["parse_stats"]["format"] == "lttng"
+    assert data["output"] == rbt
+
+
+def test_convert_rejects_rbt_input(trace_file, tmp_path, capsys):
+    rbt = str(tmp_path / "trace.rbt")
+    assert main(["convert", trace_file, rbt]) == 0
+    capsys.readouterr()
+    assert main(["convert", rbt, str(tmp_path / "again.rbt")]) == 2
+
+
+def test_analyze_json_carries_parse_stats(trace_file, capsys):
+    assert main(["analyze", trace_file, "--mount", "/mnt/test", "--json"]) == 0
+    data = envelope(capsys)
+    assert data["parse"] == {
+        "format": "lttng",
+        "skipped_lines": 0,
+        "malformed_lines": 0,
+        "unpaired_entries": 0,
+    }
+
+
+def test_analyze_parse_stats_identical_serial_vs_jobs(trace_file, capsys):
+    assert main(["analyze", trace_file, "--name", "t", "--json"]) == 0
+    serial = envelope(capsys)
+    assert main(["analyze", trace_file, "--name", "t", "--json", "--jobs", "2"]) == 0
+    sharded = envelope(capsys)
+    assert sharded["parse"] == serial["parse"]
+    assert sharded["input_coverage"] == serial["input_coverage"]
+
+
+def test_replay_accepts_rbt(trace_file, tmp_path, capsys):
+    rbt = str(tmp_path / "trace.rbt")
+    assert main(["convert", trace_file, rbt]) == 0
+    capsys.readouterr()
+    code = main(["replay", rbt, "--json"])
+    data = envelope(capsys)
+    assert code in (0, 1)
+    assert data["replayed"] > 0
