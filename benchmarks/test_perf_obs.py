@@ -7,11 +7,16 @@ commit:
 * push-mode ingest throughput (lines/sec and events/sec through the
   full queue → parse → count pipeline, no HTTP),
 * end-to-end HTTP chunked-upload throughput against a live daemon,
+* concurrent-load aggregate throughput: four simultaneous push
+  clients, one tenant each, against the worker-pool daemon (with
+  ``IOCOV_BENCH_GATE=1`` the aggregate is gated against the committed
+  single-client baseline — concurrency must never cost throughput),
 * run-store write and read-back latency for a full coverage report.
 """
 
 import json
 import os
+import threading
 import time
 
 from repro.core import IOCov
@@ -117,6 +122,115 @@ def test_obs_http_ingest_throughput():
             "megabytes_per_sec": round(len(raw) / secs / 1e6, 1),
         },
     )
+
+
+#: Simultaneous push clients in the concurrent-load group.
+CONCURRENT_CLIENTS = 4
+
+#: Measured-vs-committed tolerance for the opt-in gate, matching the
+#: pipeline benchmarks' noise allowance.
+GATE_FRACTION = 0.9
+
+
+def _committed_bench(key: str, field: str):
+    """The committed BENCH_obs.json value, read before overwrite."""
+    if not os.path.exists(BENCH_FILE):
+        return None
+    with open(BENCH_FILE) as handle:
+        try:
+            document = json.load(handle)
+        except ValueError:
+            return None
+    value = document.get(key, {}).get(field)
+    return value if isinstance(value, (int, float)) and value > 0 else None
+
+
+#: Captured at import, before any test in this run rewrites the file:
+#: the gate must compare against the *committed* baseline, not a
+#: measurement taken seconds earlier on the same machine state.
+COMMITTED_SINGLE_CLIENT = _committed_bench("http_ingest", "events_per_sec")
+
+
+def test_obs_concurrent_http_ingest():
+    """Aggregate throughput of 4 clients pushing to 4 tenants at once.
+
+    The worker pool overlaps each connection's socket reads with the
+    per-tenant ingest workers' parsing, so the aggregate must at least
+    match one client on an idle daemon — concurrency must never *cost*
+    throughput.  With ``IOCOV_BENCH_GATE=1`` that floor is enforced
+    against the committed single-client baseline (within the standard
+    noise fraction).
+    """
+    import http.client
+
+    from repro.obs.server import make_server
+
+    single_client_baseline = COMMITTED_SINGLE_CLIENT
+    text, count = _trace_text()
+    raw = text.encode("utf-8")
+    server, _ = make_server(
+        "127.0.0.1", 0, fmt="lttng", mount_point="/mnt/test",
+        workers=CONCURRENT_CLIENTS * 2,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    failures = []
+
+    def client(index: int) -> None:
+        try:
+            host, port = server.server_address[:2]
+            pieces = [raw[i:i + 65536] for i in range(0, len(raw), 65536)]
+            conn = http.client.HTTPConnection(host, port, timeout=600)
+            conn.request(
+                "POST", f"/t/bench{index}/ingest",
+                body=iter(pieces), encode_chunked=True,
+            )
+            response = conn.getresponse()
+            document = json.loads(response.read())
+            conn.close()
+            assert response.status == 200, document
+            assert document["events_counted"] == count
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(CONCURRENT_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join(timeout=600)
+        secs = time.perf_counter() - start
+        assert not failures, failures[0]
+    finally:
+        server.drain_and_stop(snapshot=False)
+        server.server_close()
+        thread.join(timeout=30)
+    total_events = count * CONCURRENT_CLIENTS
+    aggregate = total_events / secs
+    payload = {
+        "clients": CONCURRENT_CLIENTS,
+        "events_per_client": count,
+        "events_total": total_events,
+        "seconds": round(secs, 3),
+        "aggregate_events_per_sec": round(aggregate),
+    }
+    if single_client_baseline:
+        payload["single_client_baseline"] = single_client_baseline
+        payload["speedup_vs_single_client"] = round(
+            aggregate / single_client_baseline, 2
+        )
+    _record_bench("concurrent_http_ingest", payload)
+    if os.environ.get("IOCOV_BENCH_GATE") and single_client_baseline:
+        floor = GATE_FRACTION * single_client_baseline
+        assert aggregate >= floor, (
+            f"concurrent aggregate {aggregate:,.0f} ev/s fell below "
+            f"{GATE_FRACTION:.0%} of the committed single-client "
+            f"{single_client_baseline:,.0f} ev/s"
+        )
 
 
 def test_obs_store_write_read(tmp_path):

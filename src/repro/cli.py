@@ -147,9 +147,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     wall_seconds = time.monotonic() - started
     run_id = None
     if args.store:
-        from repro.obs.store import RunStore
+        from repro.obs.store import open_store
 
-        with RunStore(args.store) as store:
+        with open_store(args.store) as store:
             run_id = store.save_report(
                 report,
                 trace_path=args.trace,
@@ -254,9 +254,9 @@ def cmd_suites(args: argparse.Namespace) -> int:
             reports.append((label, scale, run.event_count(), report))
     stored = []
     if args.store:
-        from repro.obs.store import RunStore
+        from repro.obs.store import open_store
 
-        with RunStore(args.store) as store:
+        with open_store(args.store) as store:
             for label, scale, _events, report in reports:
                 stored.append(
                     store.save_report(
@@ -472,18 +472,27 @@ def _default_store() -> str:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.obs.server import make_server
+    from repro.obs.server import StoreLockError, make_server
 
-    server, recovered = make_server(
-        args.host,
-        args.port,
-        fmt=args.format,
-        mount_point=args.mount,
-        suite_name=args.name,
-        store_path=args.store,
-        queue_size=args.queue_size,
-        error_budget=args.error_budget,
-    )
+    try:
+        server, recovered = make_server(
+            args.host,
+            args.port,
+            fmt=args.format,
+            mount_point=args.mount,
+            suite_name=args.name,
+            store_path=args.store,
+            queue_size=args.queue_size,
+            error_budget=args.error_budget,
+            backend=args.backend,
+            journal_batch=args.journal_batch,
+            workers=args.workers,
+            tenant=args.tenant,
+            project=args.project,
+        )
+    except StoreLockError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     server.install_signal_handlers()
     host, port = server.server_address[:2]
     if recovered:
@@ -538,9 +547,18 @@ def cmd_push(args: argparse.Namespace) -> int:
             finalize=args.finalize,
             transport=args.transport,
             gzip_body=args.gzip,
+            timeout=args.timeout,
+            tenant=args.tenant,
+            project=args.project,
+            retries=args.retries,
         )
     except ValueError as exc:
         print(f"push: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as exc:
+        print(f"push failed: {exc}", file=sys.stderr)
+        if args.json:
+            return _emit_json("push", EXIT_ERROR, {"error": str(exc)})
         return EXIT_ERROR
     except PushError as exc:
         if args.json:
@@ -564,27 +582,39 @@ def cmd_push(args: argparse.Namespace) -> int:
 
 def cmd_history(args: argparse.Namespace) -> int:
     from repro.obs.regress import render_history
-    from repro.obs.store import RunStore
+    from repro.obs.store import open_store
 
-    with RunStore(args.store or _default_store()) as store:
+    with open_store(args.store or _default_store()) as store:
         if args.json:
-            runs = [record.to_dict() for record in store.list_runs(limit=args.limit)]
+            runs = [
+                record.to_dict()
+                for record in store.list_runs(
+                    limit=args.limit, tenant=args.tenant, project=args.project
+                )
+            ]
             return _emit_json("history", EXIT_CLEAN, {"runs": runs})
-        print(render_history(store, limit=args.limit))
+        print(
+            render_history(
+                store, limit=args.limit,
+                tenant=args.tenant, project=args.project,
+            )
+        )
     return EXIT_CLEAN
 
 
 def cmd_diff_runs(args: argparse.Namespace) -> int:
     from repro.obs.regress import diff_stored_runs
-    from repro.obs.store import RunStore
+    from repro.obs.store import open_store
 
-    with RunStore(args.store or _default_store()) as store:
+    with open_store(args.store or _default_store()) as store:
         report, id_a, id_b = diff_stored_runs(
             store,
             args.run_a,
             args.run_b,
             tcd_threshold=args.tcd_threshold,
             collapse_factor=args.collapse_factor,
+            tenant=args.tenant,
+            project=args.project,
         )
     exit_code = report.exit_code()
     if args.json:
@@ -595,6 +625,33 @@ def cmd_diff_runs(args: argparse.Namespace) -> int:
     print(f"comparing run {id_a} -> run {id_b}")
     print(report.render_text())
     return exit_code
+
+
+def cmd_migrate_store(args: argparse.Namespace) -> int:
+    from repro.obs.sharded import migrate_single_to_sharded
+
+    try:
+        summary = migrate_single_to_sharded(
+            args.source, args.dest, journal_batch=args.journal_batch
+        )
+    except FileExistsError as exc:
+        print(f"migrate-store: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    total_runs = sum(summary["runs"].values())
+    total_journal = sum(summary["journal_records"].values())
+    if args.json:
+        payload = dict(summary)
+        payload["source"] = args.source
+        payload["dest"] = args.dest
+        return _emit_json("migrate-store", EXIT_CLEAN, payload)
+    print(
+        f"migrated {args.source} -> {args.dest}: {total_runs} runs, "
+        f"{total_journal} journal records, "
+        f"{len(summary['runs']) or 1} namespace(s)"
+    )
+    for namespace, count in sorted(summary["runs"].items()):
+        print(f"  {namespace}: {count} runs")
+    return EXIT_CLEAN
 
 
 # -- parser -----------------------------------------------------------------
@@ -740,9 +797,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--name", default="live", help="suite label for /live")
     serve.add_argument(
         "--store",
-        metavar="DB",
-        help="SQLite run store for POST /runs snapshots, the crash "
-        "journal, and GET /runs (omitted = in-memory only)",
+        metavar="PATH",
+        help="run store for POST /runs snapshots, the crash journal, "
+        "and GET /runs: a .sqlite file (single backend) or a directory "
+        "(sharded backend); omitted = in-memory only",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "single", "sharded"),
+        default="auto",
+        help="store backend (auto: directories are sharded, files are "
+        "single-file SQLite)",
+    )
+    serve.add_argument(
+        "--journal-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sharded-journal group-commit size: records per fsync",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="HTTP worker-pool size (concurrent request handlers)",
+    )
+    serve.add_argument(
+        "--tenant",
+        default="default",
+        help="default namespace tenant for unprefixed routes",
+    )
+    serve.add_argument(
+        "--project",
+        default="default",
+        help="default namespace project for unprefixed routes",
     )
     serve.add_argument(
         "--queue-size",
@@ -803,6 +891,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gzip the request body (Content-Encoding: gzip)",
     )
+    push.add_argument(
+        "--tenant", default=None, help="namespace tenant to push into"
+    )
+    push.add_argument(
+        "--project", default=None, help="namespace project to push into"
+    )
+    push.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request timeout in seconds",
+    )
+    push.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="transparent retries of connect failures and 503 answers "
+        "(exponential backoff with jitter)",
+    )
     push.add_argument("--json", action="store_true", help="dump JSON")
     push.set_defaults(handler=cmd_push)
 
@@ -811,6 +918,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, help="run store path (default: $IOCOV_STORE)"
     )
     history.add_argument("--limit", type=int, default=20)
+    history.add_argument(
+        "--tenant", default=None, help="only runs from this tenant"
+    )
+    history.add_argument(
+        "--project", default=None, help="only runs from this project"
+    )
     history.add_argument("--json", action="store_true", help="dump JSON")
     history.set_defaults(handler=cmd_history)
 
@@ -836,8 +949,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=100.0,
         help="normalized count drop by this factor is a collapse warning",
     )
+    diff_runs.add_argument(
+        "--tenant", default=None, help="resolve refs inside this tenant"
+    )
+    diff_runs.add_argument(
+        "--project", default=None, help="resolve refs inside this project"
+    )
     diff_runs.add_argument("--json", action="store_true", help="dump JSON")
     diff_runs.set_defaults(handler=cmd_diff_runs)
+
+    migrate = sub.add_parser(
+        "migrate-store",
+        help="copy a single-file run store into a sharded directory",
+    )
+    migrate.add_argument("source", help="existing .sqlite store file")
+    migrate.add_argument("dest", help="destination sharded store directory")
+    migrate.add_argument(
+        "--journal-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="group-commit size for the destination's journals",
+    )
+    migrate.add_argument("--json", action="store_true", help="dump JSON")
+    migrate.set_defaults(handler=cmd_migrate_store)
 
     return parser
 

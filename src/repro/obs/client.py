@@ -5,16 +5,28 @@ transfer encoding — the trace never materializes in client memory and
 the daemon's chunked decoder gets exercised by every push — and the
 daemon counts everything before answering, so a successful push means
 the lines are visible in ``/live``.
+
+Transient failures retry with exponential backoff plus jitter, but
+only when a retry cannot double-count: **connect-phase** errors (no
+byte of the body left this process) and **503** responses (the daemon
+answers those before reading the body — backpressure rejects and the
+drain window).  A connection that dies mid-body is *not* retried; the
+daemon may have counted a prefix, and replaying it would corrupt the
+live numbers.  ``Retry-After`` hints from the daemon are honored.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import socket
+import time
 import zlib
 from http.client import HTTPConnection
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 from urllib.parse import urlsplit
 
+from repro.obs.store import DEFAULT_PROJECT, DEFAULT_TENANT
 from repro.trace.binary import MAGIC
 
 #: Chunk size for the streamed upload.
@@ -22,6 +34,15 @@ PUSH_CHUNK_BYTES = 65536
 
 #: Content-Type announcing a binary ``.rbt`` body to the daemon.
 RBT_CONTENT_TYPE = "application/x-rbt"
+
+#: Default retry budget for transient failures.
+DEFAULT_RETRIES = 3
+
+#: Base backoff (seconds); attempt N sleeps ~``base * 2**N`` + jitter.
+DEFAULT_BACKOFF = 0.25
+
+#: Never honor a ``Retry-After`` longer than this (seconds).
+MAX_RETRY_AFTER = 30.0
 
 
 class PushError(RuntimeError):
@@ -31,6 +52,30 @@ class PushError(RuntimeError):
         super().__init__(f"daemon answered {status}: {body.get('error', body)}")
         self.status = status
         self.body = body
+
+
+class _ConnectFailed(OSError):
+    """Connection could not be established — safely retryable."""
+
+
+def tenant_path(
+    path: str,
+    tenant: str | None = None,
+    project: str | None = None,
+) -> str:
+    """Prefix *path* with the namespace route when one is requested.
+
+    Default-namespace requests use the bare legacy routes, so a
+    tenant-unaware daemon keeps working with a tenant-unaware client.
+    """
+    tenant = tenant or DEFAULT_TENANT
+    project = project or DEFAULT_PROJECT
+    if (tenant, project) == (DEFAULT_TENANT, DEFAULT_PROJECT):
+        return path
+    prefix = f"/t/{tenant}"
+    if project != DEFAULT_PROJECT:
+        prefix += f"/p/{project}"
+    return prefix + path
 
 
 def _file_chunks(path: str, chunk_bytes: int = PUSH_CHUNK_BYTES) -> Iterator[bytes]:
@@ -59,10 +104,20 @@ def _request(
     body: Any = None,
     timeout: float = 60.0,
     extra_headers: dict[str, str] | None = None,
-) -> tuple[int, dict[str, Any]]:
+) -> tuple[int, dict[str, Any], dict[str, str]]:
+    """One HTTP exchange; returns ``(status, document, headers)``.
+
+    Raises:
+        _ConnectFailed: the TCP connection never came up (retryable —
+            no request byte was sent).
+    """
     parts = urlsplit(url if "//" in url else f"http://{url}")
     conn = HTTPConnection(parts.hostname, parts.port or 80, timeout=timeout)
     try:
+        try:
+            conn.connect()
+        except OSError as exc:
+            raise _ConnectFailed(str(exc)) from exc
         headers = dict(extra_headers or {})
         encode_chunked = False
         if body is not None and not isinstance(body, (bytes, str)):
@@ -76,9 +131,61 @@ def _request(
             document = json.loads(raw) if raw else {}
         except ValueError:
             document = {"raw": raw.decode("utf-8", errors="replace")}
-        return response.status, document
+        return response.status, document, dict(response.getheaders())
     finally:
         conn.close()
+
+
+def _retry_delay(
+    attempt: int, backoff: float, headers: dict[str, str] | None
+) -> float:
+    """Exponential backoff with full jitter, capped Retry-After aware."""
+    delay = backoff * (2 ** attempt) + random.uniform(0, backoff)
+    if headers:
+        hint = headers.get("Retry-After") or headers.get("retry-after")
+        if hint:
+            try:
+                delay = max(delay, min(float(hint), MAX_RETRY_AFTER))
+            except ValueError:
+                pass
+    return delay
+
+
+def _request_with_retries(
+    url: str,
+    method: str,
+    path: str,
+    *,
+    body_factory: Callable[[], Any] | None = None,
+    timeout: float = 60.0,
+    extra_headers: dict[str, str] | None = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+) -> tuple[int, dict[str, Any]]:
+    """Issue a request, retrying connect failures and 503 responses.
+
+    *body_factory* builds a fresh body per attempt — a generator body
+    consumed by a failed attempt must never be resent half-empty.
+    """
+    attempt = 0
+    while True:
+        body = body_factory() if body_factory is not None else None
+        try:
+            status, document, headers = _request(
+                url, method, path, body=body,
+                timeout=timeout, extra_headers=extra_headers,
+            )
+        except _ConnectFailed:
+            if attempt >= retries:
+                raise
+            time.sleep(_retry_delay(attempt, backoff, None))
+            attempt += 1
+            continue
+        if status == 503 and attempt < retries:
+            time.sleep(_retry_delay(attempt, backoff, headers))
+            attempt += 1
+            continue
+        return status, document
 
 
 def _is_rbt_file(path: str) -> bool:
@@ -94,6 +201,10 @@ def push_file(
     timeout: float = 300.0,
     transport: str = "auto",
     gzip_body: bool = False,
+    tenant: str | None = None,
+    project: str | None = None,
+    retries: int = DEFAULT_RETRIES,
+    retry_backoff: float = DEFAULT_BACKOFF,
 ) -> dict[str, Any]:
     """Stream *path* to the daemon at *url*; optionally snapshot a run.
 
@@ -102,7 +213,10 @@ def push_file(
     already be one — use ``repro convert`` first), and ``"auto"`` (the
     default) sniffs the file's magic.  *gzip_body* compresses the body
     on the fly and sets ``Content-Encoding: gzip``; it composes with
-    either transport.
+    either transport.  *tenant*/*project* scope the push to a
+    namespace (default namespace uses the legacy routes).  *retries*
+    bounds transparent retries of connect failures and 503 answers,
+    backed off exponentially from *retry_backoff* seconds with jitter.
 
     Returns the daemon's ingest response (with the snapshotted run's
     metadata under ``"run"`` when *finalize* is set).
@@ -111,7 +225,7 @@ def push_file(
         PushError: the daemon answered with an error status.
         ValueError: *transport* is unknown, or ``"binary"`` was forced
             on a file that is not ``.rbt``.
-        OSError: the file or the connection failed.
+        OSError: the file or the connection failed (after retries).
     """
     if transport not in ("auto", "text", "binary"):
         raise ValueError(f"unknown transport: {transport!r}")
@@ -124,26 +238,47 @@ def push_file(
     headers: dict[str, str] = {}
     if binary:
         headers["Content-Type"] = RBT_CONTENT_TYPE
-    body: Any = _file_chunks(path)
     if gzip_body:
         headers["Content-Encoding"] = "gzip"
-        body = _gzip_chunks(body)
-    status, document = _request(
-        url, "POST", "/ingest", body=body, timeout=timeout, extra_headers=headers
+
+    def body_factory() -> Iterator[bytes]:
+        body: Iterator[bytes] = _file_chunks(path)
+        if gzip_body:
+            body = _gzip_chunks(body)
+        return body
+
+    status, document = _request_with_retries(
+        url, "POST", tenant_path("/ingest", tenant, project),
+        body_factory=body_factory, timeout=timeout, extra_headers=headers,
+        retries=retries, backoff=retry_backoff,
     )
     if status != 200:
         raise PushError(status, document)
     if finalize:
-        run_status, run_document = _request(url, "POST", "/runs", timeout=timeout)
+        run_status, run_document = _request_with_retries(
+            url, "POST", tenant_path("/runs", tenant, project),
+            timeout=timeout, retries=retries, backoff=retry_backoff,
+        )
         if run_status != 201:
             raise PushError(run_status, run_document)
         document["run"] = run_document.get("run")
     return document
 
 
-def fetch_json(url: str, path: str, timeout: float = 60.0) -> dict[str, Any]:
+def fetch_json(
+    url: str,
+    path: str,
+    timeout: float = 60.0,
+    *,
+    tenant: str | None = None,
+    project: str | None = None,
+    retries: int = 0,
+) -> dict[str, Any]:
     """GET a JSON endpoint (``/live``, ``/runs``, ``/session``)."""
-    status, document = _request(url, "GET", path, timeout=timeout)
+    status, document = _request_with_retries(
+        url, "GET", tenant_path(path, tenant, project),
+        timeout=timeout, retries=retries,
+    )
     if status != 200:
         raise PushError(status, document)
     return document

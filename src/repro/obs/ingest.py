@@ -7,10 +7,12 @@ failure modes are testable directly:
   threads) block in :meth:`feed_text` once ``queue_size`` lines are
   outstanding, which propagates back to the client as TCP backpressure
   instead of unbounded daemon memory;
-* **push-mode parsing** — a persistent :class:`~repro.trace.push.PushParser`
-  keeps entry/exit pairing and resource state across feeds, so a trace
-  streamed in arbitrary network-sized pieces counts identically to a
-  one-shot ``repro analyze`` of the same bytes;
+* **chunk-mode parsing** — lines travel through the queue as whole
+  chunks and are parsed by a persistent
+  :func:`~repro.trace.batch.make_batch_parser` (the regex fast path,
+  with entry/exit pairing preserved across chunks), so a trace streamed
+  in arbitrary network-sized pieces counts identically to a one-shot
+  ``repro analyze`` of the same bytes — at batch-parse speed;
 * **malformed-line quarantine with an error budget** — grammar-rejected
   lines are kept (capped) with their positions; once the malformed
   ratio exceeds the budget the session degrades and refuses further
@@ -21,7 +23,10 @@ failure modes are testable directly:
   parser/analyzer on restart;
 * **drain** — :meth:`close` waits for every queued line to be parsed
   and counted (the SIGTERM path), then optionally snapshots the final
-  state into the store.
+  state into the store;
+* **namespacing** — every session belongs to a ``tenant/project``;
+  journal records, stored runs, and metric samples carry the
+  namespace, so one registry and one store serve many tenants.
 """
 
 from __future__ import annotations
@@ -36,8 +41,8 @@ from typing import Any
 
 from repro.core.analyzer import IOCov
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.store import RunStore
-from repro.trace.batch import EventBatch
+from repro.obs.store import DEFAULT_PROJECT, DEFAULT_TENANT, BaseRunStore
+from repro.trace.batch import EventBatch, make_batch_parser
 from repro.trace.binary import RbtError, decode_batch, encode_batch
 from repro.trace.push import make_push_parser
 
@@ -59,6 +64,10 @@ DEFAULT_BUDGET_GRACE = 20
 
 #: How many quarantined lines are retained for inspection.
 QUARANTINE_CAP = 100
+
+#: The worker coalesces queued chunks until roughly this many lines
+#: count under one lock round.
+WORKER_ROUND_LINES = 4096
 
 _SENTINEL = object()
 
@@ -85,6 +94,50 @@ class _Flush:
     done: threading.Event = field(default_factory=threading.Event)
 
 
+class _BatchLineParser:
+    """Chunk-mode parsing behind the push-parser counter interface.
+
+    Wraps a persistent :func:`make_batch_parser` (pairing state spans
+    chunks) and tracks ``lines_fed`` the way the push parsers do, so
+    the error-budget arithmetic and the ``/session`` stats are
+    unchanged.  When a chunk contains grammar-rejected lines the
+    parser re-probes it line-by-line with a throwaway push parser to
+    recover the malformed *positions* for the quarantine — a cost paid
+    only on the (rare) dirty chunks.
+    """
+
+    def __init__(self, fmt: str) -> None:
+        self.fmt = fmt
+        self._parser = make_batch_parser(fmt)
+        self.lines_fed = 0
+
+    @property
+    def malformed_lines(self) -> int:
+        return self._parser.malformed_lines
+
+    @property
+    def skipped_lines(self) -> int:
+        return self._parser.skipped_lines
+
+    @property
+    def pending_entries(self) -> int:
+        return self._parser.unpaired_entries
+
+    def parse_lines(self, lines: list[str]) -> tuple[list, list[int]]:
+        """Parse one chunk; returns ``(rows, malformed_indices)``."""
+        before = self._parser.malformed_lines
+        rows = self._parser.parse_chunk("\n".join(lines))
+        self.lines_fed += len(lines)
+        bad: list[int] = []
+        if self._parser.malformed_lines > before:
+            probe = make_push_parser(self.fmt)
+            for index, line in enumerate(lines):
+                _events, malformed = probe.push_line(line)
+                if malformed:
+                    bad.append(index)
+        return rows, bad
+
+
 class IngestSession:
     """A live trace-ingestion session feeding one :class:`IOCov`.
 
@@ -98,7 +151,10 @@ class IngestSession:
         error_budget: malformed-line fraction that degrades the session.
         budget_grace: malformed-line count below which the budget never
             trips.
-        registry: metrics registry to instrument (optional).
+        registry: metrics registry to instrument (optional; shareable
+            across sessions — samples carry tenant/project labels).
+        tenant: namespace tenant for journal/store/metric scoping.
+        project: namespace project.
     """
 
     def __init__(
@@ -107,22 +163,29 @@ class IngestSession:
         *,
         mount_point: str | None = None,
         suite_name: str = "live",
-        store: RunStore | None = None,
+        store: BaseRunStore | None = None,
         journal_session: str = "live",
         queue_size: int = DEFAULT_QUEUE_SIZE,
         error_budget: float = DEFAULT_ERROR_BUDGET,
         budget_grace: int = DEFAULT_BUDGET_GRACE,
         registry: MetricsRegistry | None = None,
+        tenant: str = DEFAULT_TENANT,
+        project: str = DEFAULT_PROJECT,
     ) -> None:
         self.fmt = fmt
         self.mount_point = mount_point
         self.suite_name = suite_name
         self.store = store
         self.journal_session = journal_session
+        self.queue_size = queue_size
         self.error_budget = error_budget
         self.budget_grace = budget_grace
+        self.tenant = tenant
+        self.project = project
+        self._labels = {"tenant": tenant, "project": project}
+        self._ns = {"tenant": tenant, "project": project}
         self.iocov = IOCov(mount_point=mount_point, suite_name=suite_name)
-        self.parser = make_push_parser(fmt)
+        self.parser = _BatchLineParser(fmt)
         self.quarantine: list[Quarantined] = []
         self.degraded = False
         self.closed = False
@@ -134,11 +197,18 @@ class IngestSession:
         #: producers serialize whole requests on this so interleaved
         #: chunked POSTs cannot shuffle each other's partial lines
         self.feed_lock = threading.Lock()
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._queue: queue.Queue = queue.Queue()
+        #: backpressure: lines enqueued but not yet counted, guarded by
+        #: its own condition so producers block at line granularity even
+        #: though queue items are whole chunks
+        self._pending_lines = 0
+        self._space = threading.Condition()
         self._feed_tail = ""
         self._metrics(registry)
         self._worker = threading.Thread(
-            target=self._run_worker, name="iocov-ingest", daemon=True
+            target=self._run_worker,
+            name=f"iocov-ingest-{tenant}-{project}",
+            daemon=True,
         )
         self._worker.start()
 
@@ -167,45 +237,52 @@ class IngestSession:
 
     # -- the worker ----------------------------------------------------------
 
+    @staticmethod
+    def _work_size(item: Any) -> int:
+        return len(item) if isinstance(item, list) else 1
+
     def _run_worker(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
-                self._queue.task_done()
                 break
             if isinstance(item, _Flush):
                 item.done.set()
-                self._queue.task_done()
                 continue
-            # Drain opportunistically: one lock round per batch.
-            batch = [item]
+            # Coalesce opportunistically: one lock round per work batch.
+            work = [item]
+            round_lines = self._work_size(item)
             flushes: list[_Flush] = []
-            while len(batch) < 4096:
+            stop = False
+            while round_lines < WORKER_ROUND_LINES:
                 try:
                     extra = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if extra is _SENTINEL:
                     self._queue.put(_SENTINEL)  # re-post for the outer loop
-                    self._queue.task_done()
+                    stop = True
                     break
                 if isinstance(extra, _Flush):
                     flushes.append(extra)
                     break  # honor ordering: flush after this batch counts
-                batch.append(extra)
-            self._ingest_batch(batch)
+                work.append(extra)
+                round_lines += self._work_size(extra)
+            self._ingest_work(work)
+            with self._space:
+                self._pending_lines -= round_lines
+                self._space.notify_all()
             for flush in flushes:
                 flush.done.set()
-                self._queue.task_done()
-            for _ in batch:
-                self._queue.task_done()
-            self.m_queue_depth.set(self._queue.qsize())
+            self.m_queue_depth.set(max(self._pending_lines, 0), **self._labels)
+            if stop:
+                break
 
-    def _ingest_batch(self, items: list) -> None:
-        """Count one drained queue batch: text lines and/or event batches.
+    def _ingest_work(self, items: list) -> None:
+        """Count one drained queue round: line chunks and/or event batches.
 
         Items are consumed strictly in queue order — a binary frame
-        between two text feeds counts exactly where it arrived, so fd
+        between two text chunks counts exactly where it arrived, so fd
         state evolves as it would have in one sequential stream.
         """
         started = time.perf_counter()
@@ -213,26 +290,21 @@ class IngestSession:
         n_events = 0
         malformed: list[Quarantined] = []
         with self._lock:
-            events: list = []
             for item in items:
                 if isinstance(item, EventBatch):
-                    if events:
-                        self.iocov.consume_incremental(events)
-                        n_events += len(events)
-                        events = []
                     self.iocov.consume_batch(item)
                     self.batches_received += 1
                     n_events += len(item)
                     continue
-                n_lines += 1
-                self.lines_received += 1
-                line_events, bad = self.parser.push_line(item)
-                if bad:
-                    malformed.append(Quarantined(self.lines_received, item))
-                events.extend(line_events)
-            if events:
-                self.iocov.consume_incremental(events)
-                n_events += len(events)
+                base = self.lines_received
+                rows, bad_positions = self.parser.parse_lines(item)
+                n_lines += len(item)
+                self.lines_received += len(item)
+                for index in bad_positions:
+                    malformed.append(Quarantined(base + index + 1, item[index]))
+                if rows:
+                    self.iocov.consume_batch(EventBatch.from_rows(rows))
+                    n_events += len(rows)
             self.events_counted += n_events
             if malformed:
                 space = QUARANTINE_CAP - len(self.quarantine)
@@ -243,11 +315,11 @@ class IngestSession:
                     > self.error_budget * self.parser.lines_fed
                 ):
                     self.degraded = True
-        self.m_lines.inc(n_lines)
-        self.m_events.inc(n_events)
+        self.m_lines.inc(n_lines, **self._labels)
+        self.m_events.inc(n_events, **self._labels)
         if malformed:
-            self.m_parse_errors.inc(len(malformed))
-        self.m_batch_seconds.observe(time.perf_counter() - started)
+            self.m_parse_errors.inc(len(malformed), **self._labels)
+        self.m_batch_seconds.observe(time.perf_counter() - started, **self._labels)
 
     # -- feeding -------------------------------------------------------------
 
@@ -261,6 +333,15 @@ class IngestSession:
                 f"(budget {self.error_budget:.1%})"
             )
 
+    def _enqueue(self, item: Any, weight: int) -> None:
+        """Admit one queue item, blocking while the line bound is hit."""
+        with self._space:
+            while self._pending_lines >= self.queue_size and not self.closed:
+                self._space.wait(0.5)
+            self._pending_lines += weight
+        self._queue.put(item)
+        self.m_queue_depth.set(self._pending_lines, **self._labels)
+
     def feed_lines(self, lines: list[str], *, journal: bool = True) -> None:
         """Enqueue complete lines; blocks when the queue is full.
 
@@ -269,11 +350,12 @@ class IngestSession:
             RuntimeError: the session was closed.
         """
         self._check_accepting()
+        if not lines:
+            return
         if journal and self.store is not None:
-            self.store.journal_append(self.journal_session, lines)
-        for line in lines:
-            self._queue.put(line)
-        self.m_queue_depth.set(self._queue.qsize())
+            self.store.journal_append(self.journal_session, lines, **self._ns)
+        chunk = list(lines)
+        self._enqueue(chunk, len(chunk))
 
     def feed_text(self, data: str, *, journal: bool = True) -> None:
         """Feed a raw payload that may split lines arbitrarily.
@@ -305,19 +387,22 @@ class IngestSession:
         if journal and self.store is not None:
             blob = base64.b64encode(encode_batch(batch.rows())).decode("ascii")
             self.store.journal_append(
-                self.journal_session, [RBT_JOURNAL_PREFIX + blob]
+                self.journal_session, [RBT_JOURNAL_PREFIX + blob], **self._ns
             )
-        self._queue.put(batch)
-        self.m_queue_depth.set(self._queue.qsize())
+        self._enqueue(batch, 1)
 
     def end_of_stream(self) -> None:
         """Complete any buffered partial line (client finished sending)."""
         tail, self._feed_tail = self._feed_tail, ""
         if tail:
             self.feed_lines([tail])
+        if self.store is not None:
+            self.store.journal_sync()
 
     def flush(self, timeout: float | None = 30.0) -> bool:
         """Block until everything fed so far is parsed and counted."""
+        if self.store is not None:
+            self.store.journal_sync()
         marker = _Flush()
         self._queue.put(marker)
         return marker.done.wait(timeout)
@@ -343,17 +428,19 @@ class IngestSession:
             document = {
                 "source": "serve",
                 "format": self.fmt,
+                "tenant": self.tenant,
+                "project": self.project,
                 "lines_received": self.lines_received,
                 "parse_errors": self.parser.malformed_lines,
                 "degraded": self.degraded,
             }
             document.update(meta or {})
         run_id = self.store.save_report(
-            report, trace_format=self.fmt, meta=document
+            report, trace_format=self.fmt, meta=document, **self._ns
         )
-        self.store.journal_clear(self.journal_session)
+        self.store.journal_clear(self.journal_session, **self._ns)
         self.runs_stored += 1
-        self.m_runs.inc()
+        self.m_runs.inc(**self._labels)
         return run_id
 
     def stats(self) -> dict[str, Any]:
@@ -362,6 +449,8 @@ class IngestSession:
             return {
                 "format": self.fmt,
                 "suite": self.suite_name,
+                "tenant": self.tenant,
+                "project": self.project,
                 "mount_point": self.mount_point,
                 "lines_received": self.lines_received,
                 "batches_received": self.batches_received,
@@ -370,7 +459,7 @@ class IngestSession:
                 "pending_pairs": self.parser.pending_entries,
                 "degraded": self.degraded,
                 "error_budget": self.error_budget,
-                "queue_depth": self._queue.qsize(),
+                "queue_depth": max(self._pending_lines, 0),
                 "runs_stored": self.runs_stored,
                 "quarantine": [item.to_dict() for item in self.quarantine[:20]],
             }
@@ -387,7 +476,7 @@ class IngestSession:
             return 0
         replayed = 0
         batch: list[str] = []
-        for line in self.store.journal_lines(self.journal_session):
+        for line in self.store.journal_lines(self.journal_session, **self._ns):
             replayed += 1
             if line.startswith(RBT_JOURNAL_PREFIX):
                 # Binary frame: flush buffered text first so replay
@@ -405,7 +494,7 @@ class IngestSession:
                 self.feed_batch(frame, journal=False)
                 continue
             batch.append(line)
-            if len(batch) >= 4096:
+            if len(batch) >= WORKER_ROUND_LINES:
                 self.feed_lines(batch, journal=False)
                 batch = []
         if batch:
@@ -424,8 +513,10 @@ class IngestSession:
             try:
                 while True:
                     self._queue.get_nowait()
-                    self._queue.task_done()
             except queue.Empty:
                 pass
+            with self._space:
+                self._pending_lines = 0
+                self._space.notify_all()
         self._queue.put(_SENTINEL)
         self._worker.join(timeout)

@@ -150,11 +150,24 @@ class Gauge(_Metric):
         return lines
 
 
+class _HistogramSeries:
+    """One label set's bucket counts, sum, and total."""
+
+    __slots__ = ("counts", "sum", "total")
+
+    def __init__(self, slots: int) -> None:
+        self.counts = [0] * slots
+        self.sum = 0.0
+        self.total = 0
+
+
 class Histogram(_Metric):
-    """Cumulative-bucket histogram (Prometheus semantics).
+    """Cumulative-bucket histogram (Prometheus semantics), per label set.
 
     Observations land in every bucket whose upper bound is >= the
-    value; ``+Inf`` is implicit and always equals ``_count``.
+    value; ``+Inf`` is implicit and always equals ``_count``.  The
+    label-free call style (``observe(0.2)``) still works and renders a
+    single unlabeled series.
     """
 
     kind = "histogram"
@@ -171,36 +184,51 @@ class Histogram(_Metric):
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf only
-        self._sum = 0.0
-        self._total = 0
+        self._series: dict[tuple[tuple[str, str], ...], _HistogramSeries] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, **labels: str) -> None:
+        if "le" in labels:
+            raise ValueError('"le" is reserved for the bucket bound')
+        key = tuple(sorted(labels.items()))
         with self._lock:
-            self._counts[bisect_left(self.bounds, value)] += 1
-            self._sum += value
-            self._total += 1
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.bounds) + 1)
+            series.counts[bisect_left(self.bounds, value)] += 1
+            series.sum += value
+            series.total += 1
 
     @property
     def count(self) -> int:
+        """Total observations across every label set."""
         with self._lock:
-            return self._total
+            return sum(series.total for series in self._series.values())
+
+    def count_for(self, **labels: str) -> int:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            series = self._series.get(key)
+            return series.total if series is not None else 0
 
     def render(self) -> list[str]:
         lines = self._render_header()
         with self._lock:
-            counts = list(self._counts)
-            total = self._total
-            running_sum = self._sum
-        cumulative = 0
-        for bound, bucket in zip(self.bounds, counts):
-            cumulative += bucket
-            lines.append(
-                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-            )
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
-        lines.append(f"{self.name}_sum {_format_value(running_sum)}")
-        lines.append(f"{self.name}_count {total}")
+            snapshot = [
+                (key, list(series.counts), series.sum, series.total)
+                for key, series in sorted(self._series.items())
+            ]
+        for key, counts, running_sum, total in snapshot:
+            labels = dict(key)
+            cumulative = 0
+            for bound, bucket in zip(self.bounds, counts):
+                cumulative += bucket
+                bucket_labels = _format_labels({**labels, "le": _format_value(bound)})
+                lines.append(f"{self.name}_bucket{bucket_labels} {cumulative}")
+            inf_labels = _format_labels({**labels, "le": "+Inf"})
+            lines.append(f"{self.name}_bucket{inf_labels} {total}")
+            suffix = _format_labels(labels)
+            lines.append(f"{self.name}_sum{suffix} {_format_value(running_sum)}")
+            lines.append(f"{self.name}_count{suffix} {total}")
         return lines
 
 
@@ -344,7 +372,10 @@ def validate_exposition(text: str) -> list[str]:
     label_re = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
     types: dict[str, str] = {}
     helps: set[str] = set()
-    buckets: dict[str, list[tuple[float, float]]] = {}
+    # Bucket series are keyed by (family, non-le label pairs): each
+    # label set has its own cumulative sequence, so monotonicity must
+    # be checked per series, not across a whole family.
+    buckets: dict[tuple[str, tuple[str, ...]], list[tuple[float, float]]] = {}
     for number, line in enumerate(text.splitlines(), start=1):
         if not line:
             continue
@@ -383,16 +414,27 @@ def validate_exposition(text: str) -> list[str]:
         if family not in types:
             problems.append(f"line {number}: sample {name!r} has no TYPE")
         if name.endswith("_bucket") and labels and 'le="' in labels:
-            bound_text = labels.split('le="', 1)[1].split('"', 1)[0]
+            pairs = list(_split_label_pairs(labels[1:-1]))
+            bound_text = ""
+            others: list[str] = []
+            for pair in pairs:
+                if pair.startswith('le="'):
+                    bound_text = pair[len('le="'):].rsplit('"', 1)[0]
+                else:
+                    others.append(pair)
             bound = math.inf if bound_text == "+Inf" else float(bound_text)
-            buckets.setdefault(family, []).append((bound, float(match["value"])))
-    for family, series in buckets.items():
+            key = (family, tuple(sorted(others)))
+            buckets.setdefault(key, []).append((bound, float(match["value"])))
+    for (family, label_key), series in buckets.items():
+        where = f"histogram {family}" + (
+            "{" + ",".join(label_key) + "}" if label_key else ""
+        )
         ordered = sorted(series)
         values = [count for _, count in ordered]
         if values != sorted(values):
-            problems.append(f"histogram {family}: buckets not cumulative")
+            problems.append(f"{where}: buckets not cumulative")
         if ordered and ordered[-1][0] != math.inf:
-            problems.append(f"histogram {family}: missing +Inf bucket")
+            problems.append(f"{where}: missing +Inf bucket")
     for name in types:
         if name not in helps:
             problems.append(f"metric {name}: TYPE without HELP")

@@ -251,19 +251,29 @@ def diff_stored_runs(
     tcd_target: float = DEFAULT_TCD_TARGET,
     tcd_threshold: float = DEFAULT_TCD_THRESHOLD,
     collapse_factor: float = DEFAULT_COLLAPSE_FACTOR,
+    tenant: str | None = None,
+    project: str | None = None,
 ) -> tuple[RegressionReport, int, int]:
     """Resolve two run refs in *store* and gate B against A.
 
-    Returns ``(report, run_id_a, run_id_b)``.
+    With a *tenant*/*project*, refs resolve inside that namespace so
+    gates never compare across tenants.  Returns ``(report, run_id_a,
+    run_id_b)``.
 
     Raises:
         KeyError / ValueError: unresolvable refs.
     """
-    run_a = store.resolve(ref_a)
-    run_b = store.resolve(ref_b)
+    from repro.obs.store import DEFAULT_PROJECT, DEFAULT_TENANT
+
+    run_a = store.resolve(ref_a, tenant=tenant, project=project)
+    run_b = store.resolve(ref_b, tenant=tenant, project=project)
+    namespace = {
+        "tenant": tenant or DEFAULT_TENANT,
+        "project": project or DEFAULT_PROJECT,
+    }
     report = diff_reports(
-        store.load_report(run_a),
-        store.load_report(run_b),
+        store.load_report(run_a, **namespace),
+        store.load_report(run_b, **namespace),
         tcd_target=tcd_target,
         tcd_threshold=tcd_threshold,
         collapse_factor=collapse_factor,
@@ -271,9 +281,15 @@ def diff_stored_runs(
     return report, run_a, run_b
 
 
-def render_history(store: "RunStore", limit: int = 20) -> str:
+def render_history(
+    store: "RunStore",
+    limit: int = 20,
+    *,
+    tenant: str | None = None,
+    project: str | None = None,
+) -> str:
     """The stored-run timeline with per-run coverage summaries."""
-    records = store.list_runs(limit=limit)
+    records = store.list_runs(limit=limit, tenant=tenant, project=project)
     if not records:
         return f"no runs stored in {store.path}"
     lines = [
@@ -283,7 +299,9 @@ def render_history(store: "RunStore", limit: int = 20) -> str:
     ]
     previous_tested: int | None = None
     for record in records:
-        report = store.load_report(record.run_id)
+        report = store.load_report(
+            record.run_id, tenant=record.tenant, project=record.project
+        )
         tested = sum(
             len(report.input_coverage.arg(s, a).partition_status()[0])
             for s, a in report.input_coverage.tracked_pairs()

@@ -157,6 +157,7 @@ def test_metrics_instrumented(session, mini_trace):
         session.feed_text(handle.read())
     session.end_of_stream()
     session.flush()
-    assert session.m_lines.value() == session.lines_received
-    assert session.m_events.value() == session.events_counted > 0
+    labels = {"tenant": session.tenant, "project": session.project}
+    assert session.m_lines.value(**labels) == session.lines_received
+    assert session.m_events.value(**labels) == session.events_counted > 0
     assert session.m_batch_seconds.count > 0

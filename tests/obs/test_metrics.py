@@ -121,3 +121,24 @@ def test_validator_catches_problems():
 def test_validator_accepts_counter_without_samples():
     text = "# HELP empty_total E\n# TYPE empty_total counter\nempty_total 0\n"
     assert validate_exposition(text) == []
+
+
+def test_histogram_labeled_series_independent(registry):
+    histogram = registry.histogram("lat", "Latency", buckets=(1.0,))
+    histogram.observe(0.5, tenant="acme")
+    histogram.observe(0.5, tenant="acme")
+    histogram.observe(5.0, tenant="globex")
+    lines = histogram.render()
+    assert 'lat_bucket{le="1",tenant="acme"} 2' in lines
+    assert 'lat_bucket{le="+Inf",tenant="acme"} 2' in lines
+    assert 'lat_bucket{le="+Inf",tenant="globex"} 1' in lines
+    assert 'lat_count{tenant="acme"} 2' in lines
+    assert histogram.count == 3
+    assert histogram.count_for(tenant="acme") == 2
+    assert validate_exposition(registry.render()) == []
+
+
+def test_histogram_reserves_le_label(registry):
+    histogram = registry.histogram("lat", "Latency", buckets=(1.0,))
+    with pytest.raises(ValueError):
+        histogram.observe(0.5, le="oops")

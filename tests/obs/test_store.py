@@ -128,3 +128,91 @@ def test_schema_version_guard(tmp_path):
     conn.close()
     with pytest.raises(StoreVersionError):
         RunStore(path)
+
+
+_V1_SCHEMA = """
+CREATE TABLE schema_meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE runs (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    suite            TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    trace_path       TEXT,
+    trace_format     TEXT,
+    seed             INTEGER,
+    jobs             INTEGER,
+    events_processed INTEGER NOT NULL DEFAULT 0,
+    events_admitted  INTEGER NOT NULL DEFAULT 0,
+    wall_seconds     REAL,
+    events_per_sec   REAL,
+    meta_json        TEXT NOT NULL DEFAULT '{}',
+    report_json      TEXT NOT NULL
+);
+CREATE TABLE input_counts (
+    run_id    INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    syscall   TEXT NOT NULL,
+    arg       TEXT NOT NULL,
+    partition TEXT NOT NULL,
+    count     INTEGER NOT NULL,
+    PRIMARY KEY (run_id, syscall, arg, partition)
+);
+CREATE TABLE output_counts (
+    run_id    INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    syscall   TEXT NOT NULL,
+    partition TEXT NOT NULL,
+    count     INTEGER NOT NULL,
+    PRIMARY KEY (run_id, syscall, partition)
+);
+CREATE TABLE tcd_scores (
+    run_id  INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    kind    TEXT NOT NULL,
+    syscall TEXT NOT NULL,
+    arg     TEXT NOT NULL DEFAULT '',
+    target  REAL NOT NULL,
+    tcd     REAL NOT NULL,
+    PRIMARY KEY (run_id, kind, syscall, arg)
+);
+CREATE TABLE journal (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    session TEXT NOT NULL,
+    line    TEXT NOT NULL
+);
+CREATE INDEX journal_session ON journal (session, seq);
+INSERT INTO schema_meta (key, value) VALUES ('schema_version', '1');
+"""
+
+
+def test_v1_file_migrates_to_namespaced_v2(tmp_path, mini_report):
+    """A pre-tenant store opens cleanly; old rows join default/default."""
+    path = str(tmp_path / "v1.sqlite")
+    conn = sqlite3.connect(path)
+    conn.executescript(_V1_SCHEMA)
+    conn.execute(
+        "INSERT INTO runs (suite, created_at, report_json)"
+        " VALUES ('old-suite', 100.0, ?)",
+        (mini_report.to_json(),),
+    )
+    conn.execute(
+        "INSERT INTO journal (session, line) VALUES ('live', 'old line')"
+    )
+    conn.commit()
+    conn.close()
+
+    with RunStore(path) as store:
+        record = store.get_run(1)
+        assert (record.tenant, record.project) == ("default", "default")
+        assert record.suite == "old-suite"
+        assert list(store.journal_lines("live")) == ["old line"]
+        # The file is fully v2 now: namespaced writes work alongside.
+        store.save_report(mini_report, tenant="acme")
+        assert store.namespaces() == [
+            ("default", "default"), ("acme", "default"),
+        ] or store.namespaces() == [
+            ("acme", "default"), ("default", "default"),
+        ]
+
+    conn = sqlite3.connect(path)
+    version = conn.execute(
+        "SELECT value FROM schema_meta WHERE key = 'schema_version'"
+    ).fetchone()[0]
+    conn.close()
+    assert version == "2"
