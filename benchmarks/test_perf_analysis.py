@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.analysis import lint_registry
+from repro.analysis.concurrency import analyze_concurrency
 from repro.analysis.predict import StaticPredictor, compare_with_dynamic
 from repro.analysis.reachability import analyze_repo
 from repro.core import IOCov
@@ -22,6 +23,11 @@ from .conftest import CM_SCALE, XF_SCALE
 
 #: Wall-clock budget for one full lint + predict pipeline, seconds.
 ANALYSIS_BUDGET_S = 2.0
+
+#: Wall-clock budget for the concurrency pass over ALL of src/repro/,
+#: seconds.  The pass re-parses every module and runs two fixpoints,
+#: so it gets its own, looser budget.
+CONCURRENCY_BUDGET_S = 5.0
 
 
 def full_pipeline():
@@ -40,6 +46,17 @@ def test_perf_lint_predict_under_budget():
     assert speclint.exit_code() == 0
     assert reachability.exit_code() == 0
     assert all(p.call_sites > 0 for p in preds)
+
+
+def test_perf_concurrency_under_budget():
+    start = time.perf_counter()
+    report = analyze_concurrency(targets=(".",))
+    elapsed = time.perf_counter() - start
+    assert elapsed < CONCURRENCY_BUDGET_S, (
+        f"concurrency pass over src/repro/ took {elapsed:.2f}s"
+    )
+    assert report.stats["modules"] > 30
+    assert not report.stats.get("parse_errors")
 
 
 @pytest.mark.benchmark(group="perf")

@@ -11,11 +11,15 @@ Three passes, none of which executes a single traced syscall:
 * :mod:`repro.analysis.predict` — an AST walk of the workload
   generators with constant folding that upper-bounds the input
   partitions each suite can exercise, comparable against a real
-  traced run.
+  traced run;
+* :mod:`repro.analysis.concurrency` — a lock model over the repo's
+  concurrent subsystems feeding lock-order, guarded-field, and
+  blocking-under-lock detectors.
 
 All passes report through :class:`repro.analysis.findings.AnalysisReport`.
 """
 
+from repro.analysis.concurrency import analyze_concurrency
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.predict import StaticPredictor, predict_repo
 from repro.analysis.reachability import ReachabilityAnalysis, analyze_repo
@@ -30,4 +34,5 @@ __all__ = [
     "analyze_repo",
     "StaticPredictor",
     "predict_repo",
+    "analyze_concurrency",
 ]

@@ -1,0 +1,448 @@
+"""Detectors over the lock model: the four concurrency rule families.
+
+All rules report through :class:`repro.analysis.findings.AnalysisReport`
+with ERROR severity so the CLI exit-code contract (0 clean / 1 findings
+/ 2 error) gates them in CI.
+
+Rule slugs
+----------
+``lock-order-cycle``
+    The lock-order graph (edges "A held while acquiring B", including
+    locks inherited from callers via may-held propagation) contains a
+    cycle, or a non-reentrant ``Lock`` is re-acquired while already
+    held — a potential deadlock.
+``acquire-no-release``
+    An explicit ``.acquire()`` inside a ``try`` whose lock is not
+    released in a ``finally`` (or never released in the function): an
+    exception leaks the lock.
+``unguarded-access``
+    LockDoc-style guarded-field inference: when a strict majority
+    (and at least two) of a field's post-init accesses hold the same
+    lock, the remaining accesses are flagged as racy.
+``blocking-under-lock``
+    fsync/sleep/socket/blocking-queue/subprocess/wait calls while a
+    lock is held (directly or in every/any caller, see may-held
+    propagation) — latency and deadlock hazards on daemon hot paths.
+
+Propagation modes: *may-held* (union over call sites) feeds the
+lock-order and blocking detectors, where a single bad path suffices;
+*must-held* (intersection over call sites) feeds guarded-field
+inference, where crediting a lock requires it on every path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.suppress import SuppressionIndex
+from repro.analysis.concurrency.model import Model
+
+__all__ = [
+    "LOCK_ORDER_CYCLE",
+    "ACQUIRE_NO_RELEASE",
+    "UNGUARDED_ACCESS",
+    "BLOCKING_UNDER_LOCK",
+    "RULES",
+    "run_detectors",
+]
+
+LOCK_ORDER_CYCLE = "lock-order-cycle"
+ACQUIRE_NO_RELEASE = "acquire-no-release"
+UNGUARDED_ACCESS = "unguarded-access"
+BLOCKING_UNDER_LOCK = "blocking-under-lock"
+
+RULES = (
+    LOCK_ORDER_CYCLE,
+    ACQUIRE_NO_RELEASE,
+    UNGUARDED_ACCESS,
+    BLOCKING_UNDER_LOCK,
+)
+
+_INIT_NAMES = {"__init__", "__post_init__", "__new__"}
+
+# Guarded-field inference thresholds: the majority lock needs at least
+# this many supporting accesses, and a strict majority overall.
+_GUARD_MIN_EVIDENCE = 2
+
+
+def _compute_callers(model: Model) -> dict[str, set[str]]:
+    callers: dict[str, set[str]] = {}
+    for fn in model.functions.values():
+        for call in fn.calls:
+            if call.callee in model.functions:
+                callers.setdefault(call.callee, set()).add(fn.qualname)
+    return callers
+
+
+def _entry_may(model: Model) -> dict[str, set[str]]:
+    """Union of locks held at any call site, propagated transitively."""
+    entry: dict[str, set[str]] = {q: set() for q in model.functions}
+    changed = True
+    while changed:
+        changed = False
+        for fn in model.functions.values():
+            for call in fn.calls:
+                target = entry.get(call.callee)
+                if target is None:
+                    continue
+                incoming = set(call.held) | entry[fn.qualname]
+                if not incoming <= target:
+                    target |= incoming
+                    changed = True
+    return entry
+
+
+def _entry_must(model: Model) -> dict[str, set[str]]:
+    """Locks held at *every* analyzed call site (empty for roots).
+
+    Starts from the empty set and grows monotonically, so the result
+    under-approximates must-held — sound for crediting guard evidence.
+    """
+    entry: dict[str, set[str]] = {q: set() for q in model.functions}
+    for _ in range(len(model.functions) + 2):
+        fresh: dict[str, set[str]] = {}
+        for fn in model.functions.values():
+            for call in fn.calls:
+                if call.callee not in entry:
+                    continue
+                incoming = set(call.held) | entry[fn.qualname]
+                if call.callee in fresh:
+                    fresh[call.callee] &= incoming
+                else:
+                    fresh[call.callee] = set(incoming)
+        new_entry = {q: fresh.get(q, set()) for q in entry}
+        if new_entry == entry:
+            break
+        entry = new_entry
+    return entry
+
+
+def _init_only(model: Model, callers: dict[str, set[str]]) -> set[str]:
+    """Functions reachable only from ``__init__``-phase code.
+
+    Accesses there (e.g. a journal ``_scan`` populating counters before
+    the object escapes) are single-threaded and excluded from
+    guarded-field evidence.
+    """
+    init_only: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in model.functions.items():
+            if qualname in init_only or fn.name in _INIT_NAMES:
+                continue
+            calling = callers.get(qualname)
+            if not calling:
+                continue
+            if all(
+                model.functions[c].name in _INIT_NAMES or c in init_only
+                for c in calling
+            ):
+                init_only.add(qualname)
+                changed = True
+    return init_only
+
+
+def _location(module: str, lineno: int) -> str:
+    return f"{module}:{lineno}"
+
+
+def _detect_lock_order(
+    model: Model, entry_may: dict[str, set[str]]
+) -> list[tuple[Finding, str, int]]:
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    found: list[tuple[Finding, str, int]] = []
+    reported_self: set[tuple[str, str, int]] = set()
+    for fn in model.functions.values():
+        inherited = entry_may[fn.qualname]
+        for acq in fn.acquisitions:
+            prior = set(acq.held) | inherited
+            for held in prior:
+                if held == acq.lock_id:
+                    info = model.locks.get(held)
+                    if info is not None and not info.reentrant:
+                        key = (held, fn.module, acq.lineno)
+                        if key not in reported_self:
+                            reported_self.add(key)
+                            found.append((
+                                Finding(
+                                    defect=LOCK_ORDER_CYCLE,
+                                    severity=Severity.ERROR,
+                                    location=_location(fn.module, acq.lineno),
+                                    message=(
+                                        f"non-reentrant lock {held} "
+                                        "re-acquired while already held "
+                                        "(self-deadlock)"
+                                    ),
+                                ),
+                                fn.module,
+                                acq.lineno,
+                            ))
+                else:
+                    edges.setdefault(
+                        (held, acq.lock_id), (fn.module, acq.lineno)
+                    )
+    # Cycle detection over the (tiny) lock digraph.
+    graph: dict[str, set[str]] = {}
+    for (src, dst) in edges:
+        graph.setdefault(src, set()).add(dst)
+        graph.setdefault(dst, set())
+    reach: dict[str, set[str]] = {}
+    for node in graph:
+        seen: set[str] = set()
+        stack = list(graph[node])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.get(current, ()))
+        reach[node] = seen
+    cycles: set[tuple[str, ...]] = set()
+    for node in graph:
+        if node in reach[node]:
+            component = tuple(sorted(
+                other
+                for other in graph
+                if other in reach[node] and node in reach.get(other, ())
+            ))
+            cycles.add(component)
+    for component in sorted(cycles):
+        arcs = [
+            f"{src} -> {dst} (at {edges[(src, dst)][0]}:{edges[(src, dst)][1]})"
+            for (src, dst) in sorted(edges)
+            if src in component and dst in component
+        ]
+        module, lineno = next(
+            edges[(src, dst)]
+            for (src, dst) in sorted(edges)
+            if src in component and dst in component
+        )
+        found.append((
+            Finding(
+                defect=LOCK_ORDER_CYCLE,
+                severity=Severity.ERROR,
+                location=_location(module, lineno),
+                message=(
+                    "potential deadlock: lock-order cycle between "
+                    + ", ".join(component)
+                    + "; "
+                    + "; ".join(arcs)
+                ),
+            ),
+            module,
+            lineno,
+        ))
+    return found, edges
+
+
+def _detect_leaked_acquires(model: Model) -> list[tuple[Finding, str, int]]:
+    found: list[tuple[Finding, str, int]] = []
+    for fn in model.functions.values():
+        for acq in fn.acquisitions:
+            if not acq.explicit:
+                continue
+            if acq.lock_id in fn.releases_in_finally:
+                continue
+            if acq.in_try:
+                reason = (
+                    "acquired inside try without release in finally; "
+                    "an exception leaks the lock"
+                )
+            elif acq.lock_id not in fn.releases:
+                reason = "never released in this function"
+            else:
+                continue
+            found.append((
+                Finding(
+                    defect=ACQUIRE_NO_RELEASE,
+                    severity=Severity.ERROR,
+                    location=_location(fn.module, acq.lineno),
+                    message=f"{acq.lock_id}.acquire() {reason}",
+                ),
+                fn.module,
+                acq.lineno,
+            ))
+    return found
+
+
+def _detect_unguarded_fields(
+    model: Model,
+    entry_must: dict[str, set[str]],
+    init_only: set[str],
+) -> tuple[list[tuple[Finding, str, int]], dict[str, str], int]:
+    by_field: dict[tuple[str, str], list[tuple]] = {}
+    for fn in model.functions.values():
+        if fn.name in _INIT_NAMES or fn.qualname in init_only:
+            continue
+        inherited = entry_must[fn.qualname]
+        for access in fn.accesses:
+            effective = frozenset(access.held) | inherited
+            by_field.setdefault((access.cls, access.attr), []).append(
+                (access, effective, fn)
+            )
+    found: list[tuple[Finding, str, int]] = []
+    guarded: dict[str, str] = {}
+    fields_tracked = 0
+    for (cls, attr), entries in sorted(by_field.items()):
+        if not any(access.write for access, _, _ in entries):
+            continue  # effectively immutable after __init__
+        fields_tracked += 1
+        total = len(entries)
+        tally: dict[str, int] = {}
+        for _, effective, _ in entries:
+            for lock_id in effective:
+                tally[lock_id] = tally.get(lock_id, 0) + 1
+        if not tally:
+            continue
+        guard, covered = max(tally.items(), key=lambda item: (item[1], item[0]))
+        if covered == total:
+            guarded[f"{cls}.{attr}"] = guard
+            continue
+        if covered < _GUARD_MIN_EVIDENCE or 2 * covered <= total:
+            continue
+        for access, effective, fn in entries:
+            if guard in effective:
+                continue
+            verb = "write to" if access.write else "read of"
+            found.append((
+                Finding(
+                    defect=UNGUARDED_ACCESS,
+                    severity=Severity.ERROR,
+                    location=_location(fn.module, access.lineno),
+                    message=(
+                        f"{verb} {cls}.{attr} without {guard}, which "
+                        f"guards {covered}/{total} of its accesses"
+                    ),
+                ),
+                fn.module,
+                access.lineno,
+            ))
+    return found, guarded, fields_tracked
+
+
+def _detect_blocking(
+    model: Model, entry_may: dict[str, set[str]]
+) -> list[tuple[Finding, str, int]]:
+    found: list[tuple[Finding, str, int]] = []
+    for fn in model.functions.values():
+        inherited = entry_may[fn.qualname]
+        for call in fn.blocking:
+            effective = set(call.held) | inherited
+            if call.condition is not None:
+                # Waiting on a condition releases that condition's own
+                # lock; only *other* held locks are hazards.
+                effective.discard(call.condition)
+            if not effective:
+                continue
+            origin = ""
+            if not (effective & set(call.held)):
+                origin = " (held by callers)"
+            found.append((
+                Finding(
+                    defect=BLOCKING_UNDER_LOCK,
+                    severity=Severity.ERROR,
+                    location=_location(fn.module, call.lineno),
+                    message=(
+                        f"blocking call {call.desc} while holding "
+                        + ", ".join(sorted(effective))
+                        + origin
+                    ),
+                ),
+                fn.module,
+                call.lineno,
+            ))
+    return found
+
+
+def run_detectors(model: Model) -> AnalysisReport:
+    """Run all detector families; returns an unfiltered report.
+
+    Suppressions and baselines are applied by the caller (see
+    :func:`repro.analysis.concurrency.analyze_concurrency`) so tests
+    can inspect the raw findings.
+    """
+    report = AnalysisReport(tool="concurrency")
+    callers = _compute_callers(model)
+    entry_may = _entry_may(model)
+    entry_must = _entry_must(model)
+    init_only = _init_only(model, callers)
+
+    order_findings, edges = _detect_lock_order(model, entry_may)
+    leak_findings = _detect_leaked_acquires(model)
+    field_findings, guarded, fields_tracked = _detect_unguarded_fields(
+        model, entry_must, init_only
+    )
+    blocking_findings = _detect_blocking(model, entry_may)
+
+    tagged = order_findings + leak_findings + field_findings + blocking_findings
+    tagged.sort(key=lambda item: (item[1], item[2], item[0].defect))
+
+    per_module: dict[str, dict[str, int]] = {}
+
+    def bucket(module: str) -> dict[str, int]:
+        return per_module.setdefault(module, {
+            "locks": 0,
+            "lock_sites": 0,
+            "functions": 0,
+            "guarded_fields": 0,
+            "unguarded_accesses": 0,
+            "blocking_calls": 0,
+        })
+
+    for module in model.sources:
+        bucket(module)
+    for info in model.locks.values():
+        bucket(info.module)["locks"] += 1
+    for fn in model.functions.values():
+        stats = bucket(fn.module)
+        stats["functions"] += 1
+        stats["lock_sites"] += fn.lock_sites
+        stats["blocking_calls"] += len(fn.blocking)
+    for field_name, guard in guarded.items():
+        cls = field_name.split(".", 1)[0]
+        info = model.classes.get(cls)
+        if info is not None:
+            bucket(info.module)["guarded_fields"] += 1
+    for finding, module, _ in tagged:
+        if finding.defect == UNGUARDED_ACCESS:
+            bucket(module)["unguarded_accesses"] += 1
+
+    report.findings.extend(finding for finding, _, _ in tagged)
+
+    report.stats.update({
+        "modules": len(model.sources),
+        "classes": len(model.classes),
+        "functions": len(model.functions),
+        "locks": len(model.locks),
+        "lock_sites": sum(fn.lock_sites for fn in model.functions.values()),
+        "lock_order_edges": len(edges),
+        "fields_tracked": fields_tracked,
+        "guarded_fields": dict(sorted(guarded.items())),
+        "lock_coverage": dict(sorted(per_module.items())),
+    })
+    return report
+
+
+def filter_suppressed(
+    report: AnalysisReport, sources: dict[str, str]
+) -> AnalysisReport:
+    """Drop findings allowed by ``# lint: allow(...)`` pragmas."""
+    indexes = {
+        module: SuppressionIndex(text) for module, text in sources.items()
+    }
+    kept = []
+    suppressed = 0
+    for finding in report.findings:
+        module, _, lineno_text = finding.location.rpartition(":")
+        index = indexes.get(module)
+        try:
+            lineno = int(lineno_text)
+        except ValueError:
+            lineno = -1
+        if index is not None and index.allows(lineno, finding.defect):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    report.findings[:] = kept
+    report.stats["suppressed"] = suppressed
+    return report

@@ -39,6 +39,7 @@ from repro.vfs import constants
 from repro.vfs.errors import ERRNO_BY_NAME, errno_name
 
 from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.suppress import location_suppressed, scan_pragmas
 
 # Defect-class slugs (stable; tests and docs key on these).
 UNKNOWN_ERRNO = "unknown-errno"
@@ -319,6 +320,83 @@ def _check_variants(
             )
 
 
+def registry_suppressions(source: str | None = None) -> dict[str, frozenset[str]]:
+    """Scan ``# lint: allow(...)`` pragmas out of the registry source.
+
+    A pragma on any line of a ``_spec("name", ...)`` (or
+    ``SyscallSpec(...)``) call suppresses that rule for every finding
+    whose location starts with ``name.``; a pragma on a
+    ``VARIANT_TO_BASE`` entry's line covers ``variants.<name>``.  This
+    gives the spec lint the same suppression syntax as the concurrency
+    pass even though spec findings address registry entries, not the
+    source lines the checks run from.
+    """
+    import ast as _ast
+
+    if source is None:
+        from pathlib import Path
+
+        from repro.core import argspec as _argspec
+
+        source = Path(_argspec.__file__).read_text(encoding="utf-8")
+    pragmas = scan_pragmas(source)
+    if not pragmas:
+        return {}
+    suppressions: dict[str, frozenset[str]] = {}
+
+    def note(prefix: str, rules: frozenset[str]) -> None:
+        merged = suppressions.get(prefix, frozenset()) | rules
+        suppressions[prefix] = merged
+
+    tree = _ast.parse(source)
+    for node in _ast.walk(tree):
+        if isinstance(node, _ast.Call) and isinstance(node.func, _ast.Name):
+            if node.func.id not in ("_spec", "SyscallSpec"):
+                continue
+            name = None
+            if node.args and isinstance(node.args[0], _ast.Constant):
+                name = node.args[0].value
+            for keyword in node.keywords:
+                if keyword.arg == "name" and isinstance(
+                    keyword.value, _ast.Constant
+                ):
+                    name = keyword.value.value
+            if not isinstance(name, str):
+                continue
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            for lineno in range(node.lineno, end + 1):
+                if lineno in pragmas:
+                    note(name, pragmas[lineno])
+        elif isinstance(node, _ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, _ast.Name)
+            ]
+            if "VARIANT_TO_BASE" in targets and isinstance(
+                node.value, _ast.Dict
+            ):
+                for variant_key in node.value.keys:
+                    if isinstance(variant_key, _ast.Constant) and isinstance(
+                        variant_key.value, str
+                    ):
+                        rules = pragmas.get(variant_key.lineno)
+                        if rules:
+                            note(f"variants.{variant_key.value}", rules)
+        elif isinstance(node, _ast.AnnAssign):
+            if (
+                isinstance(node.target, _ast.Name)
+                and node.target.id == "VARIANT_TO_BASE"
+                and isinstance(node.value, _ast.Dict)
+            ):
+                for variant_key in node.value.keys:
+                    if isinstance(variant_key, _ast.Constant) and isinstance(
+                        variant_key.value, str
+                    ):
+                        rules = pragmas.get(variant_key.lineno)
+                        if rules:
+                            note(f"variants.{variant_key.value}", rules)
+    return suppressions
+
+
 def lint_registry(
     registry: Mapping[str, SyscallSpec] | None = None,
     variants: Mapping[str, str] | None = None,
@@ -326,8 +404,16 @@ def lint_registry(
     partitioner_factory: Callable[[ArgSpec], object] = make_input_partitioner,
     output_factory: Callable[[SyscallSpec], object] = OutputPartitioner,
     errno_catalog: Mapping[str, int] | None = None,
+    suppressions: Mapping[str, frozenset[str]] | None = None,
 ) -> AnalysisReport:
-    """Lint a syscall registry; defaults to the repo's live registry."""
+    """Lint a syscall registry; defaults to the repo's live registry.
+
+    ``suppressions`` maps location prefixes to allowed rules (see
+    :func:`registry_suppressions`); it defaults to the pragmas in the
+    live registry source when linting the live registry.
+    """
+    if suppressions is None and registry is None and variants is None:
+        suppressions = registry_suppressions()
     registry = dict(BASE_SYSCALLS) if registry is None else dict(registry)
     variants = dict(VARIANT_TO_BASE) if variants is None else dict(variants)
     catalog = ERRNO_BY_NAME if errno_catalog is None else errno_catalog
@@ -345,10 +431,20 @@ def lint_registry(
             probes += _check_partitions(report, location, arg, partitioner_factory)
         _check_output_domain(report, spec, catalog, output_factory)
     _check_variants(report, registry, variants)
+    suppressed = 0
+    if suppressions:
+        kept = []
+        for finding in report.findings:
+            if location_suppressed(finding.location, finding.defect, suppressions):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        report.findings[:] = kept
     report.stats.update(
         syscalls=len(registry),
         variants=len(variants),
         args_checked=args_checked,
         probes=probes,
+        suppressed=suppressed,
     )
     return report

@@ -1,0 +1,116 @@
+"""Suppression comments and baselines for ``repro lint``.
+
+One syntax covers every lint surface: a ``# lint: allow(<rule>)``
+comment on the offending line (or on the line directly above it)
+suppresses findings of that rule at that location.  Several rules may
+be listed, comma-separated, and ``all`` matches any rule::
+
+    os.fsync(fd)  # lint: allow(blocking-under-lock) group commit is the point
+
+    # lint: allow(unguarded-access)
+    self.counter += 1
+
+Baselines let a repo adopt a new lint without fixing historical
+findings first: a committed JSON file listing ``defect``/``location``
+pairs that are filtered from the report (and counted in its stats)
+instead of failing the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+__all__ = [
+    "SuppressionIndex",
+    "scan_pragmas",
+    "load_baseline",
+    "apply_baseline",
+]
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+
+def scan_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule names allowed on that line."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if rules:
+            pragmas[lineno] = rules
+    return pragmas
+
+
+class SuppressionIndex:
+    """Per-file index answering "is <rule> allowed at <line>?"."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line = scan_pragmas(source)
+
+    def allows(self, lineno: int, rule: str) -> bool:
+        for candidate in (lineno, lineno - 1):
+            rules = self._by_line.get(candidate)
+            if rules is not None and (rule in rules or "all" in rules):
+                return True
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str]]:
+    """Load accepted ``(defect, location)`` pairs from a baseline file.
+
+    The file is a JSON document ``{"findings": [{"defect": ...,
+    "location": ...}, ...]}``; unknown keys are ignored so the file can
+    carry human-facing context (dates, justifications).
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    accepted: set[tuple[str, str]] = set()
+    for entry in doc.get("findings", []):
+        defect = entry.get("defect")
+        location = entry.get("location")
+        if isinstance(defect, str) and isinstance(location, str):
+            accepted.add((defect, location))
+    return accepted
+
+
+def apply_baseline(
+    report: AnalysisReport, accepted: set[tuple[str, str]]
+) -> AnalysisReport:
+    """Drop baselined findings from *report*, counting them in stats."""
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in report.findings:
+        if (finding.defect, finding.location) in accepted:
+            baselined += 1
+        else:
+            kept.append(finding)
+    report.findings[:] = kept
+    report.stats["baselined"] = baselined
+    return report
+
+
+def location_suppressed(
+    location: str, rule: str, suppressions: Mapping[str, frozenset[str]]
+) -> bool:
+    """True when *rule* is allowed for *location* by a prefix map.
+
+    ``suppressions`` maps location prefixes (e.g. a syscall name) to
+    allowed rule sets; a prefix matches the exact location or any
+    dotted extension of it (``open`` matches ``open.flags``).
+    """
+    for prefix, rules in suppressions.items():
+        if location == prefix or location.startswith(prefix + "."):
+            if rule in rules or "all" in rules:
+                return True
+    return False

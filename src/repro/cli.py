@@ -391,6 +391,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import lint_registry
     from repro.analysis.reachability import analyze_repo
 
+    if args.concurrency:
+        return _cmd_lint_concurrency(args)
     speclint = lint_registry()
     reachability = analyze_repo()
     exit_code = max(speclint.exit_code(), reachability.exit_code())
@@ -410,6 +412,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
     print(speclint.render_text())
     print()
     print(reachability.render_text())
+    return exit_code
+
+
+def _cmd_lint_concurrency(args: argparse.Namespace) -> int:
+    from repro.analysis.concurrency import DEFAULT_BASELINE, analyze_concurrency
+
+    baseline = args.baseline
+    if baseline is None and os.path.isfile(DEFAULT_BASELINE):
+        baseline = DEFAULT_BASELINE
+    try:
+        report = analyze_concurrency(targets=args.path or None, baseline=baseline)
+    except (FileNotFoundError, OSError, ValueError) as exc:
+        if args.json:
+            return _emit_json("lint", EXIT_ERROR, {"error": str(exc)})
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    exit_code = report.exit_code()
+    if args.json:
+        return _emit_json(
+            "lint",
+            exit_code,
+            {
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+                "reports": {"concurrency": report.to_dict()},
+            },
+        )
+    print(report.render_text())
     return exit_code
 
 
@@ -756,6 +786,26 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static spec/implementation consistency checks"
     )
     lint.add_argument("--json", action="store_true", help="dump JSON")
+    lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the static concurrency pass (lock-order, guarded "
+        "fields, blocking-under-lock) instead of the spec linters",
+    )
+    lint.add_argument(
+        "--path",
+        action="append",
+        metavar="TARGET",
+        help="with --concurrency: analyze this path (relative to the "
+        "repro package; a directory, a .py file, or '.' for the whole "
+        "package); repeatable, default is the concurrent subsystems",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="with --concurrency: baseline JSON of accepted findings "
+        f"(default: {'.concurrency-baseline.json'} when present)",
+    )
     lint.set_defaults(handler=cmd_lint)
 
     predict = sub.add_parser(

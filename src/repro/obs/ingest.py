@@ -271,10 +271,11 @@ class IngestSession:
             self._ingest_work(work)
             with self._space:
                 self._pending_lines -= round_lines
+                depth = self._pending_lines
                 self._space.notify_all()
             for flush in flushes:
                 flush.done.set()
-            self.m_queue_depth.set(max(self._pending_lines, 0), **self._labels)
+            self.m_queue_depth.set(max(depth, 0), **self._labels)
             if stop:
                 break
 
@@ -326,10 +327,16 @@ class IngestSession:
     def _check_accepting(self) -> None:
         if self.closed:
             raise RuntimeError("ingest session is closed")
-        if self.degraded:
+        # degraded and the parser counters are written by the worker
+        # under _lock; read them under the same lock.
+        with self._lock:
+            degraded = self.degraded
+            malformed = self.parser.malformed_lines
+            fed = self.parser.lines_fed
+        if degraded:
             raise SessionDegradedError(
-                f"error budget exhausted: {self.parser.malformed_lines} of "
-                f"{self.parser.lines_fed} lines malformed "
+                f"error budget exhausted: {malformed} of "
+                f"{fed} lines malformed "
                 f"(budget {self.error_budget:.1%})"
             )
 
@@ -337,10 +344,14 @@ class IngestSession:
         """Admit one queue item, blocking while the line bound is hit."""
         with self._space:
             while self._pending_lines >= self.queue_size and not self.closed:
-                self._space.wait(0.5)
+                # Producers are *meant* to park here while serialized
+                # by feed_lock: the worker drains the queue without
+                # taking either lock, so this cannot deadlock.
+                self._space.wait(0.5)  # lint: allow(blocking-under-lock)
             self._pending_lines += weight
+            depth = self._pending_lines
         self._queue.put(item)
-        self.m_queue_depth.set(self._pending_lines, **self._labels)
+        self.m_queue_depth.set(depth, **self._labels)
 
     def feed_lines(self, lines: list[str], *, journal: bool = True) -> None:
         """Enqueue complete lines; blocks when the queue is full.
@@ -445,6 +456,9 @@ class IngestSession:
 
     def stats(self) -> dict[str, Any]:
         """Session counters for the ``/session`` endpoint."""
+        # _pending_lines is guarded by the _space condition, not _lock.
+        with self._space:
+            depth = self._pending_lines
         with self._lock:
             return {
                 "format": self.fmt,
@@ -459,7 +473,7 @@ class IngestSession:
                 "pending_pairs": self.parser.pending_entries,
                 "degraded": self.degraded,
                 "error_budget": self.error_budget,
-                "queue_depth": max(self._pending_lines, 0),
+                "queue_depth": max(depth, 0),
                 "runs_stored": self.runs_stored,
                 "quarantine": [item.to_dict() for item in self.quarantine[:20]],
             }

@@ -621,7 +621,11 @@ class ObsRequestHandler(BaseHTTPRequestHandler):
                     for piece in pieces:
                         session.feed_text(piece.decode("utf-8", errors="replace"))
                     session.end_of_stream()
-                flushed = session.flush()
+            # Flush outside feed_lock: it blocks on the worker (up to
+            # 30 s) and only needs to *follow* this request's enqueues,
+            # which the queue's FIFO order already guarantees — holding
+            # the lock through it would starve every other feeder.
+            flushed = session.flush()
         except SessionDegradedError as exc:
             self._send_json(422, {"error": str(exc), "session": session.stats()})
             return

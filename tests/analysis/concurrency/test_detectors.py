@@ -1,0 +1,529 @@
+"""Seeded-defect corpus for the static concurrency pass.
+
+One minimal module per detector family, fed through
+``analyze_concurrency`` exactly as the CLI would, asserting each
+seeded defect is detected — plus a clean module asserting zero false
+positives, and suppression/baseline behaviour.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.concurrency import (
+    ACQUIRE_NO_RELEASE,
+    BLOCKING_UNDER_LOCK,
+    LOCK_ORDER_CYCLE,
+    UNGUARDED_ACCESS,
+    analyze_concurrency,
+)
+
+
+def run(source, **kwargs):
+    return analyze_concurrency(
+        {"seed.py": textwrap.dedent(source)}, **kwargs
+    )
+
+
+def defects(report):
+    return [f.defect for f in report.findings]
+
+
+# -- lock-order cycles ---------------------------------------------------------
+
+DEADLOCK_CYCLE = """
+    import threading
+
+    class Transfer:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+
+        def deposit(self):
+            with self.a:
+                with self.b:
+                    pass
+
+        def withdraw(self):
+            with self.b:
+                with self.a:
+                    pass
+"""
+
+
+def test_lock_order_cycle_detected():
+    report = run(DEADLOCK_CYCLE)
+    assert LOCK_ORDER_CYCLE in defects(report)
+    [finding] = [f for f in report.findings if f.defect == LOCK_ORDER_CYCLE]
+    assert "Transfer.a" in finding.message and "Transfer.b" in finding.message
+
+
+SELF_DEADLOCK = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.n = 0
+
+        def bump(self):
+            with self._lock:
+                self._bump_locked()
+
+        def _bump_locked(self):
+            with self._lock:
+                self.n += 1
+"""
+
+
+def test_nonreentrant_self_deadlock_detected():
+    report = run(SELF_DEADLOCK)
+    assert LOCK_ORDER_CYCLE in defects(report)
+
+
+def test_rlock_reacquire_is_clean():
+    report = run(SELF_DEADLOCK.replace("threading.Lock()", "threading.RLock()"))
+    assert LOCK_ORDER_CYCLE not in defects(report)
+
+
+def test_consistent_order_is_clean():
+    consistent = """
+        import threading
+
+        class Transfer:
+            def __init__(self):
+                self.a = threading.Lock()
+                self.b = threading.Lock()
+
+            def deposit(self):
+                with self.a:
+                    with self.b:
+                        pass
+
+            def withdraw(self):
+                with self.a:
+                    with self.b:
+                        pass
+    """
+    assert defects(run(consistent)) == []
+
+
+# -- leaked explicit acquires --------------------------------------------------
+
+LEAKED_ACQUIRE = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0
+
+        def poke(self):
+            try:
+                self._lock.acquire()
+                self.value += 1
+                self._lock.release()
+            except ValueError:
+                pass
+"""
+
+
+def test_acquire_in_try_without_finally_detected():
+    report = run(LEAKED_ACQUIRE)
+    assert ACQUIRE_NO_RELEASE in defects(report)
+
+
+def test_acquire_with_finally_release_is_clean():
+    guarded = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0
+
+            def poke(self):
+                self._lock.acquire()
+                try:
+                    self.value += 1
+                finally:
+                    self._lock.release()
+    """
+    assert defects(run(guarded)) == []
+
+
+def test_acquire_never_released_detected():
+    leak = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def grab(self):
+                self._lock.acquire()
+    """
+    report = run(leak)
+    assert ACQUIRE_NO_RELEASE in defects(report)
+
+
+# -- guarded-field inference ---------------------------------------------------
+
+UNGUARDED_FIELD = """
+    import threading
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+
+        def record(self):
+            with self._lock:
+                self.hits += 1
+
+        def reset(self):
+            with self._lock:
+                self.hits = 0
+
+        def peek(self):
+            return self.hits
+"""
+
+
+def test_unguarded_field_access_detected():
+    report = run(UNGUARDED_FIELD)
+    assert UNGUARDED_ACCESS in defects(report)
+    [finding] = [f for f in report.findings if f.defect == UNGUARDED_ACCESS]
+    assert "Stats.hits" in finding.message
+    assert "Stats._lock" in finding.message
+
+
+def test_guard_inference_crosses_calls():
+    # The racy read happens in a helper whose callers never hold the
+    # lock; the guarded writes flow through a helper whose callers
+    # always do (must-held propagation).
+    interprocedural = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0
+
+            def _bump(self):
+                self.hits += 1
+
+            def record(self):
+                with self._lock:
+                    self.hits += 1
+
+            def retry(self):
+                with self._lock:
+                    self._bump()
+
+            def peek(self):
+                return self.hits
+    """
+    report = run(interprocedural)
+    # Without crediting _bump's write through must-held propagation the
+    # guard would have only 1 supporting access and stay uninferred.
+    assert UNGUARDED_ACCESS in defects(report)
+    [finding] = [f for f in report.findings if f.defect == UNGUARDED_ACCESS]
+    assert "2/3" in finding.message
+
+
+def test_init_phase_accesses_are_not_evidence():
+    # _load writes self.entries without a lock but is only reachable
+    # from __init__ — single-threaded by construction, not a finding,
+    # and not counter-evidence against the inferred guard either.
+    init_phase = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.entries = {}
+                self._load()
+
+            def _load(self):
+                self.entries = {"seed": 1}
+                self.entries["warm"] = 2
+
+            def put(self, key, value):
+                with self._lock:
+                    self.entries[key] = value
+
+            def drop(self, key):
+                with self._lock:
+                    self.entries.pop(key, None)
+    """
+    assert defects(run(init_phase)) == []
+
+
+# -- blocking calls under a lock -----------------------------------------------
+
+BLOCKING_UNDER = """
+    import os
+    import threading
+    import time
+
+    class Journal:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._fh = open("/dev/null", "wb")
+
+        def commit(self):
+            with self._lock:
+                os.fsync(self._fh.fileno())
+
+        def throttle(self):
+            with self._lock:
+                time.sleep(0.1)
+"""
+
+
+def test_blocking_calls_under_lock_detected():
+    report = run(BLOCKING_UNDER)
+    flagged = [f for f in report.findings if f.defect == BLOCKING_UNDER_LOCK]
+    assert len(flagged) == 2
+    messages = " ".join(f.message for f in flagged)
+    assert "os.fsync" in messages and "time.sleep" in messages
+
+
+def test_blocking_inherited_from_caller_detected():
+    # fsync happens in a helper that takes no lock itself; the hazard
+    # is visible only through may-held propagation from its caller.
+    propagated = """
+        import os
+        import threading
+
+        class Journal:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._fh = open("/dev/null", "wb")
+
+            def _sync(self):
+                os.fsync(self._fh.fileno())
+
+            def commit(self):
+                with self._lock:
+                    self._sync()
+    """
+    report = run(propagated)
+    [finding] = [f for f in report.findings if f.defect == BLOCKING_UNDER_LOCK]
+    assert "held by callers" in finding.message
+
+
+def test_blocking_queue_and_socket_ops_detected():
+    queue_ops = """
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._q = queue.Queue(maxsize=4)
+
+            def push(self, item):
+                with self._lock:
+                    self._q.put(item)
+
+            def pull(self):
+                with self._lock:
+                    return self._q.get()
+
+            def relay(self, sock):
+                with self._lock:
+                    return sock.recv(4096)
+    """
+    report = run(queue_ops)
+    flagged = [f for f in report.findings if f.defect == BLOCKING_UNDER_LOCK]
+    assert len(flagged) == 3
+
+
+def test_unbounded_queue_put_is_clean():
+    unbounded = """
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._q = queue.Queue()
+
+            def push(self, item):
+                with self._lock:
+                    self._q.put(item)
+    """
+    assert defects(run(unbounded)) == []
+
+
+def test_condition_wait_releases_its_own_lock():
+    # Waiting on the condition you hold is the normal pattern; holding
+    # a *second* lock across the wait is the hazard.
+    conditions = """
+        import threading
+
+        class Gate:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._lock = threading.Lock()
+
+            def park(self):
+                with self._cond:
+                    self._cond.wait(0.5)
+
+            def park_badly(self):
+                with self._lock:
+                    with self._cond:
+                        self._cond.wait(0.5)
+    """
+    report = run(conditions)
+    flagged = [f for f in report.findings if f.defect == BLOCKING_UNDER_LOCK]
+    assert len(flagged) == 1
+    assert "Gate._lock" in flagged[0].message
+
+
+# -- clean module: zero false positives ---------------------------------------
+
+CLEAN_MODULE = """
+    import os
+    import queue
+    import threading
+
+    class Worker:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._space = threading.Condition()
+            self._queue = queue.Queue()
+            self.processed = 0
+            self.pending = 0
+
+        def submit(self, item):
+            with self._space:
+                self.pending += 1
+            self._queue.put(item)
+
+        def run_once(self):
+            item = self._queue.get()
+            with self._lock:
+                self.processed += 1
+            with self._space:
+                self.pending -= 1
+                self._space.notify_all()
+            os.fsync(item)
+
+        def counters(self):
+            with self._space:
+                pending = self.pending
+            with self._lock:
+                return {"processed": self.processed, "pending": pending}
+
+        def safe_grab(self):
+            self._lock.acquire()
+            try:
+                return self.processed
+            finally:
+                self._lock.release()
+"""
+
+
+def test_clean_module_has_zero_findings():
+    report = run(CLEAN_MODULE)
+    assert report.findings == []
+    assert report.exit_code() == 0
+
+
+def test_clean_module_coverage_stats():
+    report = run(CLEAN_MODULE)
+    coverage = report.stats["lock_coverage"]["seed.py"]
+    assert coverage["locks"] == 2
+    assert coverage["lock_sites"] >= 5
+    guarded = report.stats["guarded_fields"]
+    assert guarded["Worker.processed"] == "Worker._lock"
+    assert guarded["Worker.pending"] == "Worker._space"
+
+
+# -- suppressions and baselines ------------------------------------------------
+
+def test_pragma_suppresses_on_same_line():
+    source = BLOCKING_UNDER.replace(
+        "os.fsync(self._fh.fileno())",
+        "os.fsync(self._fh.fileno())  # lint: allow(blocking-under-lock)",
+    )
+    report = run(source)
+    assert len([f for f in report.findings if f.defect == BLOCKING_UNDER_LOCK]) == 1
+    assert report.stats["suppressed"] == 1
+
+
+def test_pragma_suppresses_on_line_above():
+    source = UNGUARDED_FIELD.replace(
+        "return self.hits",
+        "# lint: allow(unguarded-access)\n            return self.hits",
+    )
+    report = run(source)
+    assert defects(report) == []
+    assert report.stats["suppressed"] == 1
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    source = UNGUARDED_FIELD.replace(
+        "return self.hits",
+        "return self.hits  # lint: allow(lock-order-cycle)",
+    )
+    report = run(source)
+    assert UNGUARDED_ACCESS in defects(report)
+
+
+def test_suppress_false_exposes_raw_findings():
+    source = BLOCKING_UNDER.replace(
+        "os.fsync(self._fh.fileno())",
+        "os.fsync(self._fh.fileno())  # lint: allow(blocking-under-lock)",
+    )
+    report = run(source, suppress=False)
+    assert len([f for f in report.findings if f.defect == BLOCKING_UNDER_LOCK]) == 2
+
+
+def test_baseline_filters_accepted_findings(tmp_path):
+    raw = run(UNGUARDED_FIELD)
+    [finding] = raw.findings
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        '{"findings": [{"defect": "%s", "location": "%s"}]}'
+        % (finding.defect, finding.location)
+    )
+    report = run(UNGUARDED_FIELD, baseline=str(baseline))
+    assert report.findings == []
+    assert report.stats["baselined"] == 1
+    assert report.exit_code() == 0
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"findings": [{"defect": "unguarded-access", "location": "elsewhere.py:1"}]}')
+    report = run(UNGUARDED_FIELD, baseline=str(baseline))
+    assert UNGUARDED_ACCESS in defects(report)
+    assert report.stats["baselined"] == 0
+
+
+# -- module-level locks --------------------------------------------------------
+
+def test_module_level_lock_order_cycle():
+    module_locks = """
+        import threading
+
+        A = threading.Lock()
+        B = threading.Lock()
+
+        def forward():
+            with A:
+                with B:
+                    pass
+
+        def backward():
+            with B:
+                with A:
+                    pass
+    """
+    report = run(module_locks)
+    assert LOCK_ORDER_CYCLE in defects(report)

@@ -279,3 +279,69 @@ def test_defect_classes_are_distinct():
         SIZE_PARTITION_ORDER, DANGLING_VARIANT, VARIANT_SHADOWS_BASE,
     }
     assert len(slugs) == 14
+
+
+# -- suppression pragmas -------------------------------------------------------
+# One `# lint: allow(<rule>)` syntax covers the whole `repro lint`
+# surface; for spec findings the pragma sits on the registry source
+# line of the `_spec(...)` call (or VARIANT_TO_BASE entry) it excuses.
+
+REGISTRY_SOURCE = '''
+BASE_SYSCALLS = {
+    spec.name: spec
+    for spec in (
+        _spec("open", (OPEN_FLAGS_ARG,), OutputKind.FLAG, OPEN_ERRNOS),  # lint: allow(unknown-errno)
+        _spec("read", (READ_COUNT_ARG,), OutputKind.SIZE, READ_ERRNOS),
+    )
+}
+VARIANT_TO_BASE: dict[str, str] = {
+    "openat": "open",  # lint: allow(dangling-variant)
+    "pread": "read",
+}
+'''
+
+
+def test_registry_suppressions_scanned_from_source():
+    from repro.analysis.speclint import registry_suppressions
+
+    suppressions = registry_suppressions(REGISTRY_SOURCE)
+    assert suppressions == {
+        "open": frozenset({"unknown-errno"}),
+        "variants.openat": frozenset({"dangling-variant"}),
+    }
+
+
+def test_spec_finding_suppressed_by_prefix():
+    spec = make_spec(name="open", errnos=("ENOENT", "EWOBBLE"))
+    suppressions = {"open": frozenset({UNKNOWN_ERRNO})}
+    report = lint_registry(
+        {spec.name: spec}, variants={}, suppressions=suppressions
+    )
+    assert UNKNOWN_ERRNO not in report.defect_classes()
+    assert report.stats["suppressed"] == 1
+    assert report.exit_code() == 0
+
+
+def test_spec_suppression_is_rule_specific():
+    spec = make_spec(name="open", errnos=("ENOENT", "EWOBBLE"))
+    suppressions = {"open": frozenset({DANGLING_VARIANT})}
+    report = lint_registry(
+        {spec.name: spec}, variants={}, suppressions=suppressions
+    )
+    assert_defect(report, UNKNOWN_ERRNO)
+    assert report.stats["suppressed"] == 0
+
+
+def test_variant_finding_suppressed():
+    suppressions = {"variants.ghost": frozenset({DANGLING_VARIANT})}
+    report = lint_registry(
+        {}, variants={"ghost": "nowhere"}, suppressions=suppressions
+    )
+    assert DANGLING_VARIANT not in report.defect_classes()
+    assert report.stats["suppressed"] == 1
+
+
+def test_live_registry_needs_no_suppressions():
+    from repro.analysis.speclint import registry_suppressions
+
+    assert registry_suppressions() == {}
