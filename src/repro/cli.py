@@ -122,6 +122,32 @@ def _emit_json(command: str, exit_code: int, payload: dict) -> int:
 # -- subcommand handlers --------------------------------------------------------
 
 
+def _warn_degraded_jobs(requested: int | None, stats: dict) -> None:
+    """Tell the user when an explicit ``--jobs N`` silently degraded.
+
+    The bench history shows ``shards: 1`` at ``--jobs 4`` with no
+    user-visible signal; this puts the reason on stderr.  Auto mode
+    (``--jobs 0``) adapts by design, so only explicit requests warn.
+    """
+    if not requested or requested < 2:
+        return
+    reason = stats.get("degrade_reason")
+    if reason is None:
+        return
+    effective = stats.get("jobs_effective")
+    shards = stats.get("shards")
+    detail = {
+        "cpu_clamp": f"only {effective} CPU(s) available",
+        "small_file": "the trace is too small to split",
+        "min_shard_events": "too few events to amortize the worker pool",
+    }.get(reason, reason)
+    print(
+        f"repro analyze: --jobs {requested} degraded to "
+        f"{shards} shard(s): {detail}",
+        file=sys.stderr,
+    )
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     name = args.name or args.trace
     fmt = args.format or _guess_format(args.trace)
@@ -140,6 +166,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             stats=shard_stats,
         )
         parse_stats = shard_stats.get("parse")
+        _warn_degraded_jobs(args.jobs, shard_stats)
     else:
         # Binary traces decode so fast that sharding has nothing to
         # win; --jobs is accepted but the serial reader runs.
@@ -162,6 +189,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         payload = report.to_dict()
         if parse_stats is not None:
             payload["parse"] = parse_stats
+        if shard_stats:
+            # How the parallel run actually executed — requested vs
+            # effective workers, pool warm/cold state, and why the
+            # topology degraded, if it did.
+            payload["jobs"] = {
+                "requested": shard_stats.get("jobs_requested"),
+                "effective": shard_stats.get("jobs_effective"),
+                "shards": shard_stats.get("shards"),
+                "pool": shard_stats.get("pool"),
+                "pool_skipped": shard_stats.get("pool_skipped"),
+                "sequential_fallback": shard_stats.get("sequential_fallback"),
+                "degrade_reason": shard_stats.get("degrade_reason"),
+            }
         if args.suggest:
             from repro.core.suggestions import suggest_tests
 
@@ -519,6 +559,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             tenant=args.tenant,
             project=args.project,
+            analysis_workers=args.analysis_workers,
         )
     except StoreLockError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -893,6 +934,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="max malformed-line fraction before the session degrades",
+    )
+    serve.add_argument(
+        "--analysis-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="offload trace parsing to N persistent worker processes "
+        "(namespace→worker affinity preserves per-session ordering); "
+        "omitted = parse in-process",
     )
     serve.set_defaults(handler=cmd_serve)
 

@@ -9,10 +9,19 @@ coverage tally is a sum, and the stateful parts (mount-point fd
 tracking, LTTng entry/exit pairing) are reconciled by a replay of the
 small cross-shard residue each worker reports.
 
+Since the persistent-pool rework, fan-out runs on a **spawn-once
+worker pool** (:mod:`repro.parallel.pool`) shared by every
+``run_sharded`` call in the process *and* by the obs daemon's
+``--analysis-workers`` parse offload: workers stay warm, shard spans
+and result blobs travel through shared memory instead of the pool's
+pickle pipes, and a pipelined reader thread overlaps span I/O with
+worker parsing and with stream-merging of completed shards.
+
 Entry points:
 
 * :func:`run_sharded` — file in, report out, ``jobs`` workers.
 * ``repro analyze --jobs N`` — the same, from the command line.
+* :func:`get_pool` / :class:`WorkerPool` — the persistent runtime.
 """
 
 from repro.parallel.executor import (
@@ -20,18 +29,40 @@ from repro.parallel.executor import (
     run_sharded,
     tree_merge,
 )
+from repro.parallel.pool import (
+    PoolError,
+    PoolUnavailableError,
+    WorkerCrashError,
+    WorkerPool,
+    get_pool,
+    pool_is_warm,
+    shutdown_pool,
+)
 from repro.parallel.shardfilter import ShardFilter
 from repro.parallel.sharding import iter_span_lines, shard_spans
-from repro.parallel.worker import ShardResult, ShardTask, analyze_shard
+from repro.parallel.worker import (
+    ShardResult,
+    ShardTask,
+    analyze_shard,
+    analyze_shard_data,
+)
 
 __all__ = [
+    "PoolError",
+    "PoolUnavailableError",
     "ShardAmbiguityError",
     "ShardFilter",
     "ShardResult",
     "ShardTask",
+    "WorkerCrashError",
+    "WorkerPool",
     "analyze_shard",
+    "analyze_shard_data",
+    "get_pool",
     "iter_span_lines",
+    "pool_is_warm",
     "run_sharded",
     "shard_spans",
+    "shutdown_pool",
     "tree_merge",
 ]

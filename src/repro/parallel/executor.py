@@ -28,14 +28,15 @@ exit lines adjacently, so carried queues drain immediately).
 from __future__ import annotations
 
 import heapq
-import multiprocessing
 import os
+import queue
+import threading
 from collections import defaultdict, deque
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
 from repro.core.analyzer import IOCov
 from repro.core.report import CoverageReport
+from repro.parallel.pool import PoolError, get_pool, pool_is_warm
 from repro.parallel.shardfilter import OP_ADD
 from repro.parallel.sharding import DEFAULT_MIN_SHARD_BYTES, shard_spans
 from repro.parallel.worker import (
@@ -48,9 +49,18 @@ from repro.trace.batch import make_parse_stats
 from repro.trace.lttng import pair_event
 from repro.trace.syzkaller import scan_resource_bindings
 
-#: Below this many *estimated* events per worker, process-pool startup
-#: costs more than it saves; the executor runs sequentially instead.
+#: Below this many *estimated* events per worker, fan-out costs more
+#: than it saves; the executor runs sequentially instead.  Two
+#: thresholds, because the dominant cost differs by an order of
+#: magnitude: a *cold* call pays worker startup (~18 ms/worker
+#: measured), a *warm* call only pays shared-memory handoff and result
+#: pickling.
 MIN_SHARD_EVENTS = 4096
+MIN_SHARD_EVENTS_WARM = 1024
+
+#: Extra shard payloads the reader thread may stage beyond the worker
+#: count — the pipeline depth of the parse→analyze overlap.
+PIPELINE_SLACK = 2
 
 #: Bytes sampled from the head of the file to estimate the event count.
 _SAMPLE_BYTES = 128 * 1024
@@ -103,26 +113,37 @@ def run_sharded(
     if fmt not in FORMATS:
         raise ValueError(f"unknown trace format: {fmt!r}")
     suite = suite_name if suite_name is not None else path
+    cpus = os.cpu_count() or 1
     if jobs is None:
-        jobs = os.cpu_count() or 1
-    elif not inline:
+        jobs = cpus
+    requested = jobs
+    if not inline and jobs > cpus:
         # More workers than cores is pure fork/pickle overhead: each
         # extra process time-slices the same CPUs it shares with the
         # others (the measured negative scaling on small machines).
-        jobs = min(jobs, os.cpu_count() or 1)
+        jobs = cpus
     if stats is None:
         stats = {}
-    stats.update(jobs_effective=jobs)
+    stats.update(jobs_requested=requested, jobs_effective=jobs)
+    if jobs < requested:
+        stats["degrade_reason"] = "cpu_clamp"
     spans = shard_spans(path, jobs, min_shard_bytes=min_shard_bytes)
     stats.update(shards=len(spans), sequential_fallback=False, pool_skipped=False)
     if len(spans) <= 1:
         stats.update(shards=1)
+        if requested > 1:
+            stats.setdefault("degrade_reason", "small_file")
         return _run_sequential(path, fmt, mount_point, suite, stats)
-    if not inline and _estimate_events(path, fmt) < jobs * MIN_SHARD_EVENTS:
-        # Not enough work to amortize process-pool startup: a pool
-        # would *lose* wall-clock time against the batch sequential
-        # path (the measured --jobs regression on small traces).
+    warm = pool_is_warm()
+    threshold = MIN_SHARD_EVENTS_WARM if warm else MIN_SHARD_EVENTS
+    if not inline and _estimate_events(path, fmt) < jobs * threshold:
+        # Not enough work to amortize the fan-out: the pool would
+        # *lose* wall-clock time against the batch sequential path
+        # (the measured --jobs regression on small traces).  A warm
+        # pool lowers the bar — dispatch costs microseconds, not the
+        # cold per-worker startup.
         stats.update(shards=1, pool_skipped=True)
+        stats.setdefault("degrade_reason", "min_shard_events")
         return _run_sequential(path, fmt, mount_point, suite, stats)
 
     if fmt == "syzkaller":
@@ -142,16 +163,25 @@ def run_sharded(
         for index, (start, end) in enumerate(spans)
     ]
 
+    merged: ShardResult | None = None
     if inline:
         results = [analyze_shard(task) for task in tasks]
     else:
-        results = _run_pool(tasks)
+        try:
+            results, merged = _run_pool_pipelined(path, tasks, jobs, warm, stats)
+        except PoolError as exc:
+            # Pool unavailable or a worker died mid-call: the parity
+            # guarantee is unconditional, so re-run sequentially.
+            stats.update(
+                sequential_fallback=True, fallback_reason=type(exc).__name__
+            )
+            return _run_sequential(path, fmt, mount_point, suite, stats)
 
     residue: dict[str, int] = {}
     try:
-        combined = _stitch_and_merge(results, mount_point, suite, residue)
+        combined = _stitch_and_merge(results, mount_point, suite, residue, merged)
     except ShardAmbiguityError:
-        stats.update(sequential_fallback=True)
+        stats.update(sequential_fallback=True, fallback_reason="shard_ambiguity")
         return _run_sequential(path, fmt, mount_point, suite, stats)
     stats["parse"] = make_parse_stats(
         fmt,
@@ -181,22 +211,89 @@ def _estimate_events(path: str, fmt: str) -> int:
     return estimated_lines // 2 if fmt == "lttng" else estimated_lines
 
 
-def _run_pool(tasks: list[ShardTask]) -> list[ShardResult]:
-    """Fan tasks out to a process pool; degrade to inline on failure.
+def _run_pool_pipelined(
+    path: str,
+    tasks: list[ShardTask],
+    jobs: int,
+    warm: bool,
+    stats: dict,
+) -> tuple[list[ShardResult], ShardResult]:
+    """The pipelined scheduler over the persistent worker pool.
 
-    Fork start is preferred (no re-import cost); environments that
-    forbid subprocesses entirely still work — the shards just run
-    in-process.
+    Three stages overlap:
+
+    * a **reader thread** walks the spans in file order, reads each
+      span's bytes, and hands them to the pool through shared memory —
+      staying at most ``workers + PIPELINE_SLACK`` spans ahead so a
+      huge trace never materializes in memory at once;
+    * **workers** parse and count each span as soon as its bytes land;
+    * the **caller thread** folds shard tallies together *in completion
+      order* — the stream-merge half of :func:`tree_merge`'s job — so
+      merging the fast shards overlaps the slow shards' counting
+      instead of barriering on the whole fan-out.
+
+    Only the order-sensitive stitch residue waits for every shard.
+
+    Returns ``(results_by_index, merged_tallies)``.
+
+    Raises:
+        PoolError: the pool could not be started, or a worker died
+            with a shard in flight (the caller falls back sequential).
     """
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    pool = get_pool(jobs)
+    stats["pool"] = {
+        "warm": warm,
+        "workers": pool.workers,
+        "cold_start_seconds": None if warm else round(pool.cold_start_seconds, 4),
+    }
+    done: queue.Queue = queue.Queue()
+    slots = threading.Semaphore(pool.workers + PIPELINE_SLACK)
+    abort = threading.Event()
+
+    def feed() -> None:
+        try:
+            with open(path, "rb") as handle:
+                for task in tasks:
+                    slots.acquire()
+                    if abort.is_set():
+                        return
+                    handle.seek(task.start)
+                    data = handle.read(task.end - task.start)
+                    future = pool.submit_shard(
+                        task, data, worker=task.index % pool.workers
+                    )
+                    future.add_done_callback(
+                        lambda f, index=task.index: done.put((index, f))
+                    )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            done.put((None, exc))
+
+    reader = threading.Thread(target=feed, name="iocov-shard-reader", daemon=True)
+    reader.start()
+
+    results: list[ShardResult | None] = [None] * len(tasks)
+    merged: ShardResult | None = None
     try:
-        with ProcessPoolExecutor(
-            max_workers=len(tasks), mp_context=context
-        ) as pool:
-            return list(pool.map(analyze_shard, tasks))
-    except (OSError, PermissionError):
-        return [analyze_shard(task) for task in tasks]
+        for _ in range(len(tasks)):
+            index, future = done.get()
+            if index is None:
+                raise future if isinstance(future, BaseException) else PoolError(
+                    str(future)
+                )
+            slots.release()
+            _incarnation, result = future.result()
+            results[index] = result
+            # Stream-merge: tallies fold as shards finish, any order.
+            merged = result if merged is None else merged.merge(result)
+    except BaseException:
+        abort.set()
+        # Unblock the reader if it is parked on the pipeline bound.
+        for _ in tasks:
+            slots.release()
+        raise
+    finally:
+        reader.join(timeout=5)
+    return results, merged
 
 
 def _run_sequential(
@@ -257,6 +354,7 @@ def _stitch_and_merge(
     mount_point: str | None,
     suite: str,
     residue: dict | None = None,
+    merged: ShardResult | None = None,
 ) -> IOCov:
     """Replay the cross-shard residue, then fold all tallies together.
 
@@ -269,6 +367,10 @@ def _stitch_and_merge(
     stitch phase knows: orphan exits no earlier entry matched (the
     sequential parser counts them skipped) and entry lines whose exits
     never arrived (the sequential parser's unpaired count).
+
+    *merged* carries tallies the pipelined scheduler already
+    stream-merged in completion order; when absent (the inline path)
+    they are tree-merged here.  Both are exact — every tally is a sum.
     """
     fixup = IOCov(mount_point=mount_point, suite_name=suite)
     real = fixup.filter
@@ -321,7 +423,7 @@ def _stitch_and_merge(
     if residue is not None:
         residue["unstitched_orphans"] = unstitched_orphans
         residue["unpaired_entries"] = sum(len(q) for q in carried.values())
-    top = tree_merge(results)
+    top = merged if merged is not None else tree_merge(results)
     fixup.input.merge(top.input)
     fixup.output.merge(top.output)
     fixup.untracked.update(top.untracked)

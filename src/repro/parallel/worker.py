@@ -126,7 +126,27 @@ def _feed(iocov: IOCov, shard_filter: ShardFilter | None, seq: int, event: Sysca
 
 
 def analyze_shard(task: ShardTask) -> ShardResult:
-    """Analyze one byte span of the trace file (runs in a worker)."""
+    """Analyze one byte span of the trace file (runs in a worker).
+
+    The file-reading entry point: streams the span off disk.  The
+    pool's shared-memory path hands the span bytes over directly via
+    :func:`analyze_shard_data` instead.
+    """
+    return _analyze_shard_impl(task, data=None)
+
+
+def analyze_shard_data(task: ShardTask, data: str) -> ShardResult:
+    """Analyze one shard whose span text was delivered in memory.
+
+    *data* is the exact decoded text of the span ``[start, end)`` —
+    what the executor's reader thread placed in the shared-memory
+    segment.  Results are identical to :func:`analyze_shard` reading
+    the same span from ``task.path``.
+    """
+    return _analyze_shard_impl(task, data=data)
+
+
+def _analyze_shard_impl(task: ShardTask, data: str | None) -> ShardResult:
     if task.fmt not in FORMATS:
         raise ValueError(f"unknown trace format: {task.fmt!r}")
     iocov = IOCov(suite_name=f"shard-{task.index}")
@@ -145,7 +165,10 @@ def analyze_shard(task: ShardTask) -> ShardResult:
         # Entry/exit pairing and the orphan/pending stitch residue need
         # the record stream, so LTTng shards stay on the per-line
         # reader (whose fast line grammar does the heavy lifting).
-        lines = iter_span_lines(task.path, task.start, task.end)
+        if data is None:
+            lines = iter_span_lines(task.path, task.start, task.end)
+        else:
+            lines = data.splitlines(keepends=True)
         parser = LttngParser()
         orphan_seen: dict[tuple[int, str], int] = {}
         seq = 0
@@ -173,7 +196,12 @@ def analyze_shard(task: ShardTask) -> ShardResult:
             if task.fmt == "strace"
             else SyzkallerBatchParser(resources=task.resources)
         )
-        chunks = iter_span_chunks(task.path, task.start, task.end)
+        if data is None:
+            chunks = iter_span_chunks(task.path, task.start, task.end)
+        else:
+            # In-memory span: one chunk (batch parsing is chunking-
+            # independent, property-tested in tests/trace/test_batch.py).
+            chunks = (data,) if data else ()
         if shard_filter is None:
             for chunk in chunks:
                 iocov._ingest_rows(parser.parse_chunk(chunk))

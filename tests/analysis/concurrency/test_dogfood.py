@@ -98,3 +98,21 @@ def test_load_repo_sources_targets():
     assert list(sources) == ["trace/push.py"]
     everything = load_repo_sources((".",))
     assert "cli.py" in everything
+
+
+def test_default_targets_cover_the_worker_pool():
+    # The persistent pool is lock-and-queue heavy concurrent code; the
+    # default lint path set must cover it from day one (no blind spot).
+    default = load_repo_sources()
+    assert "parallel/pool.py" in default
+    assert "parallel/executor.py" in default
+    assert "obs/ingest.py" in default
+
+
+def test_pool_guard_relationships_inferred():
+    # The analyzer should rediscover the pool's documented lock model.
+    report = analyze_concurrency()
+    guarded = report.stats["guarded_fields"]
+    assert guarded["WorkerPool._futures"] == "WorkerPool._lock"
+    assert guarded["WorkerPool._segments"] == "WorkerPool._lock"
+    assert guarded["PoolFuture._callbacks"] == "PoolFuture._lock"

@@ -28,12 +28,36 @@ def _analyze(capsys, *extra):
 def test_jobs_output_identical_to_serial(capsys):
     serial = _analyze(capsys)
     for jobs in ("1", "2", "3"):
-        assert _analyze(capsys, "--jobs", jobs) == serial
+        sharded = _analyze(capsys, "--jobs", jobs)
+        # The topology envelope describes *how* the run executed and
+        # legitimately differs; every coverage byte must not.
+        envelope = sharded.pop("jobs")
+        assert envelope["requested"] == int(jobs)
+        assert sharded == serial
 
 
 def test_jobs_zero_means_auto(capsys):
     serial = _analyze(capsys)
-    assert _analyze(capsys, "--jobs", "0") == serial
+    sharded = _analyze(capsys, "--jobs", "0")
+    sharded.pop("jobs")
+    assert sharded == serial
+
+
+def test_jobs_envelope_names_degradation(capsys):
+    # mini.lttng.txt is far below MIN_SHARD_EVENTS, so an explicit
+    # --jobs 2 degrades — the envelope and stderr must both say so.
+    sharded = _analyze(capsys, "--jobs", "2")
+    # capsys was already drained by _analyze; re-run for stderr.
+    main(["analyze", FIXTURE, "--mount", "/mnt/test", "--name", "mini",
+          "--json", "--jobs", "2"])
+    captured = capsys.readouterr()
+    envelope = json.loads(captured.out)["jobs"]
+    assert envelope["requested"] == 2
+    assert envelope["shards"] == 1
+    assert envelope["degrade_reason"] in (
+        "cpu_clamp", "small_file", "min_shard_events"
+    )
+    assert "degraded" in captured.err
 
 
 def test_jobs_text_output_matches(capsys):
