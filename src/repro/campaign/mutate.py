@@ -1,0 +1,251 @@
+"""The weighted mutation layer over the coverage-guided fuzzer.
+
+:class:`WeightedFuzzer` overrides the base fuzzer's ``_choose_*`` hooks
+so every argument decision consults a :class:`WeightModel`:
+
+* **syscall mix** — op kinds are drawn proportionally to the remaining
+  coverage gap of their syscall;
+* **argument partitions** — numeric sizes/offsets, open flags, mode
+  bits, and whence values are synthesized *inside* a partition sampled
+  by weight, so an untested decade like ``2^40`` is hit directly
+  instead of waiting for the mutation walk to reach it;
+* **errno-provoking environments** — programs run against hostile VFS
+  states (read-only, frozen, full device, exhausted quota, fd limit,
+  dropped privileges) sampled from the weights of untested *output*
+  partitions, closing the paper's output-coverage gap the same way
+  argument bias closes the input one.
+
+Determinism: all choices flow through the fuzzer's single seeded
+``random.Random``, domains are fixed ordered lists, and weight lookups
+are pure — same seed + same weight vector ⇒ byte-identical workload
+(``workload_text()``), which the campaign CI gate relies on.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.weights import WeightModel, boosted_distribution
+from repro.testsuites.fuzzer import CoverageGuidedFuzzer, FuzzProgram
+from repro.vfs import constants
+from repro.vfs.filesystem import FileSystem
+from repro.vfs.path import Credentials
+from repro.vfs.syscalls import SyscallInterface
+
+#: Which (syscall, arg) domain each op kind's ``size`` slot feeds.
+_SIZE_ARGS = {
+    "read": ("read", "count"),
+    "write": ("write", "count"),
+    "lseek": ("lseek", "offset"),
+    "truncate": ("truncate", "length"),
+    "setxattr": ("setxattr", "size"),
+    "getxattr": ("getxattr", "size"),
+}
+
+#: Which (syscall, arg) domain each op kind's ``mode`` slot feeds.
+_MODE_ARGS = {
+    "open": ("open", "mode"),
+    "mkdir": ("mkdir", "mode"),
+    "chmod": ("chmod", "mode"),
+}
+
+#: An open-flag bit no known flag occupies (lands in "unknown_bits").
+_UNKNOWN_OPEN_BIT = next(
+    1 << bit
+    for bit in range(20, 40)
+    if not any((1 << bit) & value for value in constants.OPEN_FLAG_NAMES.values())
+)
+
+#: A mode bit above the 0o7777 permission field ("unknown_bits").
+_UNKNOWN_MODE_BIT = 0o10000
+
+#: Out-of-domain whence value (the "invalid" categorical partition).
+_INVALID_WHENCE = 99
+
+#: The unprivileged uid/gid environments drop to (mirrors the suites'
+#: tester identity).
+_DROPPED_UID = 1000
+
+#: Errno -> environment setup.  Each callable hostile-izes a fresh VFS
+#: after the mount point exists; only errnos listed here are reachable
+#: by state setup alone (the rest need specific arguments, which the
+#: input weights already steer toward).
+_ENV_ERRNOS = ("EROFS", "EBUSY", "ENOSPC", "EDQUOT", "EMFILE", "EACCES")
+
+
+class WeightedFuzzer(CoverageGuidedFuzzer):
+    """A :class:`CoverageGuidedFuzzer` biased by a :class:`WeightModel`.
+
+    Args:
+        weights: the round's weight model (uniform = unbiased).
+        pristine_weight: relative weight of running a program against a
+            pristine (non-hostile) VFS when errno environments are
+            targeted; higher keeps more input-coverage throughput.
+    """
+
+    def __init__(
+        self,
+        weights: WeightModel | None = None,
+        seed: int = 0,
+        guided: bool = True,
+        mount_point: str = "/mnt/fuzz",
+        pristine_weight: float = 24.0,
+    ) -> None:
+        super().__init__(seed=seed, guided=guided, mount_point=mount_point)
+        self.weights = weights or WeightModel.uniform()
+        self.pristine_weight = pristine_weight
+        #: every executed program, in execution order (the workload).
+        self.programs: list[FuzzProgram] = []
+        self._env_domain, self._env_weights = self._build_env_table()
+
+    # -- weighted choice hooks -------------------------------------------------
+
+    def _weighted_key(self, domain: list[str], weights: dict[str, float]) -> str:
+        raw = [max(1.0, weights.get(key, 1.0)) for key in domain]
+        return self.rng.choices(domain, weights=raw, k=1)[0]
+
+    def _choose_kind(self) -> str:
+        kinds = list(self.coverage.registry)  # insertion-ordered, fixed
+        op_kinds = [kind for kind in kinds if kind in self._op_kind_set()]
+        raw = [self.weights.syscall_weight(kind) for kind in op_kinds]
+        return self.rng.choices(op_kinds, weights=raw, k=1)[0]
+
+    @staticmethod
+    def _op_kind_set() -> frozenset[str]:
+        from repro.testsuites.fuzzer import _OP_KINDS
+
+        return frozenset(_OP_KINDS)
+
+    def _choose_size(self, kind: str) -> int:
+        pair = _SIZE_ARGS.get(kind)
+        if pair is None:
+            return super()._choose_size(kind)
+        domain = self.coverage.arg(*pair).domain()
+        key = self._weighted_key(domain, self.weights.input_weights.get(pair, {}))
+        return self._numeric_in_partition(key)
+
+    def _numeric_in_partition(self, key: str) -> int:
+        """A concrete value inside the named numeric partition."""
+        if key == "negative":
+            return -(1 << self.rng.randint(0, 31))
+        if key == "equal_to_0":
+            return 0
+        if key.startswith(">=2^"):
+            return (1 << int(key[4:])) + self.rng.randrange(1 << 8)
+        if key.startswith("2^"):
+            exponent = int(key[2:])
+            base = 1 << exponent
+            return base + (self.rng.randrange(base) if exponent else 0)
+        return super()._choose_size("")  # unknown key: fall back
+
+    def _choose_flags(self) -> int:
+        pair = ("open", "flags")
+        domain = self.coverage.arg(*pair).domain()
+        weights = self.weights.input_weights.get(pair, {})
+        access = self._weighted_key(
+            [k for k in domain if k in constants.OPEN_ACCESS_MODES], weights
+        )
+        flags = constants.OPEN_ACCESS_MODES[access]
+        modifiers = [
+            k for k in domain
+            if k in constants.OPEN_MODIFIER_FLAGS or k == "unknown_bits"
+        ]
+        for _ in range(self.rng.randint(0, 3)):
+            name = self._weighted_key(modifiers, weights)
+            if name == "unknown_bits":
+                flags |= _UNKNOWN_OPEN_BIT
+            else:
+                flags |= constants.OPEN_MODIFIER_FLAGS[name]
+        return flags
+
+    def _choose_mode(self, kind: str) -> int:
+        pair = _MODE_ARGS.get(kind)
+        if pair is None:
+            return super()._choose_mode(kind)
+        domain = self.coverage.arg(*pair).domain()
+        weights = self.weights.input_weights.get(pair, {})
+        mode = 0
+        for _ in range(self.rng.randint(1, 3)):
+            name = self._weighted_key(domain, weights)
+            if name == "unknown_bits":
+                mode |= _UNKNOWN_MODE_BIT
+            elif name in constants.MODE_BIT_NAMES:
+                mode |= constants.MODE_BIT_NAMES[name]
+            # "0" contributes no bits: the zero-mode partition.
+        return mode
+
+    def _choose_whence(self) -> int:
+        pair = ("lseek", "whence")
+        domain = self.coverage.arg(*pair).domain()
+        name = self._weighted_key(domain, self.weights.input_weights.get(pair, {}))
+        if name == "invalid":
+            return _INVALID_WHENCE
+        return constants.SEEK_WHENCE_NAMES.get(name, constants.SEEK_SET)
+
+    # -- errno environments ----------------------------------------------------
+
+    def _build_env_table(self) -> tuple[list[str], dict[str, float]]:
+        """Environment domain + weights from the model's errno targets.
+
+        An environment's weight is the *strongest* pull any syscall has
+        toward its errno; the pristine environment keeps a fixed large
+        weight so most programs still run on a healthy volume.
+        """
+        domain = [""]
+        weights: dict[str, float] = {"": self.pristine_weight}
+        targeted = self.weights.targeted_errnos()
+        for env in _ENV_ERRNOS:
+            strongest = max(
+                (
+                    self.weights.errno_weight(syscall, env)
+                    for syscall, errnos in targeted.items()
+                    if env in errnos
+                ),
+                default=1.0,
+            )
+            if strongest > 1.0:
+                domain.append(env)
+                weights[env] = strongest
+        return domain, weights
+
+    def _choose_env(self) -> str:
+        if len(self._env_domain) == 1:
+            return ""
+        return self.rng.choices(
+            self._env_domain,
+            weights=[self._env_weights[env] for env in self._env_domain],
+            k=1,
+        )[0]
+
+    def _setup_environment(
+        self, program: FuzzProgram, fs: FileSystem, sc: SyscallInterface
+    ) -> None:
+        env = program.env
+        if not env:
+            return
+        if env == "EROFS":
+            fs.read_only = True
+        elif env == "EBUSY":
+            fs.frozen = True
+        elif env == "ENOSPC":
+            fs.device.reserve_all_free()
+        elif env == "EDQUOT":
+            # Exhaust the quota for an unprivileged uid, then run as it.
+            sc.process.creds = Credentials(uid=_DROPPED_UID, gid=_DROPPED_UID)
+            sc.chmod(self.mount_point, 0o777)
+            fs.set_quota(_DROPPED_UID, 1)
+        elif env == "EMFILE":
+            sc.process.fd_table.max_fds = 1
+        elif env == "EACCES":
+            # Root-owned 0700 mount: every path op as the dropped uid
+            # fails the search-permission check.
+            sc.chmod(self.mount_point, 0o700)
+            sc.process.creds = Credentials(uid=_DROPPED_UID, gid=_DROPPED_UID)
+
+    # -- workload capture ------------------------------------------------------
+
+    def _execute(self, program: FuzzProgram) -> list:
+        self.programs.append(program)
+        return super()._execute(program)
+
+    def workload_text(self) -> str:
+        """Every executed program rendered, in order (byte-stable)."""
+        return "\n\n".join(program.render() for program in self.programs)

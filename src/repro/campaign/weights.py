@@ -1,0 +1,217 @@
+"""The campaign re-weighting model: coverage gaps -> mutation bias.
+
+The paper's closing argument is that coverage output should *drive*
+test improvement.  This module is the conversion step of that loop: it
+reads one round's :class:`~repro.core.report.CoverageReport` (via the
+same ranked :func:`~repro.core.suggestions.suggest_tests` list a human
+reads) and produces per-syscall, per-partition, and per-errno weights
+the weighted fuzzer consumes next round.
+
+Weight semantics are multiplicative relative to a uniform baseline of
+1.0: a weight of 1.0 means "choose as often as an unweighted fuzzer
+would", anything above 1.0 boosts the choice.  Weights are **never**
+below 1.0 — the model only ever *adds* probability mass to untested
+partitions, it never suppresses tested ones to zero (an already-tested
+partition must keep accumulating observations for its count to approach
+the TCD target).  That invariant is what the hypothesis property tests
+in ``tests/campaign/test_weights.py`` pin down.
+
+Everything is deterministic: construction iterates reports in sorted
+order, serialization sorts keys, and :meth:`WeightModel.fingerprint`
+hashes the canonical JSON so two rounds can be compared by digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:
+    from repro.core.report import CoverageReport
+
+#: Default boost applied to a targeted (untested) partition.
+DEFAULT_BOOST = 8.0
+
+#: Extra multiplier per suggestion priority class: boundary gaps get
+#: the strongest pull, errno gaps next, ordinary partitions the base.
+_PRIORITY_FACTOR = {0: 2.0, 1: 1.5, 2: 1.0}
+
+#: Untested partitions *without* a suggestion recipe (identifier
+#: ranges, undocumented whence values…) still get a mild boost so the
+#: model never leaves a known gap completely unweighted.
+_UNSUGGESTED_FACTOR = 0.5
+
+
+class WeightModel:
+    """Per-syscall / per-partition / per-errno mutation weights.
+
+    Attributes:
+        syscall_weights: base-syscall name -> weight (>= 1.0).
+        input_weights: ``(syscall, arg)`` -> ``{partition: weight}``.
+        errno_weights: base-syscall name -> ``{errno_name: weight}``.
+    """
+
+    def __init__(
+        self,
+        syscall_weights: Mapping[str, float] | None = None,
+        input_weights: Mapping[tuple[str, str], Mapping[str, float]] | None = None,
+        errno_weights: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> None:
+        self.syscall_weights: dict[str, float] = dict(syscall_weights or {})
+        self.input_weights: dict[tuple[str, str], dict[str, float]] = {
+            pair: dict(weights) for pair, weights in (input_weights or {}).items()
+        }
+        self.errno_weights: dict[str, dict[str, float]] = {
+            name: dict(weights) for name, weights in (errno_weights or {}).items()
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def uniform(cls) -> "WeightModel":
+        """The round-0 model: every weight 1.0 (no bias anywhere)."""
+        return cls()
+
+    @classmethod
+    def from_report(
+        cls, report: "CoverageReport", boost: float = DEFAULT_BOOST
+    ) -> "WeightModel":
+        """Build weights from one round's coverage gaps.
+
+        Consumes the *same ordered list* ``suggest_tests`` renders for
+        humans: a suggested partition's weight scales with the boost
+        and its priority class.  Untested partitions that have no
+        recipe get a reduced boost; tested partitions stay at 1.0
+        implicitly (absent keys mean weight 1.0).
+        """
+        from repro.core.suggestions import suggest_tests
+
+        if boost < 0:
+            raise ValueError("boost must be >= 0")
+        model = cls()
+
+        # Baseline: every untested partition is a (mildly) weighted
+        # target, iterated in sorted order for determinism.
+        for (syscall, arg), partitions in sorted(report.untested_inputs().items()):
+            for partition in sorted(partitions):
+                model._set_input(
+                    syscall, arg, partition, 1.0 + boost * _UNSUGGESTED_FACTOR
+                )
+        for syscall, errnos in sorted(report.untested_outputs().items()):
+            for errno_name in sorted(errnos):
+                model._set_errno(
+                    syscall, errno_name, 1.0 + boost * _UNSUGGESTED_FACTOR
+                )
+
+        # Suggested gaps override the baseline with priority-scaled
+        # boosts — the weight model and the human read one ranking.
+        for suggestion in suggest_tests(report, limit=None):
+            factor = _PRIORITY_FACTOR.get(suggestion.priority, 1.0)
+            weight = 1.0 + boost * factor
+            kind, _, partition = suggestion.partition.partition(":")
+            if kind == "output":
+                model._set_errno(suggestion.syscall, partition, weight)
+            else:
+                model._set_input(suggestion.syscall, kind, partition, weight)
+
+        # Syscall mix: pull the op-kind distribution toward syscalls
+        # with the most absolute gap left to close.
+        gap_by_syscall: dict[str, int] = {}
+        for (syscall, _arg), partitions in report.untested_inputs().items():
+            gap_by_syscall[syscall] = gap_by_syscall.get(syscall, 0) + len(partitions)
+        for syscall, errnos in report.untested_outputs().items():
+            gap_by_syscall[syscall] = gap_by_syscall.get(syscall, 0) + len(errnos)
+        max_gap = max(gap_by_syscall.values(), default=0)
+        if max_gap:
+            for syscall in sorted(gap_by_syscall):
+                share = gap_by_syscall[syscall] / max_gap
+                model.syscall_weights[syscall] = 1.0 + boost * share
+        return model
+
+    def _set_input(self, syscall: str, arg: str, partition: str, weight: float) -> None:
+        self.input_weights.setdefault((syscall, arg), {})[partition] = max(1.0, weight)
+
+    def _set_errno(self, syscall: str, errno_name: str, weight: float) -> None:
+        self.errno_weights.setdefault(syscall, {})[errno_name] = max(1.0, weight)
+
+    # -- lookups --------------------------------------------------------------
+
+    def syscall_weight(self, syscall: str) -> float:
+        return self.syscall_weights.get(syscall, 1.0)
+
+    def input_weight(self, syscall: str, arg: str, partition: str) -> float:
+        return self.input_weights.get((syscall, arg), {}).get(partition, 1.0)
+
+    def errno_weight(self, syscall: str, errno_name: str) -> float:
+        return self.errno_weights.get(syscall, {}).get(errno_name, 1.0)
+
+    def targeted_inputs(self) -> dict[tuple[str, str], list[str]]:
+        """Partitions with weight > 1.0, per (syscall, arg), sorted."""
+        return {
+            pair: sorted(p for p, w in weights.items() if w > 1.0)
+            for pair, weights in sorted(self.input_weights.items())
+            if any(w > 1.0 for w in weights.values())
+        }
+
+    def targeted_errnos(self) -> dict[str, list[str]]:
+        """Errnos with weight > 1.0, per syscall, sorted."""
+        return {
+            syscall: sorted(e for e, w in weights.items() if w > 1.0)
+            for syscall, weights in sorted(self.errno_weights.items())
+            if any(w > 1.0 for w in weights.values())
+        }
+
+    def is_uniform(self) -> bool:
+        return not (self.syscall_weights or self.input_weights or self.errno_weights)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "syscalls": dict(sorted(self.syscall_weights.items())),
+            "inputs": {
+                f"{syscall}.{arg}": dict(sorted(weights.items()))
+                for (syscall, arg), weights in sorted(self.input_weights.items())
+            },
+            "errnos": {
+                syscall: dict(sorted(weights.items()))
+                for syscall, weights in sorted(self.errno_weights.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WeightModel":
+        input_weights: dict[tuple[str, str], dict[str, float]] = {}
+        for key, weights in data.get("inputs", {}).items():
+            syscall, _, arg = key.partition(".")
+            input_weights[(syscall, arg)] = dict(weights)
+        return cls(
+            syscall_weights=data.get("syscalls", {}),
+            input_weights=input_weights,
+            errno_weights=data.get("errnos", {}),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable short digest of the whole weight vector."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def boosted_distribution(
+    domain: list[str], weights: Mapping[str, float]
+) -> dict[str, float]:
+    """Normalized choice distribution over *domain* under *weights*.
+
+    Absent keys weigh 1.0; weights are floored at 1.0 (the model never
+    suppresses).  Monotonicity property the campaign relies on (and
+    hypothesis pins down): the total probability mass on the targeted
+    set (keys with weight > 1.0) is >= the mass a uniform distribution
+    gives that set, and when all targets share one boost value, every
+    individual targeted key's probability is >= its uniform 1/n share.
+    """
+    if not domain:
+        return {}
+    raw = [max(1.0, weights.get(key, 1.0)) for key in domain]
+    total = sum(raw)
+    return {key: value / total for key, value in zip(domain, raw)}

@@ -210,6 +210,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                     "syscall": s.syscall,
                     "partition": s.partition,
                     "priority": s.priority,
+                    "gain": round(s.gain, 6),
                     "recipe": s.recipe,
                 }
                 for s in suggest_tests(report, limit=args.suggest)
@@ -660,7 +661,8 @@ def cmd_history(args: argparse.Namespace) -> int:
             runs = [
                 record.to_dict()
                 for record in store.list_runs(
-                    limit=args.limit, tenant=args.tenant, project=args.project
+                    limit=args.limit, tenant=args.tenant,
+                    project=args.project, campaign=args.campaign,
                 )
             ]
             return _emit_json("history", EXIT_CLEAN, {"runs": runs})
@@ -668,9 +670,87 @@ def cmd_history(args: argparse.Namespace) -> int:
             render_history(
                 store, limit=args.limit,
                 tenant=args.tenant, project=args.project,
+                campaign=args.campaign,
             )
         )
     return EXIT_CLEAN
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignError,
+        CampaignRunner,
+        default_stop_conditions,
+    )
+
+    stop_conditions = default_stop_conditions(
+        rounds=args.rounds,
+        plateau_rounds=args.plateau_rounds,
+        min_delta=args.min_delta,
+        max_seconds=args.max_seconds,
+    )
+    store_cm = None
+    if args.store:
+        from repro.obs.store import open_store
+
+        store_cm = open_store(args.store)
+    try:
+        runner = CampaignRunner(
+            seed=args.seed,
+            iterations=args.iterations,
+            campaign=args.campaign,
+            stop_conditions=stop_conditions,
+            store=store_cm,
+            tenant=args.tenant or "default",
+            project=args.project or "default",
+            serve_url=args.serve_url,
+            jobs=args.jobs,
+            boost=args.boost,
+            mount_point=args.mount,
+            trace_dir=args.trace_dir,
+        )
+        result = runner.run()
+    except CampaignError as exc:
+        if args.json:
+            return _emit_json("campaign", EXIT_ERROR, {"error": str(exc)})
+        print(f"campaign: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    finally:
+        if store_cm is not None:
+            store_cm.close()
+    exit_code = EXIT_CLEAN if result.improved() else EXIT_FINDINGS
+    if args.json:
+        payload = result.to_dict()
+        if args.store:
+            payload["store"] = args.store
+        return _emit_json("campaign", exit_code, payload)
+    print(
+        f"campaign {result.campaign}: {len(result.rounds)} rounds "
+        f"(seed {result.seed}, {result.iterations} iterations/round), "
+        f"stopped: {result.stop_reason}"
+    )
+    print(f"{'round':>5} {'events':>8} {'corpus':>7} {'tcd':>10} "
+          f"{'delta':>9} {'new in':>7} {'new out':>8}")
+    for entry in result.rounds:
+        print(
+            f"{entry.index:>5} {entry.events:>8,} {entry.corpus_size:>7} "
+            f"{entry.tcd:>10.4f} {entry.tcd_delta:>9.4f} "
+            f"{len(entry.new_input_partitions):>7} "
+            f"{len(entry.new_output_partitions):>8}"
+        )
+    new_in, new_out = result.new_partitions_after_baseline()
+    print(
+        f"TCD {result.baseline_tcd:.4f} -> {result.final_tcd:.4f}; "
+        f"{len(new_in)} input / {len(new_out)} output partitions newly "
+        f"covered beyond the round-0 baseline"
+    )
+    if args.store:
+        ids = [e.run_id for e in result.rounds if e.run_id is not None]
+        if ids:
+            print(f"rounds stored as runs {ids[0]}..{ids[-1]} in {args.store}")
+    if not result.improved():
+        print("no improvement over the baseline (exit 1)")
+    return exit_code
 
 
 def cmd_diff_runs(args: argparse.Namespace) -> int:
@@ -1024,8 +1104,110 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument(
         "--project", default=None, help="only runs from this project"
     )
+    history.add_argument(
+        "--campaign",
+        default=None,
+        help="only rounds of this campaign (matches the campaign meta "
+        "tag `repro campaign` writes)",
+    )
     history.add_argument("--json", action="store_true", help="dump JSON")
     history.set_defaults(handler=cmd_history)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a coverage-guided feedback campaign "
+        "(generate → trace → analyze → re-weight until TCD plateaus)",
+    )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed; the whole campaign (rounds, weights, JSON "
+        "envelope) is deterministic under it",
+    )
+    campaign.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="weighted-round budget (round 0, the unbiased baseline, "
+        "is free)",
+    )
+    campaign.add_argument(
+        "--iterations",
+        type=int,
+        default=200,
+        help="fuzzer executions per round",
+    )
+    campaign.add_argument(
+        "--plateau-rounds",
+        type=int,
+        default=2,
+        metavar="K",
+        help="stop after K consecutive rounds below --min-delta",
+    )
+    campaign.add_argument(
+        "--min-delta",
+        type=float,
+        default=1e-3,
+        help="TCD improvement under this counts toward the plateau",
+    )
+    campaign.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for the whole campaign",
+    )
+    campaign.add_argument(
+        "--boost",
+        type=float,
+        default=8.0,
+        help="mutation-weight boost on targeted untested partitions",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze round traces with N shard workers (0 = auto)",
+    )
+    campaign.add_argument(
+        "--campaign",
+        default=None,
+        metavar="NAME",
+        help="campaign id for store/history grouping (default: "
+        "derived from the seed)",
+    )
+    campaign.add_argument(
+        "--store",
+        metavar="DB",
+        help="persist each round into this run store (file or sharded "
+        "directory)",
+    )
+    campaign.add_argument(
+        "--serve-url",
+        default=None,
+        help="also push each round's trace to this obs daemon "
+        "(host:port; runs the campaign as a long-lived obs job)",
+    )
+    campaign.add_argument(
+        "--tenant", default=None, help="store/daemon namespace tenant"
+    )
+    campaign.add_argument(
+        "--project", default=None, help="store/daemon namespace project"
+    )
+    campaign.add_argument(
+        "--mount",
+        default="/mnt/fuzz",
+        help="mount point the generated programs run under",
+    )
+    campaign.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="keep per-round trace files here (default: a temp dir)",
+    )
+    campaign.add_argument("--json", action="store_true", help="dump JSON")
+    campaign.set_defaults(handler=cmd_campaign)
 
     diff_runs = sub.add_parser(
         "diff-runs", help="cross-run coverage regression gate"

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.argspec import VARIANT_TO_BASE
 from repro.vfs import constants
 
 if TYPE_CHECKING:
@@ -22,12 +23,20 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class Suggestion:
-    """One proposed test: where the gap is and how to hit it."""
+    """One proposed test: where the gap is and how to hit it.
+
+    ``gain`` is the partition-coverage gain of implementing the
+    suggestion: the fraction of its partition domain this single test
+    would newly cover (1/|domain|).  Small domains rank above huge ones
+    at equal priority — one new whence value moves lseek coverage 1/6th
+    of the way, one new size decade moves write coverage 1/67th.
+    """
 
     syscall: str
     partition: str
     priority: int  # lower = likelier to hide bugs
     recipe: str
+    gain: float = 0.0
 
     def render(self) -> str:
         return f"[{self.syscall}] {self.partition}: {self.recipe}"
@@ -105,11 +114,24 @@ def _flag_recipe(syscall: str, partition: str) -> tuple[int, str] | None:
     return None
 
 
-def suggest_tests(report: "CoverageReport", limit: int = 20) -> list[Suggestion]:
-    """Ranked test suggestions from a report's untested partitions."""
+def suggest_tests(
+    report: "CoverageReport", limit: int | None = 20
+) -> list[Suggestion]:
+    """Ranked, deduplicated test suggestions from a report's gaps.
+
+    Ordering is stable: priority first (boundary < errno < ordinary),
+    then partition-coverage gain (descending), then syscall/partition
+    name as the tiebreak.  One suggestion per (base syscall, partition):
+    registries that track variants separately (pread64 next to read,
+    openat next to open) would otherwise repeat every shared-domain gap
+    once per variant.  ``limit=None`` returns the full list — the
+    campaign weight model consumes exactly this ordering.
+    """
     suggestions: list[Suggestion] = []
 
     for (syscall, arg), partitions in report.untested_inputs().items():
+        domain_size = len(report.input_coverage.arg(syscall, arg).domain())
+        gain = 1.0 / domain_size if domain_size else 0.0
         for partition in partitions:
             made = _numeric_recipe(syscall, arg, partition)
             if made is None:
@@ -125,11 +147,13 @@ def suggest_tests(report: "CoverageReport", limit: int = 20) -> list[Suggestion]
             suggestions.append(
                 Suggestion(
                     syscall=syscall, partition=f"{arg}:{partition}",
-                    priority=priority, recipe=recipe,
+                    priority=priority, recipe=recipe, gain=gain,
                 )
             )
 
     for syscall, errnos in report.untested_outputs().items():
+        domain_size = len(report.output_coverage.syscall(syscall).domain())
+        gain = 1.0 / domain_size if domain_size else 0.0
         for errno_name in errnos:
             recipe = _ERRNO_RECIPES.get(errno_name)
             if recipe is None:
@@ -140,11 +164,21 @@ def suggest_tests(report: "CoverageReport", limit: int = 20) -> list[Suggestion]
                     partition=f"output:{errno_name}",
                     priority=_ERROR_PRIORITY,
                     recipe=recipe,
+                    gain=gain,
                 )
             )
 
-    suggestions.sort(key=lambda s: (s.priority, s.syscall, s.partition))
-    return suggestions[:limit]
+    suggestions.sort(key=lambda s: (s.priority, -s.gain, s.syscall, s.partition))
+    seen: set[tuple[str, str]] = set()
+    deduped: list[Suggestion] = []
+    for suggestion in suggestions:
+        key = (VARIANT_TO_BASE.get(suggestion.syscall, suggestion.syscall),
+               suggestion.partition)
+        if key in seen:
+            continue
+        seen.add(key)
+        deduped.append(suggestion)
+    return deduped if limit is None else deduped[:limit]
 
 
 def render_suggestions(report: "CoverageReport", limit: int = 20) -> str:

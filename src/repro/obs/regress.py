@@ -287,15 +287,27 @@ def render_history(
     *,
     tenant: str | None = None,
     project: str | None = None,
+    campaign: str | None = None,
 ) -> str:
-    """The stored-run timeline with per-run coverage summaries."""
-    records = store.list_runs(limit=limit, tenant=tenant, project=project)
+    """The stored-run timeline with per-run coverage summaries.
+
+    ``campaign`` narrows the timeline to one campaign's rounds; any
+    run carrying campaign meta tags renders a ``campaign@round``
+    column so interleaved campaigns stay tellable apart.
+    """
+    records = store.list_runs(
+        limit=limit, tenant=tenant, project=project, campaign=campaign
+    )
     if not records:
+        if campaign is not None:
+            return f"no runs for campaign {campaign} in {store.path}"
         return f"no runs stored in {store.path}"
+    show_campaign = any(r.meta.get("campaign") is not None for r in records)
     lines = [
         f"run history ({store.path}, newest first):",
         f"{'id':>4}  {'suite':<18} {'events':>12} {'tested':>7} "
-        f"{'untested':>8} {'eps':>10}  seed",
+        f"{'untested':>8} {'eps':>10}  seed"
+        + ("  campaign" if show_campaign else ""),
     ]
     previous_tested: int | None = None
     for record in records:
@@ -317,9 +329,16 @@ def render_history(
             arrow = "+" if previous_tested > tested else "-"
             trend = f"  ({arrow}{abs(previous_tested - tested)} vs next)"
         previous_tested = tested
+        campaign_note = ""
+        if show_campaign:
+            name = record.meta.get("campaign")
+            if name is not None:
+                campaign_note = f"  {name}@{record.meta.get('round', '?')}"
+            else:
+                campaign_note = "  -"
         lines.append(
             f"{record.run_id:>4}  {record.suite:<18.18} "
             f"{record.events_processed:>12,} {tested:>7} {untested:>8} "
-            f"{eps:>10}  {seed}{trend}"
+            f"{eps:>10}  {seed}{campaign_note}{trend}"
         )
     return "\n".join(lines)

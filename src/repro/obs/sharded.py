@@ -354,6 +354,7 @@ class ShardedRunStore(BaseRunStore):
         *,
         tenant: str | None = None,
         project: str | None = None,
+        campaign: str | None = None,
     ) -> list[RunRecord]:
         with self._lock:
             shards = [
@@ -364,7 +365,9 @@ class ShardedRunStore(BaseRunStore):
         records: list[RunRecord] = []
         for shard in shards:
             with shard.lock:
-                records.extend(shard.store.list_runs(suite=suite))
+                records.extend(
+                    shard.store.list_runs(suite=suite, campaign=campaign)
+                )
         records.sort(key=lambda r: (r.created_at, r.run_id), reverse=True)
         if limit is not None:
             records = records[:limit]

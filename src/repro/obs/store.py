@@ -233,8 +233,14 @@ class BaseRunStore(abc.ABC):
         *,
         tenant: str | None = None,
         project: str | None = None,
+        campaign: str | None = None,
     ) -> list[RunRecord]:
-        """Runs newest-first; ``tenant``/``project`` None = all."""
+        """Runs newest-first; ``tenant``/``project`` None = all.
+
+        ``campaign`` filters on the ``campaign`` meta tag — campaign
+        rounds ride in ``meta_json``, so the filter needs no schema
+        change and runs Python-side (no SQLite JSON1 dependency).
+        """
 
     @abc.abstractmethod
     def tcd_score(
@@ -560,6 +566,7 @@ class RunStore(BaseRunStore):
         *,
         tenant: str | None = None,
         project: str | None = None,
+        campaign: str | None = None,
     ) -> list[RunRecord]:
         """Runs newest-first, optionally filtered by suite/namespace."""
         query = "SELECT * FROM runs"
@@ -574,15 +581,25 @@ class RunStore(BaseRunStore):
         if project is not None:
             clauses.append("project = ?")
             params.append(project)
+        if campaign is not None:
+            # Coarse SQL pre-filter on the JSON text (cheap, may over-
+            # match); the exact meta check below decides.
+            clauses.append("meta_json LIKE ?")
+            params.append(f'%"campaign"%{campaign}%')
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY id DESC"
-        if limit is not None:
+        if limit is not None and campaign is None:
             query += " LIMIT ?"
             params.append(limit)
         with self._lock:
             rows = self._conn.execute(query, params).fetchall()
-        return [self._record(row) for row in rows]
+        records = [self._record(row) for row in rows]
+        if campaign is not None:
+            records = [r for r in records if r.meta.get("campaign") == campaign]
+            if limit is not None:
+                records = records[:limit]
+        return records
 
     def tcd_score(
         self,

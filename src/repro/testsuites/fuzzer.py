@@ -97,12 +97,26 @@ class FuzzOp:
 
 @dataclass
 class FuzzProgram:
-    """A short op sequence; the fuzzer's unit of mutation."""
+    """A short op sequence; the fuzzer's unit of mutation.
+
+    ``env`` names an execution environment (an errno-provoking state
+    setup applied before the ops run — read-only volume, full device,
+    exhausted quota…).  The base fuzzer never sets one; the weighted
+    campaign layer uses it to steer *output* coverage the way argument
+    choice steers input coverage.
+    """
 
     ops: list[FuzzOp] = field(default_factory=list)
+    env: str = ""
 
     def render(self) -> str:
-        return "\n".join(op.render() for op in self.ops)
+        lines = [op.render() for op in self.ops]
+        if self.env:
+            # Comment line: ignored (counted as skipped) by the
+            # syzkaller parser, but keeps the workload text a complete,
+            # byte-stable record of what executed.
+            lines.insert(0, f"# env: {self.env}")
+        return "\n".join(lines)
 
 
 class CoverageGuidedFuzzer:
@@ -129,23 +143,53 @@ class CoverageGuidedFuzzer:
         self.all_events = []
 
     # -- program synthesis -----------------------------------------------------
+    #
+    # Every argument decision routes through a _choose_* hook so a
+    # subclass (the campaign subsystem's WeightedFuzzer) can bias any
+    # choice point without re-implementing the generate/mutate loop.
 
-    def _random_op(self) -> FuzzOp:
-        kind = self.rng.choice(_OP_KINDS)
+    def _choose_kind(self) -> str:
+        return self.rng.choice(_OP_KINDS)
+
+    def _choose_flags(self) -> int:
         flags = 0
         for _ in range(self.rng.randint(0, 3)):
             flags |= self.rng.choice(_FLAG_POOL)
+        return flags
+
+    def _choose_path_index(self) -> int:
+        return self.rng.randint(0, 2)
+
+    def _choose_size(self, kind: str) -> int:
+        return self.rng.choice(_SIZE_POOL)
+
+    def _choose_whence(self) -> int:
+        return self.rng.randint(0, 5)
+
+    def _choose_mode(self, kind: str) -> int:
+        return self.rng.choice((0, 0o600, 0o644, 0o755, 0o777, 0o4755))
+
+    def _choose_env(self) -> str:
+        """Execution environment for a fresh program ("" = pristine)."""
+        return ""
+
+    def _random_op(self) -> FuzzOp:
+        kind = self._choose_kind()
+        flags = self._choose_flags()
         return FuzzOp(
             kind=kind,
-            path_index=self.rng.randint(0, 2),
+            path_index=self._choose_path_index(),
             flags=flags,
-            size=self.rng.choice(_SIZE_POOL),
-            whence=self.rng.randint(0, 5),
-            mode=self.rng.choice((0, 0o600, 0o644, 0o755, 0o777, 0o4755)),
+            size=self._choose_size(kind),
+            whence=self._choose_whence(),
+            mode=self._choose_mode(kind),
         )
 
     def _generate(self) -> FuzzProgram:
-        return FuzzProgram(ops=[self._random_op() for _ in range(self.rng.randint(2, 6))])
+        return FuzzProgram(
+            ops=[self._random_op() for _ in range(self.rng.randint(2, 6))],
+            env=self._choose_env(),
+        )
 
     def _mutate(self, program: FuzzProgram) -> FuzzProgram:
         ops = list(program.ops)
@@ -169,13 +213,22 @@ class CoverageGuidedFuzzer:
             del ops[index]
         else:
             ops.insert(index, self._random_op())
-        return FuzzProgram(ops=ops)
+        return FuzzProgram(ops=ops, env=program.env)
 
     # -- execution ------------------------------------------------------------
 
+    #: Per-file size cap for the scratch VFS.  A sparse file's hole
+    #: still materializes zeros on read, so without a cap a weighted
+    #: truncate to 2^40 followed by a large read allocates gigabytes;
+    #: 128 MiB keeps worst-case hole reads cheap while leaving the
+    #: whole EFBIG / huge-offset input space reachable.
+    scratch_max_file_size = 1 << 27
+
     def _execute(self, program: FuzzProgram) -> list:
         """Run one program on a fresh VFS; return its trace events."""
-        fs = FileSystem(total_blocks=2048)  # 8 MiB keeps big writes cheap
+        fs = FileSystem(  # 8 MiB device keeps big writes cheap
+            total_blocks=2048, max_file_size=self.scratch_max_file_size
+        )
         sc = SyscallInterface(fs)
         recorder = TraceRecorder()
         recorder.attach(sc)
@@ -183,6 +236,7 @@ class CoverageGuidedFuzzer:
         for part in (p for p in self.mount_point.split("/") if p):
             current = f"{current}/{part}"
             sc.mkdir(current, 0o755)
+        self._setup_environment(program, fs, sc)
         fd = -1
         for op in program.ops:
             path = f"{self.mount_point}/f{op.path_index}"
@@ -214,6 +268,16 @@ class CoverageGuidedFuzzer:
                     fd = -1
         self.executions += 1
         return recorder.drain()
+
+    def _setup_environment(
+        self, program: FuzzProgram, fs: FileSystem, sc: SyscallInterface
+    ) -> None:
+        """Apply ``program.env`` before the ops run (hook; no-op here).
+
+        Called after the mount point exists but before the first op, so
+        an environment can make the volume hostile (read-only, full,
+        frozen…) without breaking the fixture setup itself.
+        """
 
     def _new_partitions(self, events) -> int:
         """Count partitions these events open beyond current coverage."""

@@ -163,6 +163,10 @@ class FileInode(Inode):
         if offset >= self.size or count <= 0:
             return b""
         count = min(count, self.size - offset)
+        if offset >= len(self.data):
+            # Entirely inside the sparse tail: zero-filled bytes come
+            # straight from calloc'd pages, with no slice/concat copies.
+            return bytes(count)
         chunk = bytes(self.data[offset : offset + count])
         if len(chunk) < count:
             # The request extends into the sparse tail: zeros.

@@ -1,0 +1,242 @@
+"""Property tests for the campaign weight model.
+
+The invariant that makes the feedback loop *safe* is that weights only
+ever add probability mass to untested partitions — they never suppress
+tested ones (a tested partition must keep accumulating counts for its
+frequency to approach the TCD target).  Hypothesis pins that down:
+
+* every weight the model produces is >= 1.0;
+* under :func:`boosted_distribution`, the total probability mass on
+  the targeted set (weight > 1.0) is >= the mass a uniform
+  distribution gives that set;
+* when all targets share a single boost value, every individual
+  targeted key's probability is >= its uniform 1/n share.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.weights import (
+    DEFAULT_BOOST,
+    WeightModel,
+    boosted_distribution,
+)
+from repro.core import IOCov
+
+import pytest
+
+
+def _fresh_report():
+    """A zero-event report: every partition untested."""
+    return IOCov(mount_point="/mnt/fuzz", suite_name="fresh").report()
+
+
+def _partial_report():
+    """A report with a handful of tested partitions."""
+    from repro.trace.events import SyscallEvent
+
+    iocov = IOCov(mount_point="/mnt/fuzz", suite_name="partial")
+    iocov.consume(
+        [
+            SyscallEvent(
+                "open",
+                {"pathname": "/mnt/fuzz/a", "flags": 0, "mode": 0o644},
+                retval=3,
+            ),
+            SyscallEvent("read", {"fd": 3, "count": 4096}, retval=4096),
+            SyscallEvent("close", {"fd": 3}, retval=0),
+        ]
+    )
+    return iocov.report()
+
+
+# -- model construction --------------------------------------------------------
+
+
+def test_uniform_model_has_no_bias():
+    model = WeightModel.uniform()
+    assert model.is_uniform()
+    assert model.syscall_weight("read") == 1.0
+    assert model.input_weight("read", "count", "2^12") == 1.0
+    assert model.errno_weight("open", "ENOENT") == 1.0
+    assert model.targeted_inputs() == {}
+    assert model.targeted_errnos() == {}
+
+
+def test_from_report_targets_every_untested_partition():
+    report = _fresh_report()
+    model = WeightModel.from_report(report)
+    assert not model.is_uniform()
+    for pair, partitions in report.untested_inputs().items():
+        for partition in partitions:
+            assert model.input_weight(*pair, partition) > 1.0
+    for syscall, errnos in report.untested_outputs().items():
+        for errno_name in errnos:
+            assert model.errno_weight(syscall, errno_name) > 1.0
+
+
+def test_from_report_leaves_tested_partitions_unboosted():
+    report = _partial_report()
+    model = WeightModel.from_report(report)
+    # 2^12 was exercised by the 4096-byte read: no boost.
+    assert model.input_weight("read", "count", "2^12") == 1.0
+    # ...while a neighbouring untested decade is targeted.
+    assert model.input_weight("read", "count", "2^40") > 1.0
+
+
+def test_from_report_weights_never_below_one():
+    model = WeightModel.from_report(_partial_report())
+    assert all(w >= 1.0 for w in model.syscall_weights.values())
+    assert all(
+        w >= 1.0
+        for weights in model.input_weights.values()
+        for w in weights.values()
+    )
+    assert all(
+        w >= 1.0
+        for weights in model.errno_weights.values()
+        for w in weights.values()
+    )
+
+
+def test_from_report_consumes_suggestion_ranking():
+    """Suggested gaps outrank the no-recipe baseline boost."""
+    from repro.core.suggestions import suggest_tests
+
+    report = _fresh_report()
+    model = WeightModel.from_report(report, boost=DEFAULT_BOOST)
+    baseline = 1.0 + DEFAULT_BOOST * 0.5
+    top = suggest_tests(report, limit=5)
+    assert top, "a fresh report must yield suggestions"
+    for suggestion in top:
+        kind, _, partition = suggestion.partition.partition(":")
+        if kind == "output":
+            weight = model.errno_weight(suggestion.syscall, partition)
+        else:
+            weight = model.input_weight(suggestion.syscall, kind, partition)
+        assert weight > baseline
+
+
+def test_from_report_rejects_negative_boost():
+    with pytest.raises(ValueError):
+        WeightModel.from_report(_fresh_report(), boost=-1.0)
+
+
+def test_from_report_is_deterministic():
+    a = WeightModel.from_report(_fresh_report())
+    b = WeightModel.from_report(_fresh_report())
+    assert a.fingerprint() == b.fingerprint()
+    assert a.to_dict() == b.to_dict()
+
+
+def test_serialization_round_trip():
+    model = WeightModel.from_report(_partial_report())
+    clone = WeightModel.from_dict(model.to_dict())
+    assert clone.fingerprint() == model.fingerprint()
+    assert clone.input_weights == model.input_weights
+    assert clone.errno_weights == model.errno_weights
+    assert clone.syscall_weights == model.syscall_weights
+
+
+def test_fingerprint_is_canonical_json_digest():
+    model = WeightModel.uniform()
+    assert len(model.fingerprint()) == 16
+    # JSON-serializable, key-sorted payload.
+    json.dumps(model.to_dict(), sort_keys=True)
+
+
+def test_targeted_views_are_sorted():
+    model = WeightModel.from_report(_fresh_report())
+    for partitions in model.targeted_inputs().values():
+        assert partitions == sorted(partitions)
+    for errnos in model.targeted_errnos().values():
+        assert errnos == sorted(errnos)
+
+
+# -- distribution properties ---------------------------------------------------
+
+_DOMAINS = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789_^", min_size=1, max_size=8
+    ),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+_WEIGHT_VALUES = st.floats(
+    min_value=0.0, max_value=64.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(domain=_DOMAINS, weights=st.dictionaries(st.text(max_size=8), _WEIGHT_VALUES))
+@settings(max_examples=200)
+def test_distribution_normalizes(domain, weights):
+    dist = boosted_distribution(domain, weights)
+    assert set(dist) == set(domain)
+    assert abs(sum(dist.values()) - 1.0) < 1e-9
+    assert all(p > 0.0 for p in dist.values())
+
+
+@given(domain=_DOMAINS, weights=st.dictionaries(st.text(max_size=8), _WEIGHT_VALUES))
+@settings(max_examples=200)
+def test_distribution_targeted_set_mass_monotone(domain, weights):
+    """Mass on the targeted set >= the uniform mass of that set.
+
+    This is the campaign's core guarantee: weighting can only move
+    probability *toward* the keys the model targets, never away.
+    """
+    dist = boosted_distribution(domain, weights)
+    targeted = [key for key in domain if weights.get(key, 1.0) > 1.0]
+    uniform_mass = len(targeted) / len(domain)
+    targeted_mass = sum(dist[key] for key in targeted)
+    assert targeted_mass >= uniform_mass - 1e-9
+
+
+@given(
+    domain=_DOMAINS,
+    boost=st.floats(min_value=1.0 + 1e-6, max_value=64.0, allow_nan=False),
+    data=st.data(),
+)
+@settings(max_examples=200)
+def test_distribution_per_key_monotone_under_single_boost(domain, boost, data):
+    """All targets sharing one boost value: each target's probability
+    is >= its uniform 1/n share, and every untargeted key's is <=."""
+    targets = data.draw(st.lists(st.sampled_from(domain), unique=True))
+    dist = boosted_distribution(domain, {key: boost for key in targets})
+    uniform = 1.0 / len(domain)
+    for key in domain:
+        if key in targets:
+            assert dist[key] >= uniform - 1e-9
+        else:
+            assert dist[key] <= uniform + 1e-9
+
+
+@given(domain=_DOMAINS)
+@settings(max_examples=100)
+def test_distribution_uniform_without_weights(domain):
+    dist = boosted_distribution(domain, {})
+    uniform = 1.0 / len(domain)
+    assert all(abs(p - uniform) < 1e-9 for p in dist.values())
+
+
+@given(
+    domain=_DOMAINS,
+    weights=st.dictionaries(
+        st.text(max_size=8),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+)
+@settings(max_examples=100)
+def test_distribution_floors_sub_unit_weights(domain, weights):
+    """Weights below 1.0 are floored: the model never suppresses."""
+    dist = boosted_distribution(domain, weights)
+    uniform = 1.0 / len(domain)
+    assert all(abs(p - uniform) < 1e-9 for p in dist.values())
+
+
+def test_distribution_empty_domain():
+    assert boosted_distribution([], {"x": 4.0}) == {}
